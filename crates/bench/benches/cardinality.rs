@@ -1,0 +1,50 @@
+//! Micro-benchmarks for the cardinality algebra (Lemmas 1–4) — the inner
+//! loop of relationship matching.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efes_csg::Cardinality;
+
+fn bench_cardinality(c: &mut Criterion) {
+    let one = Cardinality::one();
+    let zero_one = Cardinality::zero_or_one();
+    let one_more = Cardinality::one_or_more();
+    let any = Cardinality::any();
+    let multi = Cardinality::from_intervals([(0, Some(1)), (3, Some(7)), (12, None)]);
+
+    c.bench_function("cardinality/compose_chain", |b| {
+        b.iter(|| {
+            // The 8-step worst-case path composition of the matcher.
+            let mut k = black_box(&one).clone();
+            for step in [&zero_one, &one_more, &one, &any, &one, &zero_one, &one_more] {
+                k = k.compose(step);
+            }
+            black_box(k)
+        })
+    });
+
+    c.bench_function("cardinality/subset_check", |b| {
+        b.iter(|| {
+            black_box(
+                one.is_subset(&any)
+                    && zero_one.is_subset(&any)
+                    && !any.is_subset(&one)
+                    && multi.is_subset(&any),
+            )
+        })
+    });
+
+    c.bench_function("cardinality/union_normalise", |b| {
+        b.iter(|| black_box(&multi).union(black_box(&zero_one)))
+    });
+
+    c.bench_function("cardinality/join_and_collateral", |b| {
+        b.iter(|| {
+            let j = black_box(&multi).join(black_box(&one_more));
+            let col = black_box(&multi).collateral(black_box(&zero_one));
+            black_box((j, col))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cardinality);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! The structure-module pipeline at increasing instance sizes:
+//! relational → CSG conversion, relationship matching, conflict
+//! detection, repair planning. Backs the paper's §6.2 claim that the
+//! analysis *"completes within seconds for databases with thousands of
+//! tuples"*.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use efes_csg::planner::{plan_repairs, PlannerOptions};
+use efes_csg::{database_to_csg, detect_conflicts, match_relationships, NodeCorrespondences, Quality};
+use efes_relational::{IntegrationScenario, SourceId};
+use efes_scenarios::{music_example_scenario, MusicExampleConfig};
+
+fn scenario_with(songs: usize) -> IntegrationScenario {
+    let cfg = MusicExampleConfig {
+        single_artist_albums: songs / 60,
+        multi_artist_albums: songs / 500 + 1,
+        detached_artists: songs / 2500 + 1,
+        songs,
+        distinct_lengths: songs * 95 / 100,
+        target_records: 50,
+        target_tracks_per_record: 6,
+        seed: 7,
+    };
+    music_example_scenario(&cfg).0
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csg_pipeline");
+    group.sample_size(10);
+    for songs in [1_000usize, 10_000, 50_000] {
+        let scenario = scenario_with(songs);
+        group.bench_with_input(
+            BenchmarkId::new("convert_source", songs),
+            &scenario,
+            |b, s| b.iter(|| database_to_csg(black_box(s.source(SourceId(0))))),
+        );
+        let target_conv = database_to_csg(&scenario.target);
+        let source_conv = database_to_csg(scenario.source(SourceId(0)));
+        let corr = NodeCorrespondences::from_scenario(
+            &scenario,
+            SourceId(0),
+            &target_conv,
+            &source_conv,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("match_and_detect", songs),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let matches =
+                        match_relationships(&target_conv.csg, &source_conv.csg, &corr);
+                    detect_conflicts(&target_conv, &source_conv, black_box(&matches))
+                })
+            },
+        );
+        let matches = match_relationships(&target_conv.csg, &source_conv.csg, &corr);
+        let conflicts = detect_conflicts(&target_conv, &source_conv, &matches);
+        group.bench_with_input(BenchmarkId::new("plan_repairs", songs), &(), |b, _| {
+            b.iter(|| {
+                plan_repairs(
+                    &target_conv,
+                    black_box(&matches),
+                    black_box(&conflicts),
+                    Quality::HighQuality,
+                    &PlannerOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end estimation latency: the whole two-phase pipeline on the
+//! evaluation scenarios. This is the number a practitioner experiences
+//! when pointing EFES at a scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efes::prelude::*;
+use efes::settings::Quality;
+use efes_scenarios::amalgam::{amalgam_scenarios, AmalgamConfig};
+use efes_scenarios::discography::{discography_scenarios, DiscographyConfig};
+use efes_scenarios::evaluation::full_evaluation;
+use efes_scenarios::{music_example_scenario, MusicExampleConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    let (music, _) = music_example_scenario(&MusicExampleConfig::scaled_down());
+    group.bench_function("music_example_scaled", |b| {
+        let estimator = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        b.iter(|| estimator.estimate(black_box(&music)).unwrap())
+    });
+
+    let bib = amalgam_scenarios(&AmalgamConfig::default());
+    group.bench_function("amalgam_s1_s2", |b| {
+        let estimator = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        b.iter(|| estimator.estimate(black_box(&bib[0].0)).unwrap())
+    });
+
+    let disco = discography_scenarios(&DiscographyConfig::default());
+    group.bench_function("discography_m1_d2", |b| {
+        let estimator = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        b.iter(|| estimator.estimate(black_box(&disco[1].0)).unwrap())
+    });
+
+    group.bench_function("full_evaluation_both_domains", |b| {
+        b.iter(|| {
+            full_evaluation(
+                black_box(&AmalgamConfig::default()),
+                black_box(&DiscographyConfig::default()),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Schema-matcher benchmarks: string similarities, the combined matcher,
+//! and similarity flooding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efes_matching::{jaro_winkler, levenshtein, similarity_flooding, trigram_jaccard, CombinedMatcher, FloodingConfig, MatcherConfig};
+use efes_scenarios::discography::schemas::{build_f, build_m, MusicSizes};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matching(c: &mut Criterion) {
+    c.bench_function("similarity/levenshtein", |b| {
+        b.iter(|| levenshtein(black_box("artist_credits"), black_box("credit_names")))
+    });
+    c.bench_function("similarity/jaro_winkler", |b| {
+        b.iter(|| jaro_winkler(black_box("duration"), black_box("length_ms")))
+    });
+    c.bench_function("similarity/trigram_jaccard", |b| {
+        b.iter(|| trigram_jaccard(black_box("publications"), black_box("publication_titles")))
+    });
+
+    let sizes = MusicSizes::small();
+    let source = build_f(&sizes, &mut StdRng::seed_from_u64(1));
+    let target = build_m(&sizes, &mut StdRng::seed_from_u64(2));
+    let matcher = CombinedMatcher::new(MatcherConfig::default());
+    c.bench_function("matcher/combined_f_to_m", |b| {
+        b.iter(|| matcher.match_databases(black_box(&source), black_box(&target)))
+    });
+
+    c.bench_function("matcher/similarity_flooding_f_to_m", |b| {
+        b.iter(|| {
+            similarity_flooding(
+                black_box(&source),
+                black_box(&target),
+                &FloodingConfig::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

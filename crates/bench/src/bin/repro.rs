@@ -1,0 +1,95 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p efes-bench --bin repro -- all
+//! cargo run --release -p efes-bench --bin repro -- table5
+//! cargo run --release -p efes-bench --bin repro -- figure6 --small
+//! ```
+//!
+//! By default the running-example artifacts (Tables 2/3/5/6/8, Figures
+//! 2/4/5) use the paper's exact instance sizes (274,523 songs etc.);
+//! `--small` switches to the ~1/100 test scale.
+
+use efes_bench::*;
+use efes_scenarios::amalgam::AmalgamConfig;
+use efes_scenarios::discography::DiscographyConfig;
+use efes_scenarios::MusicExampleConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let cfg = if small {
+        MusicExampleConfig::scaled_down()
+    } else {
+        MusicExampleConfig::paper()
+    };
+    let amalgam = AmalgamConfig::default();
+    let disco = DiscographyConfig::default();
+
+    let all = targets.is_empty() || targets.contains(&"all");
+    let want = |name: &str| all || targets.contains(&name);
+
+    if want("table1") {
+        println!("{}\n", table1());
+    }
+    if want("table2") {
+        println!("{}\n", table2(&cfg));
+    }
+    if want("table3") {
+        println!("{}\n", table3(&cfg));
+    }
+    if want("table4") {
+        println!("{}\n", table4());
+    }
+    if want("table5") {
+        println!("{}\n", table5(&cfg));
+    }
+    if want("table6") {
+        println!("{}\n", table6(&cfg));
+    }
+    if want("table7") {
+        println!("{}\n", table7());
+    }
+    if want("table8") {
+        println!("{}\n", table8(&cfg));
+    }
+    if want("table9") {
+        println!("{}\n", table9());
+    }
+    if want("figure2") {
+        println!("{}\n", figure2(&cfg));
+    }
+    if want("figure4") {
+        println!("{}\n", figure4(&cfg));
+    }
+    if want("figure5") {
+        println!("{}\n", figure5(&cfg));
+    }
+    if want("ablation") {
+        use efes_scenarios::evaluation::ablation_study;
+        println!("Ablation: cross-validated overall RMSE per module subset\n");
+        for row in ablation_study(&amalgam, &disco) {
+            println!("  {:32} rmse {:.3}", row.configuration, row.rmse);
+        }
+        println!(
+            "\n(The structure module carries most of the accuracy; the Table 9\n\
+             `Convert values` function makes the value module volatile across\n\
+             domains — see EXPERIMENTS.md.)\n"
+        );
+    }
+    if want("figure6") || want("figure7") {
+        let (fig6, fig7, summary) = figures6_and_7(&amalgam, &disco);
+        if want("figure6") {
+            println!("{fig6}\n");
+        }
+        if want("figure7") {
+            println!("{fig7}\n");
+        }
+        println!("{summary}");
+    }
+}

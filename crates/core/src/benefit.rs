@@ -1,0 +1,172 @@
+//! Cost-benefit analysis — the paper's §7 outlook: *"This integration
+//! would allow to plot cost-benefit graphs for the integration: the more
+//! effort, the better the quality of the result."*
+//!
+//! The *cost* axis is the effort estimate. The *benefit* axis is the
+//! fraction of source information the plan retains: low-effort plans
+//! reject tuples, drop detached values and discard unconvertible
+//! representations; high-quality plans repair instead. Benefit is
+//! computed from the planned tasks themselves, so custom modules
+//! participate automatically.
+
+use crate::estimate::{EffortEstimate, Estimator};
+use crate::framework::ModuleError;
+use crate::settings::Quality;
+use crate::task::TaskType;
+use efes_relational::IntegrationScenario;
+use serde::{Deserialize, Serialize};
+
+/// One point of the cost-benefit curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostBenefitPoint {
+    /// The expected result quality this point was planned for.
+    pub quality: Quality,
+    /// Estimated effort in minutes (the cost axis).
+    pub effort_minutes: f64,
+    /// Fraction of source items retained by the plan, in `[0,1]`
+    /// (the benefit axis).
+    pub retained_fraction: f64,
+    /// Absolute number of source items the plan discards.
+    pub discarded_items: u64,
+}
+
+/// Count the source items a plan discards: repetitions of the
+/// data-destroying task types (Table 4's low-effort column plus the
+/// value-dropping tasks of Table 7).
+pub fn discarded_items(estimate: &EffortEstimate) -> u64 {
+    estimate
+        .tasks
+        .iter()
+        .filter(|t| {
+            matches!(
+                t.task.task_type,
+                TaskType::RejectTuples
+                    | TaskType::DeleteDetachedValues
+                    | TaskType::DropValues
+                    | TaskType::SetValuesToNull
+                    | TaskType::DeleteDanglingValues
+                    | TaskType::DeleteDanglingTuples
+                    | TaskType::KeepAnyValue // surplus values are lost
+                    | TaskType::UnlinkAllButOneTuple
+            )
+        })
+        .map(|t| {
+            if t.task.task_type == TaskType::DropValues {
+                // Dropping a representation discards every affected value.
+                t.task.params.values.max(t.task.params.repetitions)
+            } else {
+                t.task.params.repetitions
+            }
+        })
+        .sum()
+}
+
+/// Total source items at stake: every row of every source database.
+fn source_items(scenario: &IntegrationScenario) -> u64 {
+    scenario
+        .iter_sources()
+        .map(|(_, db)| db.instance.row_count() as u64)
+        .sum()
+}
+
+/// Compute the two-point cost-benefit curve of a scenario: one point per
+/// expected quality. The estimator factory receives the quality and must
+/// return a configured estimator (so callers control modules, effort
+/// functions and settings).
+pub fn cost_benefit_curve(
+    scenario: &IntegrationScenario,
+    mut estimator_for: impl FnMut(Quality) -> Estimator,
+) -> Result<Vec<CostBenefitPoint>, ModuleError> {
+    let total = source_items(scenario).max(1);
+    let mut out = Vec::new();
+    for quality in [Quality::LowEffort, Quality::HighQuality] {
+        let estimate = estimator_for(quality).estimate(scenario)?;
+        let discarded = discarded_items(&estimate);
+        out.push(CostBenefitPoint {
+            quality,
+            effort_minutes: estimate.total_minutes(),
+            retained_fraction: 1.0 - (discarded.min(total) as f64 / total as f64),
+            discarded_items: discarded,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EstimationConfig;
+    use crate::estimate::Estimator;
+    use efes_relational::{CorrespondenceBuilder, DataType, DatabaseBuilder, Value};
+
+    /// A source with 6 albums, 2 of them without a title (NN violated in
+    /// the target): low effort rejects them, high quality repairs them.
+    fn scenario() -> IntegrationScenario {
+        let mut source = DatabaseBuilder::new("s")
+            .table("albums", |t| t.attr("name", DataType::Text))
+            .build()
+            .unwrap();
+        for i in 0..6 {
+            let name: Value = if i < 2 {
+                Value::Null
+            } else {
+                format!("Album number {i} with a proper title").into()
+            };
+            source.insert_by_name("albums", vec![name]).unwrap();
+        }
+        let target = DatabaseBuilder::new("t")
+            .table("records", |t| t.attr("title", DataType::Text).not_null("title"))
+            .build()
+            .unwrap();
+        let corrs = CorrespondenceBuilder::new(&source, &target)
+            .table("albums", "records")
+            .unwrap()
+            .attr("albums", "name", "records", "title")
+            .unwrap()
+            .finish();
+        IntegrationScenario::single_source("cb", source, target, corrs).unwrap()
+    }
+
+    #[test]
+    fn curve_trades_effort_for_retention() {
+        let s = scenario();
+        let curve = cost_benefit_curve(&s, |q| {
+            Estimator::with_default_modules(EstimationConfig::for_quality(q))
+        })
+        .unwrap();
+        assert_eq!(curve.len(), 2);
+        let low = &curve[0];
+        let high = &curve[1];
+        // More effort …
+        assert!(high.effort_minutes > low.effort_minutes);
+        // … buys more retained data.
+        assert!(high.retained_fraction > low.retained_fraction);
+        assert_eq!(low.discarded_items, 2);
+        assert_eq!(high.discarded_items, 0);
+        assert_eq!(high.retained_fraction, 1.0);
+        assert!((low.retained_fraction - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_scenarios_retain_everything_at_both_qualities() {
+        let source = DatabaseBuilder::new("s")
+            .table("t", |t| t.attr("x", DataType::Text))
+            .rows("t", vec![vec!["a".into()], vec!["b".into()]])
+            .build()
+            .unwrap();
+        let mut target = source.clone();
+        target.schema.name = "t2".into();
+        let corrs = CorrespondenceBuilder::new(&source, &target)
+            .table("t", "t")
+            .unwrap()
+            .attr("t", "x", "t", "x")
+            .unwrap()
+            .finish();
+        let s = IntegrationScenario::single_source("clean", source, target, corrs).unwrap();
+        let curve = cost_benefit_curve(&s, |q| {
+            Estimator::with_default_modules(EstimationConfig::for_quality(q))
+        })
+        .unwrap();
+        assert!(curve.iter().all(|p| p.retained_fraction == 1.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Calibration and evaluation: least-squares scale fitting and the
+//! root-mean-square error of §6.2.
+//!
+//! *"To obtain fair calibrations of EFES and this baseline model, we
+//! employed cross validation: We used the effort measurements from the
+//! bibliographic domain to calibrate the parameters [...] for the
+//! estimation of the music domain scenarios, and vice versa."*
+
+use crate::task::TaskCategory;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One scenario's outcome: estimated category breakdown vs measured
+/// category breakdown (in minutes).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Scenario name (e.g. `"s1-s2 (high qual.)"`).
+    pub name: String,
+    /// Estimated minutes per category (uncalibrated).
+    pub estimated: BTreeMap<TaskCategory, f64>,
+    /// Measured minutes per category (ground truth).
+    pub measured: BTreeMap<TaskCategory, f64>,
+}
+
+impl ScenarioOutcome {
+    /// Total estimated minutes.
+    pub fn estimated_total(&self) -> f64 {
+        self.estimated.values().sum()
+    }
+
+    /// Total measured minutes.
+    pub fn measured_total(&self) -> f64 {
+        self.measured.values().sum()
+    }
+}
+
+/// Fitted per-category scale factors.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedScales {
+    /// Scale per category; missing categories default to 1.0.
+    pub scales: BTreeMap<TaskCategory, f64>,
+}
+
+impl CalibratedScales {
+    /// Apply the scales to an estimated breakdown.
+    pub fn apply(&self, estimated: &BTreeMap<TaskCategory, f64>) -> f64 {
+        estimated
+            .iter()
+            .map(|(c, v)| v * self.scales.get(c).copied().unwrap_or(1.0))
+            .sum()
+    }
+}
+
+/// Fit one scale per category by least squares over the training
+/// outcomes: `s_c = Σ m_i·e_i / Σ e_i²` minimises
+/// `Σ (m_i − s·e_i)²` per category. Categories without signal keep 1.0.
+pub fn calibrate_scales(training: &[ScenarioOutcome]) -> CalibratedScales {
+    let mut num: BTreeMap<TaskCategory, f64> = BTreeMap::new();
+    let mut den: BTreeMap<TaskCategory, f64> = BTreeMap::new();
+    for o in training {
+        for (c, e) in &o.estimated {
+            let m = o.measured.get(c).copied().unwrap_or(0.0);
+            *num.entry(*c).or_insert(0.0) += m * e;
+            *den.entry(*c).or_insert(0.0) += e * e;
+        }
+    }
+    let mut scales = BTreeMap::new();
+    for (c, d) in den {
+        if d > 1e-9 {
+            scales.insert(c, (num[&c] / d).max(0.0));
+        }
+    }
+    CalibratedScales { scales }
+}
+
+/// The paper's evaluation metric (§6.2):
+///
+/// ```text
+/// rmse = sqrt( Σ_s ((measured(s) − estimated(s)) / measured(s))² / #scenarios )
+/// ```
+///
+/// `pairs` holds `(measured, estimated)` totals per scenario.
+pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pairs
+        .iter()
+        .map(|(measured, estimated)| {
+            if *measured == 0.0 {
+                // A zero-effort scenario estimated as zero contributes
+                // nothing; any estimate against zero measured effort is
+                // an infinite relative error — cap it at 1 per scenario.
+                if *estimated == 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                ((measured - estimated) / measured).powi(2)
+            }
+        })
+        .sum();
+    (sum / pairs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, est: &[(TaskCategory, f64)], meas: &[(TaskCategory, f64)]) -> ScenarioOutcome {
+        ScenarioOutcome {
+            name: name.into(),
+            estimated: est.iter().copied().collect(),
+            measured: meas.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_estimates_fit_scale_one() {
+        let training = vec![
+            outcome(
+                "a",
+                &[(TaskCategory::Mapping, 30.0)],
+                &[(TaskCategory::Mapping, 30.0)],
+            ),
+            outcome(
+                "b",
+                &[(TaskCategory::Mapping, 60.0)],
+                &[(TaskCategory::Mapping, 60.0)],
+            ),
+        ];
+        let s = calibrate_scales(&training);
+        assert!((s.scales[&TaskCategory::Mapping] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn systematic_bias_is_corrected() {
+        // Estimates are consistently half the measured effort → scale 2.
+        let training = vec![outcome(
+            "a",
+            &[(TaskCategory::CleaningValues, 10.0)],
+            &[(TaskCategory::CleaningValues, 20.0)],
+        )];
+        let s = calibrate_scales(&training);
+        assert!((s.scales[&TaskCategory::CleaningValues] - 2.0).abs() < 1e-9);
+        let applied = s.apply(&[(TaskCategory::CleaningValues, 15.0)].into_iter().collect());
+        assert!((applied - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_categories_default_to_one() {
+        let s = calibrate_scales(&[]);
+        let applied = s.apply(&[(TaskCategory::Mapping, 25.0)].into_iter().collect());
+        assert!((applied - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        // Two scenarios: relative errors 0.5 and 0 → rmse = sqrt(0.25/2).
+        let pairs = [(100.0, 50.0), (40.0, 40.0)];
+        assert!((rmse(&pairs) - (0.25f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_handles_zero_measured() {
+        assert_eq!(rmse(&[(0.0, 0.0)]), 0.0);
+        assert_eq!(rmse(&[(0.0, 10.0)]), 1.0);
+        assert_eq!(rmse(&[]), 0.0);
+    }
+
+    #[test]
+    fn lower_rmse_means_better() {
+        let good = [(100.0, 95.0), (200.0, 210.0)];
+        let bad = [(100.0, 300.0), (200.0, 50.0)];
+        assert!(rmse(&good) < rmse(&bad));
+    }
+}

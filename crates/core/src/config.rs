@@ -1,0 +1,83 @@
+//! The estimation configuration: quality level, execution settings,
+//! effort model, planner options.
+//!
+//! The prototype took these via an XML file; this implementation uses
+//! JSON (see [`EstimationConfig::to_json`] / [`EstimationConfig::from_json`]).
+
+use crate::effort::EffortModel;
+use crate::settings::{ExecutionSettings, Quality};
+use serde::{Deserialize, Serialize};
+
+/// Everything the effort-estimation phase needs beyond the scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimationConfig {
+    /// Expected result quality (drives task selection, Tables 4/7).
+    pub quality: Quality,
+    /// Execution settings (§3.4 (ii)).
+    pub settings: ExecutionSettings,
+    /// Effort-calculation functions (Table 9 by default).
+    pub effort_model: EffortModel,
+    /// Iteration cap for the structure repair simulation.
+    pub max_repair_iterations: usize,
+}
+
+impl Default for EstimationConfig {
+    fn default() -> Self {
+        EstimationConfig {
+            quality: Quality::HighQuality,
+            settings: ExecutionSettings::default(),
+            effort_model: EffortModel::table9(),
+            max_repair_iterations: 1000,
+        }
+    }
+}
+
+impl EstimationConfig {
+    /// A configuration for a given quality with the Table 9 functions.
+    pub fn for_quality(quality: Quality) -> Self {
+        EstimationConfig {
+            quality,
+            ..EstimationConfig::default()
+        }
+    }
+
+    /// Serialise to pretty JSON (the configuration-file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effort::EffortFunction;
+    use crate::task::TaskType;
+
+    #[test]
+    fn json_round_trip() {
+        let mut cfg = EstimationConfig::for_quality(Quality::LowEffort);
+        cfg.settings.criticality_factor = 2.5;
+        cfg.effort_model
+            .set(TaskType::WriteMapping, EffortFunction::Constant(2.0));
+        let json = cfg.to_json();
+        let back = EstimationConfig::from_json(&json).unwrap();
+        assert_eq!(back.quality, Quality::LowEffort);
+        assert_eq!(back.settings.criticality_factor, 2.5);
+        assert_eq!(
+            back.effort_model.function(&TaskType::WriteMapping),
+            Some(&EffortFunction::Constant(2.0))
+        );
+    }
+
+    #[test]
+    fn default_is_high_quality_table9() {
+        let cfg = EstimationConfig::default();
+        assert_eq!(cfg.quality, Quality::HighQuality);
+        assert!(cfg.effort_model.function(&TaskType::ConvertValues).is_some());
+    }
+}

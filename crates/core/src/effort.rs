@@ -1,0 +1,385 @@
+//! Effort-calculation functions (paper §3.4 and Table 9).
+//!
+//! *"The user specifies in advance for each task type an effort-
+//! calculation function that can incorporate task parameters. [...] The
+//! framework uses these functions to estimate the effort for each of the
+//! tasks."*
+
+use crate::settings::{ExecutionSettings, ToolSupport};
+use crate::task::{Task, TaskParams, TaskType};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A parameterised effort-calculation function, in minutes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EffortFunction {
+    /// A flat cost, e.g. `Reject tuples = 5` (one SQL statement handles
+    /// any number of tuples).
+    Constant(f64),
+    /// `per · #repetitions`, e.g. `Aggregate values = 3·#repetitions`.
+    PerRepetition(f64),
+    /// `per · #values`, e.g. `Add values = 2·#values`.
+    PerValue(f64),
+    /// `per · #dist-vals`, e.g. `Generalize values = 0.5·#dist-vals`.
+    PerDistinctValue(f64),
+    /// Table 9's `Convert values`: a flat cost below a distinct-count
+    /// threshold (enumerable by hand / CASE expression), per-distinct
+    /// above it.
+    Thresholded {
+        /// Distinct-value threshold.
+        threshold: u64,
+        /// Cost when `#dist-vals < threshold`.
+        below: f64,
+        /// Per-distinct cost otherwise.
+        per_distinct_above: f64,
+    },
+    /// Table 9's `Write mapping = 3·#FKs + 3·#PKs + #atts + 3·#tables`.
+    MappingFormula {
+        /// Minutes per source table to understand and join.
+        per_table: f64,
+        /// Minutes per attribute to copy.
+        per_attr: f64,
+        /// Minutes per primary key to generate.
+        per_pk: f64,
+        /// Minutes per foreign key to establish.
+        per_fk: f64,
+    },
+    /// No effort (e.g. `Delete detached values = 0`: simply not
+    /// integrating them).
+    Zero,
+}
+
+impl EffortFunction {
+    /// Evaluate the function on a task's parameters.
+    pub fn evaluate(&self, p: &TaskParams) -> f64 {
+        match self {
+            EffortFunction::Constant(c) => *c,
+            EffortFunction::PerRepetition(per) => per * p.repetitions as f64,
+            EffortFunction::PerValue(per) => per * p.values as f64,
+            EffortFunction::PerDistinctValue(per) => per * p.distinct_values as f64,
+            EffortFunction::Thresholded {
+                threshold,
+                below,
+                per_distinct_above,
+            } => {
+                if p.distinct_values < *threshold {
+                    *below
+                } else {
+                    per_distinct_above * p.distinct_values as f64
+                }
+            }
+            EffortFunction::MappingFormula {
+                per_table,
+                per_attr,
+                per_pk,
+                per_fk,
+            } => {
+                per_table * p.tables as f64
+                    + per_attr * p.attributes as f64
+                    + per_pk * p.pks as f64
+                    + per_fk * p.fks as f64
+            }
+            EffortFunction::Zero => 0.0,
+        }
+    }
+
+    /// Human-readable rendering for the Table 9 regeneration.
+    pub fn describe(&self) -> String {
+        match self {
+            EffortFunction::Constant(c) => format!("{c}"),
+            EffortFunction::PerRepetition(per) => format!("{per} · #repetitions"),
+            EffortFunction::PerValue(per) => format!("{per} · #values"),
+            EffortFunction::PerDistinctValue(per) => format!("{per} · #dist-vals"),
+            EffortFunction::Thresholded {
+                threshold,
+                below,
+                per_distinct_above,
+            } => format!(
+                "(if #dist-vals < {threshold}) {below}, (else) {per_distinct_above} · #dist-vals"
+            ),
+            EffortFunction::MappingFormula {
+                per_table,
+                per_attr,
+                per_pk,
+                per_fk,
+            } => format!(
+                "{per_fk} · #FKs + {per_pk} · #PKs + {per_attr} · #atts + {per_table} · #tables"
+            ),
+            EffortFunction::Zero => "0".to_owned(),
+        }
+    }
+}
+
+/// The effort model: one effort function per task type, per-category
+/// calibration scales, and the execution-settings multiplier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EffortModel {
+    functions: BTreeMap<TaskType, EffortFunction>,
+    /// Calibration scale per task category (fitted by cross-validation in
+    /// the experiments; 1.0 = uncalibrated).
+    pub scales: BTreeMap<crate::task::TaskCategory, f64>,
+}
+
+impl EffortModel {
+    /// The effort-calculation functions of Table 9 — the experimental
+    /// configuration of §6.1 (manual SQL + pgAdmin, SQL-fluent user who
+    /// has not seen the data).
+    pub fn table9() -> Self {
+        use EffortFunction::*;
+        use TaskType::*;
+        let mut functions = BTreeMap::new();
+        functions.insert(AggregateValues, PerRepetition(3.0));
+        functions.insert(
+            ConvertValues,
+            Thresholded {
+                threshold: 120,
+                below: 30.0,
+                per_distinct_above: 0.25,
+            },
+        );
+        functions.insert(GeneralizeValues, PerDistinctValue(0.5));
+        functions.insert(RefineValues, PerValue(0.5));
+        functions.insert(DropValues, Constant(10.0));
+        functions.insert(AddValues, PerValue(2.0));
+        functions.insert(CreateEnclosingTuples, Constant(10.0));
+        functions.insert(DeleteDetachedValues, Zero);
+        functions.insert(RejectTuples, Constant(5.0));
+        functions.insert(KeepAnyValue, Constant(5.0));
+        functions.insert(AddTuples, Constant(5.0));
+        functions.insert(AggregateTuples, Constant(5.0));
+        functions.insert(DeleteDanglingValues, Constant(5.0));
+        functions.insert(AddReferencedValues, Constant(5.0));
+        functions.insert(DeleteDanglingTuples, Constant(5.0));
+        functions.insert(UnlinkAllButOneTuple, Constant(5.0));
+        functions.insert(SetValuesToNull, Constant(5.0));
+        // Table 5 prices "Merge values ×503" at 15 minutes: one
+        // aggregation script regardless of repetition count.
+        functions.insert(MergeValues, Constant(15.0));
+        functions.insert(
+            WriteMapping,
+            MappingFormula {
+                per_table: 3.0,
+                per_attr: 1.0,
+                per_pk: 3.0,
+                per_fk: 3.0,
+            },
+        );
+        EffortModel {
+            functions,
+            scales: BTreeMap::new(),
+        }
+    }
+
+    /// Adapt the model to the available tooling: a mapping tool collapses
+    /// `Write mapping` to a constant (paper Example 3.8's
+    /// `effort = 2 mins`).
+    pub fn for_settings(settings: &ExecutionSettings) -> Self {
+        let mut m = Self::table9();
+        if settings.tools == ToolSupport::MappingTool {
+            m.set(TaskType::WriteMapping, EffortFunction::Constant(2.0));
+        }
+        m
+    }
+
+    /// Override one task type's function.
+    pub fn set(&mut self, task_type: TaskType, f: EffortFunction) {
+        self.functions.insert(task_type, f);
+    }
+
+    /// The function for a task type, if configured.
+    pub fn function(&self, task_type: &TaskType) -> Option<&EffortFunction> {
+        self.functions.get(task_type)
+    }
+
+    /// All configured functions in stable order (Table 9 regeneration).
+    pub fn iter(&self) -> impl Iterator<Item = (&TaskType, &EffortFunction)> {
+        self.functions.iter()
+    }
+
+    /// Price a task in minutes: base function × category scale ×
+    /// settings multiplier. Unconfigured task types price at 0 — custom
+    /// modules must register their functions.
+    pub fn minutes_for(&self, task: &Task, settings: &ExecutionSettings) -> f64 {
+        let base = self
+            .functions
+            .get(&task.task_type)
+            .map(|f| f.evaluate(&task.params))
+            .unwrap_or(0.0);
+        let scale = self.scales.get(&task.category).copied().unwrap_or(1.0);
+        base * scale * settings.multiplier()
+    }
+}
+
+impl Default for EffortModel {
+    fn default() -> Self {
+        Self::table9()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Quality;
+    use crate::task::TaskCategory;
+
+    fn settings() -> ExecutionSettings {
+        ExecutionSettings::default()
+    }
+
+    #[test]
+    fn table5_effort_values_reproduce() {
+        let m = EffortModel::table9();
+        let s = settings();
+        // Add tuples (records) ×102 → 5 mins.
+        let add_tuples = Task::new(
+            TaskType::AddTuples,
+            Quality::HighQuality,
+            TaskParams::repeated(102),
+            "records",
+            "structure",
+        );
+        assert_eq!(m.minutes_for(&add_tuples, &s), 5.0);
+        // Add missing values (title) ×102 → 204 mins (2·#values).
+        let add_values = Task::new(
+            TaskType::AddValues,
+            Quality::HighQuality,
+            TaskParams::repeated(102),
+            "title",
+            "structure",
+        );
+        assert_eq!(m.minutes_for(&add_values, &s), 204.0);
+        // Merge values ×503 → 15 mins.
+        let merge = Task::new(
+            TaskType::MergeValues,
+            Quality::HighQuality,
+            TaskParams::repeated(503),
+            "title",
+            "structure",
+        );
+        assert_eq!(m.minutes_for(&merge, &s), 15.0);
+        // Table 5 total: 224 mins.
+        assert_eq!(
+            m.minutes_for(&add_tuples, &s) + m.minutes_for(&add_values, &s) + m.minutes_for(&merge, &s),
+            224.0
+        );
+    }
+
+    #[test]
+    fn example_3_8_mapping_effort() {
+        // Example 3.8: effort = 3·tables + 1·attributes + 3·PKs over two
+        // connections (records: 3 tables/2 attrs/1 PK, tracks: 3/2/0)
+        // → 25 minutes total, FKs not counted in the example.
+        let m = EffortModel::table9();
+        let s = settings();
+        let records = Task::new(
+            TaskType::WriteMapping,
+            Quality::HighQuality,
+            TaskParams {
+                tables: 3,
+                attributes: 2,
+                pks: 1,
+                ..TaskParams::default()
+            },
+            "records",
+            "mapping",
+        );
+        let tracks = Task::new(
+            TaskType::WriteMapping,
+            Quality::HighQuality,
+            TaskParams {
+                tables: 3,
+                attributes: 2,
+                ..TaskParams::default()
+            },
+            "tracks",
+            "mapping",
+        );
+        assert_eq!(m.minutes_for(&records, &s) + m.minutes_for(&tracks, &s), 25.0);
+    }
+
+    #[test]
+    fn mapping_tool_collapses_write_mapping() {
+        let s = ExecutionSettings {
+            tools: ToolSupport::MappingTool,
+            ..ExecutionSettings::default()
+        };
+        let m = EffortModel::for_settings(&s);
+        let t = Task::new(
+            TaskType::WriteMapping,
+            Quality::HighQuality,
+            TaskParams {
+                tables: 30,
+                attributes: 100,
+                pks: 5,
+                fks: 9,
+                ..TaskParams::default()
+            },
+            "x",
+            "mapping",
+        );
+        assert_eq!(m.minutes_for(&t, &s), 2.0);
+    }
+
+    #[test]
+    fn convert_values_threshold() {
+        let f = EffortFunction::Thresholded {
+            threshold: 120,
+            below: 30.0,
+            per_distinct_above: 0.25,
+        };
+        assert_eq!(
+            f.evaluate(&TaskParams {
+                distinct_values: 100,
+                ..TaskParams::default()
+            }),
+            30.0
+        );
+        assert_eq!(
+            f.evaluate(&TaskParams {
+                distinct_values: 1000,
+                ..TaskParams::default()
+            }),
+            250.0
+        );
+    }
+
+    #[test]
+    fn scales_and_settings_multiply() {
+        let mut m = EffortModel::table9();
+        m.scales.insert(TaskCategory::CleaningStructure, 0.5);
+        let s = ExecutionSettings {
+            criticality_factor: 2.0,
+            ..ExecutionSettings::default()
+        };
+        let t = Task::new(
+            TaskType::RejectTuples,
+            Quality::LowEffort,
+            TaskParams::repeated(1),
+            "x",
+            "structure",
+        );
+        assert_eq!(m.minutes_for(&t, &s), 5.0 * 0.5 * 2.0);
+    }
+
+    #[test]
+    fn unknown_custom_task_prices_zero() {
+        let m = EffortModel::table9();
+        let t = Task::new(
+            TaskType::Custom("resolve-duplicates".into()),
+            Quality::HighQuality,
+            TaskParams::repeated(100),
+            "x",
+            "custom",
+        );
+        assert_eq!(m.minutes_for(&t, &settings()), 0.0);
+    }
+
+    #[test]
+    fn describe_renders_table9_rows() {
+        let m = EffortModel::table9();
+        let f = m.function(&TaskType::WriteMapping).unwrap();
+        assert_eq!(f.describe(), "3 · #FKs + 3 · #PKs + 1 · #atts + 3 · #tables");
+        let f = m.function(&TaskType::ConvertValues).unwrap();
+        assert!(f.describe().contains("120"));
+    }
+}

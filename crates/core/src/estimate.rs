@@ -1,0 +1,306 @@
+//! The estimator: orchestrates modules through both phases and totals the
+//! effort (paper Figure 3, bottom box).
+
+use crate::config::EstimationConfig;
+use crate::framework::{EstimationModule, ModuleError, ModuleReport};
+use crate::modules::{MappingModule, StructureModule, ValueModule};
+use crate::task::{Task, TaskCategory};
+use efes_relational::IntegrationScenario;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One priced task inside an estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatedTask {
+    /// The planned task.
+    pub task: Task,
+    /// Its priced effort in minutes.
+    pub minutes: f64,
+}
+
+/// The final effort estimate: priced tasks plus the per-category
+/// breakdown the figures stack.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EffortEstimate {
+    /// The scenario name.
+    pub scenario: String,
+    /// All priced tasks, in planning order.
+    pub tasks: Vec<EstimatedTask>,
+    /// The complexity reports that produced them (phase-1 output,
+    /// preserved for the user: granularity).
+    pub reports: Vec<ModuleReport>,
+}
+
+impl EffortEstimate {
+    /// Total effort in minutes.
+    pub fn total_minutes(&self) -> f64 {
+        self.tasks.iter().map(|t| t.minutes).sum()
+    }
+
+    /// Effort per category (the Figure 6/7 stacking).
+    pub fn by_category(&self) -> BTreeMap<TaskCategory, f64> {
+        let mut out = BTreeMap::new();
+        for t in &self.tasks {
+            *out.entry(t.task.category).or_insert(0.0) += t.minutes;
+        }
+        out
+    }
+
+    /// Effort of one category in minutes.
+    pub fn category_minutes(&self, category: TaskCategory) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.task.category == category)
+            .map(|t| t.minutes)
+            .sum()
+    }
+
+    /// Mapping effort (Figure 6/7 series).
+    pub fn mapping_minutes(&self) -> f64 {
+        self.category_minutes(TaskCategory::Mapping)
+    }
+
+    /// Total cleaning effort (structure + values + other).
+    pub fn cleaning_minutes(&self) -> f64 {
+        self.total_minutes() - self.mapping_minutes()
+    }
+}
+
+/// Which built-in modules to run — the ablation switchboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleSelection {
+    /// Run the mapping module (§3).
+    pub mapping: bool,
+    /// Run the structural-conflicts module (§4).
+    pub structure: bool,
+    /// Run the value-heterogeneities module (§5).
+    pub values: bool,
+}
+
+impl ModuleSelection {
+    /// All three modules (the paper's configuration).
+    pub fn all() -> Self {
+        ModuleSelection {
+            mapping: true,
+            structure: true,
+            values: true,
+        }
+    }
+
+    /// Only the mapping module — roughly what a schema-only estimator
+    /// can see.
+    pub fn mapping_only() -> Self {
+        ModuleSelection {
+            mapping: true,
+            structure: false,
+            values: false,
+        }
+    }
+
+    /// Short display label, e.g. `mapping+structure`.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.mapping {
+            parts.push("mapping");
+        }
+        if self.structure {
+            parts.push("structure");
+        }
+        if self.values {
+            parts.push("values");
+        }
+        if parts.is_empty() {
+            "none".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// The estimator: a set of registered modules plus a configuration.
+pub struct Estimator {
+    modules: Vec<Box<dyn EstimationModule>>,
+    config: EstimationConfig,
+}
+
+impl Estimator {
+    /// An estimator with no modules (register with
+    /// [`Estimator::register`]).
+    pub fn new(config: EstimationConfig) -> Self {
+        Estimator {
+            modules: Vec::new(),
+            config,
+        }
+    }
+
+    /// An estimator with the paper's three modules: mapping, structure,
+    /// values.
+    pub fn with_default_modules(config: EstimationConfig) -> Self {
+        Self::with_selected_modules(config, ModuleSelection::all())
+    }
+
+    /// An estimator with a chosen subset of the built-in modules — the
+    /// handle for ablation studies (which module contributes how much
+    /// estimation accuracy).
+    pub fn with_selected_modules(config: EstimationConfig, selection: ModuleSelection) -> Self {
+        let mut e = Self::new(config);
+        if selection.mapping {
+            e.register(Box::new(MappingModule));
+        }
+        if selection.structure {
+            e.register(Box::new(StructureModule::default()));
+        }
+        if selection.values {
+            e.register(Box::new(ValueModule::default()));
+        }
+        e
+    }
+
+    /// Plug an estimation module (the paper's extensibility requirement).
+    pub fn register(&mut self, module: Box<dyn EstimationModule>) {
+        self.modules.push(module);
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &EstimationConfig {
+        &self.config
+    }
+
+    /// Mutable access (e.g. to switch quality between runs).
+    pub fn config_mut(&mut self) -> &mut EstimationConfig {
+        &mut self.config
+    }
+
+    /// Phase 1 only: run every module's complexity detector.
+    pub fn assess(&self, scenario: &IntegrationScenario) -> Result<Vec<ModuleReport>, ModuleError> {
+        self.modules.iter().map(|m| m.assess(scenario)).collect()
+    }
+
+    /// Both phases: assess, plan, price.
+    pub fn estimate(&self, scenario: &IntegrationScenario) -> Result<EffortEstimate, ModuleError> {
+        let mut estimate = EffortEstimate {
+            scenario: scenario.name.clone(),
+            ..EffortEstimate::default()
+        };
+        for module in &self.modules {
+            let report = module.assess(scenario)?;
+            let tasks = module.plan(scenario, &report, &self.config)?;
+            for task in tasks {
+                let minutes = self
+                    .config
+                    .effort_model
+                    .minutes_for(&task, &self.config.settings);
+                estimate.tasks.push(EstimatedTask { task, minutes });
+            }
+            estimate.reports.push(report);
+        }
+        Ok(estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Finding;
+    use crate::settings::Quality;
+    use crate::task::{TaskParams, TaskType};
+    use efes_relational::{CorrespondenceBuilder, DataType, DatabaseBuilder};
+
+    fn tiny_scenario() -> IntegrationScenario {
+        let source = DatabaseBuilder::new("s")
+            .table("albums", |t| t.attr("name", DataType::Text))
+            .rows("albums", vec![vec!["A".into()], vec!["B".into()]])
+            .build()
+            .unwrap();
+        let target = DatabaseBuilder::new("t")
+            .table("records", |t| t.attr("title", DataType::Text))
+            .build()
+            .unwrap();
+        let corrs = CorrespondenceBuilder::new(&source, &target)
+            .table("albums", "records")
+            .unwrap()
+            .attr("albums", "name", "records", "title")
+            .unwrap()
+            .finish();
+        IntegrationScenario::single_source("tiny", source, target, corrs).unwrap()
+    }
+
+    #[test]
+    fn default_modules_produce_an_estimate() {
+        let e = Estimator::with_default_modules(EstimationConfig::default());
+        let est = e.estimate(&tiny_scenario()).unwrap();
+        // A clean 1:1 scenario costs exactly the mapping connection.
+        assert!(est.total_minutes() > 0.0);
+        assert_eq!(est.cleaning_minutes(), 0.0);
+        assert_eq!(est.reports.len(), 3);
+        assert_eq!(est.mapping_minutes(), est.total_minutes());
+    }
+
+    #[test]
+    fn category_breakdown_sums_to_total() {
+        let e = Estimator::with_default_modules(EstimationConfig::default());
+        let est = e.estimate(&tiny_scenario()).unwrap();
+        let sum: f64 = est.by_category().values().sum();
+        assert!((sum - est.total_minutes()).abs() < 1e-9);
+    }
+
+    /// A custom module: estimates duplicate-resolution effort — the
+    /// extensibility path the paper requires.
+    struct DuplicateModule;
+
+    impl EstimationModule for DuplicateModule {
+        fn name(&self) -> &str {
+            "duplicates"
+        }
+        fn assess(&self, scenario: &IntegrationScenario) -> Result<ModuleReport, ModuleError> {
+            let mut r = ModuleReport::new(self.name());
+            let rows: u64 = scenario
+                .iter_sources()
+                .map(|(_, db)| db.instance.row_count() as u64)
+                .sum();
+            r.push(
+                Finding::new("possible-duplicates", "all sources", "pairwise comparisons")
+                    .with_int("comparisons", rows * rows.saturating_sub(1) / 2),
+            );
+            Ok(r)
+        }
+        fn plan(
+            &self,
+            _scenario: &IntegrationScenario,
+            report: &ModuleReport,
+            config: &EstimationConfig,
+        ) -> Result<Vec<Task>, ModuleError> {
+            Ok(report
+                .of_kind("possible-duplicates")
+                .map(|f| {
+                    Task::new(
+                        TaskType::Custom("resolve-duplicates".into()),
+                        config.quality,
+                        TaskParams::repeated(f.int("comparisons").unwrap_or(0)),
+                        f.location.clone(),
+                        self.name(),
+                    )
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn custom_modules_plug_in() {
+        let mut cfg = EstimationConfig::for_quality(Quality::HighQuality);
+        cfg.effort_model.set(
+            TaskType::Custom("resolve-duplicates".into()),
+            crate::effort::EffortFunction::PerRepetition(0.1),
+        );
+        let mut e = Estimator::with_default_modules(cfg);
+        e.register(Box::new(DuplicateModule));
+        let est = e.estimate(&tiny_scenario()).unwrap();
+        assert_eq!(est.reports.len(), 4);
+        let custom = est
+            .tasks
+            .iter()
+            .find(|t| matches!(t.task.task_type, TaskType::Custom(_)))
+            .unwrap();
+        assert!((custom.minutes - 0.1).abs() < 1e-12); // 1 comparison pair
+    }
+}

@@ -1,0 +1,87 @@
+//! # EFES — the Effort Estimation Framework
+//!
+//! A faithful Rust implementation of *Estimating Data Integration and
+//! Cleaning Effort* (Sebastian Kruse, Paolo Papotti, Felix Naumann — EDBT
+//! 2015): an extensible framework that, given a data-integration scenario
+//! (source databases, a target database, correspondences), estimates the
+//! human effort of integrating and cleaning — **without performing the
+//! integration**.
+//!
+//! ## The two-phase pipeline (paper Figure 3)
+//!
+//! 1. **Complexity assessment** — objective, context-free. Every
+//!    [`EstimationModule`] contributes a *data complexity detector* that
+//!    scans the scenario and emits a granular [`ModuleReport`] of
+//!    [`Finding`]s (e.g. "503 albums have more than one artist").
+//! 2. **Effort estimation** — context-dependent. Each module's *task
+//!    planner* converts its findings into concrete [`Task`]s at the
+//!    requested result [`Quality`]; user-configurable
+//!    [`EffortFunction`]s turn tasks into minutes.
+//!
+//! ## The three built-in modules
+//!
+//! * [`modules::MappingModule`] — §3: per (target table × source) mapping
+//!   connections (source tables, copied attributes, key generation).
+//! * [`modules::StructureModule`] — §4: structural conflicts via
+//!   cardinality-constrained schema graphs (`efes-csg`), with repair
+//!   simulation and ordering.
+//! * [`modules::ValueModule`] — §5: value heterogeneities via profiling
+//!   statistics (`efes-profiling`) and the Algorithm 1 decision model.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use efes::prelude::*;
+//! use efes_relational::{DatabaseBuilder, DataType, CorrespondenceBuilder, IntegrationScenario};
+//!
+//! let source = DatabaseBuilder::new("src")
+//!     .table("albums", |t| t.attr("name", DataType::Text))
+//!     .rows("albums", vec![vec!["Second Helping".into()]])
+//!     .build().unwrap();
+//! let target = DatabaseBuilder::new("tgt")
+//!     .table("records", |t| t.attr("title", DataType::Text))
+//!     .build().unwrap();
+//! let corrs = CorrespondenceBuilder::new(&source, &target)
+//!     .table("albums", "records").unwrap()
+//!     .attr("albums", "name", "records", "title").unwrap()
+//!     .finish();
+//! let scenario = IntegrationScenario::single_source("demo", source, target, corrs).unwrap();
+//!
+//! let estimator = Estimator::with_default_modules(EstimationConfig::default());
+//! let estimate = estimator.estimate(&scenario).unwrap();
+//! assert!(estimate.total_minutes() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod benefit;
+pub mod calibration;
+pub mod config;
+pub mod effort;
+pub mod estimate;
+pub mod framework;
+pub mod modules;
+pub mod report;
+pub mod settings;
+pub mod task;
+
+pub use baseline::{AttributeCountingEstimator, HardenTask, HARDEN_TASKS};
+pub use benefit::{cost_benefit_curve, CostBenefitPoint};
+pub use calibration::{calibrate_scales, rmse, CalibratedScales, ScenarioOutcome};
+pub use config::EstimationConfig;
+pub use effort::{EffortFunction, EffortModel};
+pub use estimate::{EffortEstimate, EstimatedTask, Estimator, ModuleSelection};
+pub use framework::{EstimationModule, Finding, MetricValue, ModuleError, ModuleReport};
+pub use settings::{ExecutionSettings, Quality, ToolSupport};
+pub use task::{Task, TaskCategory, TaskParams, TaskType};
+
+/// Common imports for downstream users.
+pub mod prelude {
+    pub use crate::config::EstimationConfig;
+    pub use crate::effort::{EffortFunction, EffortModel};
+    pub use crate::estimate::{EffortEstimate, Estimator, ModuleSelection};
+    pub use crate::framework::{EstimationModule, Finding, ModuleReport};
+    pub use crate::settings::{ExecutionSettings, Quality};
+    pub use crate::task::{Task, TaskCategory, TaskParams, TaskType};
+}

@@ -1,0 +1,382 @@
+//! The mapping estimation module (paper §3.3, Table 2).
+//!
+//! *"For each table in the target schema and each source database that
+//! provides data for that table, some connection has to be established to
+//! fetch the source data and write it into the target table. [...] every
+//! connection can be described in terms of certain metrics, such as the
+//! number of source tables to be queried, the number of attributes that
+//! must be copied, and whether new IDs for a primary key need to be
+//! generated."*
+
+use crate::config::EstimationConfig;
+use crate::framework::{EstimationModule, Finding, ModuleError, ModuleReport};
+use crate::task::{Task, TaskParams, TaskType};
+use efes_relational::schema::TableId;
+use efes_relational::{ConstraintKind, Database, IntegrationScenario, SourceId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One mapping connection: a row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingConnection {
+    /// The source database.
+    pub source: SourceId,
+    /// The target table being populated.
+    pub target_table: TableId,
+    /// The source tables that must be queried (including join
+    /// intermediates).
+    pub source_tables: Vec<TableId>,
+    /// Number of attributes to copy.
+    pub attributes: usize,
+    /// Whether new primary-key values must be generated.
+    pub primary_key: bool,
+    /// Number of target foreign keys this connection must establish.
+    pub foreign_keys: usize,
+}
+
+/// The mapping module.
+#[derive(Debug, Clone, Default)]
+pub struct MappingModule;
+
+impl MappingModule {
+    /// Compute the mapping connections of a scenario — the content of a
+    /// Table 2-style report.
+    pub fn connections(scenario: &IntegrationScenario) -> Vec<MappingConnection> {
+        let mut out = Vec::new();
+        for (sid, source) in scenario.iter_sources() {
+            for tt in 0..scenario.target.schema.table_count() {
+                let tt = TableId(tt);
+                let feeding = scenario.correspondences.source_tables_feeding(sid, tt);
+                if feeding.is_empty() {
+                    continue;
+                }
+                // Copied attributes: attribute correspondences into tt.
+                let attributes = scenario
+                    .correspondences
+                    .attribute_correspondences(sid)
+                    .filter(|(_, ta)| ta.table == tt)
+                    .count();
+                // Does the target table's primary key receive source
+                // values? If no correspondence covers a PK attribute, new
+                // ids must be generated.
+                let primary_key = match scenario.target.constraints.primary_key(tt) {
+                    Some(pk_attrs) => {
+                        let covered: BTreeSet<_> = scenario
+                            .correspondences
+                            .attribute_correspondences(sid)
+                            .filter(|(_, ta)| ta.table == tt)
+                            .map(|(_, ta)| ta.attr)
+                            .collect();
+                        !pk_attrs.iter().all(|a| covered.contains(a))
+                    }
+                    None => false,
+                };
+                // Source tables: the feeding tables, closed under join
+                // intermediates on the source FK graph, plus the anchors
+                // of target tables referenced by FKs from tt.
+                let mut tables: BTreeSet<TableId> = feeding.iter().copied().collect();
+                let mut fks = 0usize;
+                for c in scenario.target.constraints.foreign_keys_from(tt) {
+                    if let ConstraintKind::ForeignKey { to_table, .. } = &c.kind {
+                        fks += 1;
+                        // The referenced target table's anchor (its table
+                        // correspondence) must be joined in to resolve the
+                        // reference.
+                        if let Some((anchor, _)) = scenario
+                            .correspondences
+                            .table_correspondences(sid)
+                            .find(|(_, t)| t == to_table)
+                        {
+                            tables.insert(anchor);
+                        }
+                    }
+                }
+                close_over_join_paths(source, &mut tables);
+                out.push(MappingConnection {
+                    source: sid,
+                    target_table: tt,
+                    source_tables: tables.into_iter().collect(),
+                    attributes,
+                    primary_key,
+                    foreign_keys: fks,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Connect the chosen source tables into one join tree: repeatedly add
+/// intermediate tables lying on shortest FK paths between disconnected
+/// components of the selection.
+fn close_over_join_paths(source: &Database, tables: &mut BTreeSet<TableId>) {
+    if tables.len() < 2 {
+        return;
+    }
+    // Build the undirected FK adjacency of the source schema.
+    let n = source.schema.table_count();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in source.constraints.foreign_keys() {
+        if let ConstraintKind::ForeignKey {
+            from_table,
+            to_table,
+            ..
+        } = &c.kind
+        {
+            adj[from_table.0].push(to_table.0);
+            adj[to_table.0].push(from_table.0);
+        }
+    }
+    // Repeatedly connect the first table to any not-yet-reached selected
+    // table via BFS, absorbing the path.
+    loop {
+        let selected: Vec<usize> = tables.iter().map(|t| t.0).collect();
+        // Find the connected component of the first selected table within
+        // the current selection ∪ path candidates.
+        let root = selected[0];
+        let mut reached = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        reached[root] = true;
+        queue.push_back(root);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &adj[cur] {
+                if !reached[next] {
+                    reached[next] = true;
+                    parent[next] = Some(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        // Which selected tables are unreachable at all? They stay as
+        // separate connections (cross products) — nothing to add.
+        let component: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|t| reached[*t])
+            .collect();
+        // Is every reachable selected table already connected within the
+        // selection only? Check by walking parents and collecting the
+        // needed intermediates.
+        let mut added = false;
+        for &t in &component[1..] {
+            let mut cur = t;
+            while let Some(p) = parent[cur] {
+                if !tables.contains(&TableId(p)) {
+                    tables.insert(TableId(p));
+                    added = true;
+                }
+                cur = p;
+                if cur == root {
+                    break;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+}
+
+impl EstimationModule for MappingModule {
+    fn name(&self) -> &str {
+        "mapping"
+    }
+
+    fn assess(&self, scenario: &IntegrationScenario) -> Result<ModuleReport, ModuleError> {
+        let mut report = ModuleReport::new(self.name());
+        for conn in Self::connections(scenario) {
+            let source = scenario.source(conn.source);
+            let target_table = &scenario.target.schema.table(conn.target_table).name;
+            let source_names: Vec<&str> = conn
+                .source_tables
+                .iter()
+                .map(|t| source.schema.table(*t).name.as_str())
+                .collect();
+            report.push(
+                Finding::new(
+                    "mapping-connection",
+                    format!("{} ← {}", target_table, source.name()),
+                    format!(
+                        "populate `{}` from {} source table(s): {}",
+                        target_table,
+                        conn.source_tables.len(),
+                        source_names.join(", ")
+                    ),
+                )
+                .with_int("source-tables", conn.source_tables.len() as u64)
+                .with_int("attributes", conn.attributes as u64)
+                .with_flag("primary-key", conn.primary_key)
+                .with_int("foreign-keys", conn.foreign_keys as u64),
+            );
+        }
+        Ok(report)
+    }
+
+    fn plan(
+        &self,
+        _scenario: &IntegrationScenario,
+        report: &ModuleReport,
+        config: &EstimationConfig,
+    ) -> Result<Vec<Task>, ModuleError> {
+        let mut tasks = Vec::new();
+        for f in report.of_kind("mapping-connection") {
+            let params = TaskParams {
+                tables: f.int("source-tables").unwrap_or(0),
+                attributes: f.int("attributes").unwrap_or(0),
+                pks: u64::from(f.flag("primary-key").unwrap_or(false)),
+                fks: f.int("foreign-keys").unwrap_or(0),
+                repetitions: 1,
+                ..TaskParams::default()
+            };
+            tasks.push(Task::new(
+                TaskType::WriteMapping,
+                config.quality,
+                params,
+                f.location.clone(),
+                self.name(),
+            ));
+        }
+        Ok(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes_relational::{CorrespondenceBuilder, DataType, DatabaseBuilder};
+
+    /// The Figure 2 source schema (albums, songs, artist_lists,
+    /// artist_credits) with the visible correspondences.
+    fn scenario() -> IntegrationScenario {
+        let source = DatabaseBuilder::new("source")
+            .table("albums", |t| {
+                t.attr("id", DataType::Integer)
+                    .attr("name", DataType::Text)
+                    .attr("artist_list", DataType::Integer)
+                    .primary_key(&["id"])
+                    .not_null("name")
+                    .not_null("artist_list")
+                    .foreign_key(&["artist_list"], "artist_lists", &["id"])
+            })
+            .table("songs", |t| {
+                t.attr("album", DataType::Integer)
+                    .attr("name", DataType::Text)
+                    .attr("artist_list", DataType::Integer)
+                    .attr("length", DataType::Integer)
+                    .not_null("name")
+                    .foreign_key(&["album"], "albums", &["id"])
+                    .foreign_key(&["artist_list"], "artist_lists", &["id"])
+            })
+            .table("artist_lists", |t| {
+                t.attr("id", DataType::Integer).primary_key(&["id"])
+            })
+            .table("artist_credits", |t| {
+                t.attr("artist_list", DataType::Integer)
+                    .attr("position", DataType::Integer)
+                    .attr("artist", DataType::Text)
+                    .primary_key(&["artist_list", "position"])
+                    .not_null("artist")
+                    .foreign_key(&["artist_list"], "artist_lists", &["id"])
+            })
+            .build()
+            .unwrap();
+        let target = DatabaseBuilder::new("target")
+            .table("records", |t| {
+                t.attr("id", DataType::Integer)
+                    .attr("title", DataType::Text)
+                    .attr("artist", DataType::Text)
+                    .attr("genre", DataType::Text)
+                    .primary_key(&["id"])
+                    .not_null("title")
+                    .not_null("artist")
+                    .not_null("genre")
+            })
+            .table("tracks", |t| {
+                t.attr("record", DataType::Integer)
+                    .attr("title", DataType::Text)
+                    .attr("duration", DataType::Text)
+                    .not_null("record")
+                    .not_null("title")
+                    .foreign_key(&["record"], "records", &["id"])
+            })
+            .build()
+            .unwrap();
+        let corrs = CorrespondenceBuilder::new(&source, &target)
+            .table("albums", "records")
+            .unwrap()
+            .attr("albums", "name", "records", "title")
+            .unwrap()
+            .attr("artist_credits", "artist", "records", "artist")
+            .unwrap()
+            .table("songs", "tracks")
+            .unwrap()
+            .attr("songs", "name", "tracks", "title")
+            .unwrap()
+            .attr("songs", "length", "tracks", "duration")
+            .unwrap()
+            .finish();
+        IntegrationScenario::single_source("music", source, target, corrs).unwrap()
+    }
+
+    #[test]
+    fn table2_records_connection() {
+        let conns = MappingModule::connections(&scenario());
+        let records = conns.iter().find(|c| c.target_table == TableId(0)).unwrap();
+        // "the three source tables albums, artist_lists, and
+        // artist_credits have to be combined, two attributes must be
+        // copied, and unique id values [...] must be generated."
+        assert_eq!(records.source_tables.len(), 3);
+        assert_eq!(records.attributes, 2);
+        assert!(records.primary_key);
+    }
+
+    #[test]
+    fn table2_tracks_connection() {
+        let conns = MappingModule::connections(&scenario());
+        let tracks = conns.iter().find(|c| c.target_table == TableId(1)).unwrap();
+        assert_eq!(tracks.attributes, 2);
+        assert!(!tracks.primary_key);
+        // songs + the records anchor (albums) — joined directly via
+        // songs.album → albums.id.
+        assert!(tracks.source_tables.len() >= 2);
+        assert_eq!(tracks.foreign_keys, 1);
+    }
+
+    #[test]
+    fn report_and_plan_round_trip() {
+        let s = scenario();
+        let m = MappingModule;
+        let report = m.assess(&s).unwrap();
+        assert_eq!(report.findings.len(), 2);
+        let tasks = m.plan(&s, &report, &EstimationConfig::default()).unwrap();
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|t| t.task_type == TaskType::WriteMapping));
+        let records_task = &tasks[0];
+        assert_eq!(records_task.params.tables, 3);
+        assert_eq!(records_task.params.attributes, 2);
+        assert_eq!(records_task.params.pks, 1);
+    }
+
+    #[test]
+    fn tables_without_correspondences_get_no_connection() {
+        let source = DatabaseBuilder::new("s")
+            .table("a", |t| t.attr("x", DataType::Integer))
+            .build()
+            .unwrap();
+        let target = DatabaseBuilder::new("t")
+            .table("used", |t| t.attr("x", DataType::Integer))
+            .table("unused", |t| t.attr("y", DataType::Integer))
+            .build()
+            .unwrap();
+        let corrs = CorrespondenceBuilder::new(&source, &target)
+            .attr("a", "x", "used", "x")
+            .unwrap()
+            .finish();
+        let sc = IntegrationScenario::single_source("x", source, target, corrs).unwrap();
+        let conns = MappingModule::connections(&sc);
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].target_table, TableId(0));
+        assert!(!conns[0].primary_key);
+    }
+}

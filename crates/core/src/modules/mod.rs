@@ -1,0 +1,10 @@
+//! The built-in estimation modules: mapping (§3), structural conflicts
+//! (§4), value heterogeneities (§5).
+
+mod mapping;
+mod structure;
+mod values;
+
+pub use mapping::{MappingConnection, MappingModule};
+pub use structure::StructureModule;
+pub use values::{HeterogeneityKind, ValueModule};

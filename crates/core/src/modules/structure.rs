@@ -1,0 +1,276 @@
+//! The structural-conflicts estimation module (paper §4) — wraps the
+//! `efes-csg` structure conflict detector and structure repair planner
+//! into the framework interface.
+
+use crate::config::EstimationConfig;
+use crate::framework::{EstimationModule, Finding, ModuleError, ModuleReport};
+use crate::task::{Task, TaskParams, TaskType};
+use efes_csg::planner::{PlannedRepair, PlannerOptions, StructureTaskKind};
+use efes_csg::{
+    database_to_csg, detect_conflicts, match_relationships, plan_repairs, NodeCorrespondences,
+};
+use efes_relational::{IntegrationScenario, SourceId};
+
+/// The structure module.
+#[derive(Debug, Clone, Default)]
+pub struct StructureModule {
+    /// Planner options (task adaptations, pessimism, iteration cap).
+    pub planner_options: PlannerOptions,
+}
+
+/// Map the CSG-level repair task onto the framework task type priced by
+/// Table 9. `CreateEnclosingTuples` is priced as Table 5's "Add tuples";
+/// `DropValues` as "Delete detached values" (skipping them is free);
+/// `AddMissingValues` as "Add values" (2·#values).
+fn task_type_of(kind: StructureTaskKind) -> TaskType {
+    match kind {
+        StructureTaskKind::RejectTuples => TaskType::RejectTuples,
+        StructureTaskKind::AddMissingValues => TaskType::AddValues,
+        StructureTaskKind::SetValuesToNull => TaskType::SetValuesToNull,
+        StructureTaskKind::AggregateTuples => TaskType::AggregateTuples,
+        StructureTaskKind::KeepAnyValue => TaskType::KeepAnyValue,
+        StructureTaskKind::MergeValues => TaskType::MergeValues,
+        StructureTaskKind::DropValues => TaskType::DeleteDetachedValues,
+        StructureTaskKind::CreateEnclosingTuples => TaskType::AddTuples,
+        StructureTaskKind::DeleteDanglingValues => TaskType::DeleteDanglingValues,
+        StructureTaskKind::AddReferencedValues => TaskType::AddReferencedValues,
+    }
+}
+
+impl StructureModule {
+    /// Run detection for every source and return the per-source plans as
+    /// well — used directly by the Figure 5 / Table 5 regeneration.
+    pub fn plan_for_source(
+        &self,
+        scenario: &IntegrationScenario,
+        source: SourceId,
+        config: &EstimationConfig,
+    ) -> Result<Vec<PlannedRepair>, ModuleError> {
+        let target_conv = database_to_csg(&scenario.target);
+        let source_conv = database_to_csg(scenario.source(source));
+        let corr =
+            NodeCorrespondences::from_scenario(scenario, source, &target_conv, &source_conv);
+        let matches = match_relationships(&target_conv.csg, &source_conv.csg, &corr);
+        let conflicts = detect_conflicts(&target_conv, &source_conv, &matches);
+        let mut opts = self.planner_options.clone();
+        opts.max_iterations = config.max_repair_iterations;
+        plan_repairs(&target_conv, &matches, &conflicts, config.quality, &opts)
+            .map_err(|e| ModuleError::PlanningFailed(e.to_string()))
+    }
+}
+
+impl EstimationModule for StructureModule {
+    fn name(&self) -> &str {
+        "structure"
+    }
+
+    fn assess(&self, scenario: &IntegrationScenario) -> Result<ModuleReport, ModuleError> {
+        let mut report = ModuleReport::new(self.name());
+        let target_conv = database_to_csg(&scenario.target);
+        for (sid, source) in scenario.iter_sources() {
+            let source_conv = database_to_csg(source);
+            let corr =
+                NodeCorrespondences::from_scenario(scenario, sid, &target_conv, &source_conv);
+            let matches = match_relationships(&target_conv.csg, &source_conv.csg, &corr);
+            for c in detect_conflicts(&target_conv, &source_conv, &matches) {
+                report.push(
+                    Finding::new(
+                        "structural-conflict",
+                        format!("{} [{}]", c.constraint_label, source.name()),
+                        format!(
+                            "{}: inferred source cardinality {} violates prescribed {}",
+                            c.kind.label(),
+                            c.inferred,
+                            c.prescribed
+                        ),
+                    )
+                    .with_int("violations", c.violation_count)
+                    .with_int("too-few", c.too_few)
+                    .with_int("too-many", c.too_many)
+                    .with_int("source", sid.0 as u64)
+                    .with_int("target-rel", c.target_rel as u64)
+                    .with_text("prescribed", c.prescribed.to_string())
+                    .with_text("inferred", c.inferred.to_string())
+                    .with_text("conflict-kind", c.kind.label()),
+                );
+            }
+        }
+        Ok(report)
+    }
+
+    fn plan(
+        &self,
+        scenario: &IntegrationScenario,
+        _report: &ModuleReport,
+        config: &EstimationConfig,
+    ) -> Result<Vec<Task>, ModuleError> {
+        // The planner re-derives conflicts per source: the repair
+        // simulation needs the full match context, not just the findings.
+        let mut tasks = Vec::new();
+        for (sid, _) in scenario.iter_sources() {
+            for repair in self.plan_for_source(scenario, sid, config)? {
+                let task_type = task_type_of(repair.kind);
+                tasks.push(Task::new(
+                    task_type,
+                    config.quality,
+                    TaskParams::repeated(repair.repetitions),
+                    repair.location.clone(),
+                    self.name(),
+                ));
+            }
+        }
+        Ok(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Quality;
+    use efes_relational::{CorrespondenceBuilder, DataType, DatabaseBuilder};
+
+    /// Source with 3 multi-artist albums and 2 detached artists, shaped
+    /// like the paper's Figure 2: the artist_lists indirection keeps the
+    /// source locally valid while producing both conflict kinds.
+    fn scenario() -> IntegrationScenario {
+        let mut source = DatabaseBuilder::new("src")
+            .table("albums", |t| {
+                t.attr("id", DataType::Integer)
+                    .attr("name", DataType::Text)
+                    .attr("artist_list", DataType::Integer)
+                    .primary_key(&["id"])
+                    .not_null("name")
+                    .not_null("artist_list")
+                    .foreign_key(&["artist_list"], "artist_lists", &["id"])
+            })
+            .table("artist_lists", |t| t.attr("id", DataType::Integer).primary_key(&["id"]))
+            .table("credits", |t| {
+                t.attr("artist_list", DataType::Integer)
+                    .attr("artist", DataType::Text)
+                    .not_null("artist")
+                    .foreign_key(&["artist_list"], "artist_lists", &["id"])
+            })
+            .build()
+            .unwrap();
+        for i in 0..3i64 {
+            source.insert_by_name("artist_lists", vec![i.into()]).unwrap();
+            source
+                .insert_by_name(
+                    "albums",
+                    vec![i.into(), format!("Album {i}").into(), i.into()],
+                )
+                .unwrap();
+            // Two artists per album → multiple-attribute-values conflicts.
+            source
+                .insert_by_name("credits", vec![i.into(), format!("Artist A{i}").into()])
+                .unwrap();
+            source
+                .insert_by_name("credits", vec![i.into(), format!("Artist B{i}").into()])
+                .unwrap();
+        }
+        // Two artists on lists no album references → detached artists.
+        for (list, name) in [(90i64, "Loner 1"), (91, "Loner 2")] {
+            source.insert_by_name("artist_lists", vec![list.into()]).unwrap();
+            source
+                .insert_by_name("credits", vec![list.into(), name.into()])
+                .unwrap();
+        }
+        source.assert_valid();
+
+        let target = DatabaseBuilder::new("tgt")
+            .table("records", |t| {
+                t.attr("title", DataType::Text)
+                    .attr("artist", DataType::Text)
+                    .not_null("title")
+                    .not_null("artist")
+            })
+            .build()
+            .unwrap();
+        let corrs = CorrespondenceBuilder::new(&source, &target)
+            .table("albums", "records")
+            .unwrap()
+            .attr("albums", "name", "records", "title")
+            .unwrap()
+            .attr("credits", "artist", "records", "artist")
+            .unwrap()
+            .finish();
+        IntegrationScenario::single_source("structure-test", source, target, corrs).unwrap()
+    }
+
+    #[test]
+    fn assess_reports_conflicts_with_counts() {
+        let m = StructureModule::default();
+        let report = m.assess(&scenario()).unwrap();
+        assert!(!report.findings.is_empty());
+        let multi = report
+            .findings
+            .iter()
+            .find(|f| f.text("conflict-kind") == Some("Multiple attribute values"));
+        assert!(multi.is_some(), "{report:?}");
+        assert_eq!(multi.unwrap().int("violations"), Some(3));
+    }
+
+    #[test]
+    fn high_quality_plan_contains_merges() {
+        let m = StructureModule::default();
+        let s = scenario();
+        let report = m.assess(&s).unwrap();
+        let cfg = EstimationConfig::for_quality(Quality::HighQuality);
+        let tasks = m.plan(&s, &report, &cfg).unwrap();
+        assert!(tasks.iter().any(|t| t.task_type == TaskType::MergeValues));
+        let merge = tasks
+            .iter()
+            .find(|t| t.task_type == TaskType::MergeValues)
+            .unwrap();
+        assert_eq!(merge.params.repetitions, 3);
+    }
+
+    #[test]
+    fn low_effort_plan_contains_cheap_tasks() {
+        let m = StructureModule::default();
+        let s = scenario();
+        let report = m.assess(&s).unwrap();
+        let cfg = EstimationConfig::for_quality(Quality::LowEffort);
+        let tasks = m.plan(&s, &report, &cfg).unwrap();
+        assert!(tasks.iter().any(|t| t.task_type == TaskType::KeepAnyValue));
+        assert!(!tasks.iter().any(|t| t.task_type == TaskType::MergeValues));
+    }
+
+    #[test]
+    fn identical_schemas_produce_no_tasks() {
+        let db = DatabaseBuilder::new("same")
+            .table("t", |t| {
+                t.attr("id", DataType::Integer)
+                    .attr("x", DataType::Text)
+                    .primary_key(&["id"])
+            })
+            .rows(
+                "t",
+                vec![
+                    vec![1.into(), "a".into()],
+                    vec![2.into(), "b".into()],
+                    vec![3.into(), "c".into()],
+                ],
+            )
+            .build()
+            .unwrap();
+        let mut target = db.clone();
+        target.schema.name = "tgt".into();
+        let corrs = CorrespondenceBuilder::new(&db, &target)
+            .table("t", "t")
+            .unwrap()
+            .attr("t", "id", "t", "id")
+            .unwrap()
+            .attr("t", "x", "t", "x")
+            .unwrap()
+            .finish();
+        let s = IntegrationScenario::single_source("identical", db, target, corrs).unwrap();
+        let m = StructureModule::default();
+        let report = m.assess(&s).unwrap();
+        assert!(report.findings.is_empty());
+        let tasks = m
+            .plan(&s, &report, &EstimationConfig::default())
+            .unwrap();
+        assert!(tasks.is_empty());
+    }
+}

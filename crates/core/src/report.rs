@@ -1,0 +1,197 @@
+//! Human-readable rendering of complexity reports and effort estimates —
+//! simple fixed-width tables in the style of the paper's Tables 2–8.
+
+use crate::estimate::EffortEstimate;
+use crate::framework::ModuleReport;
+
+/// Render a plain-text table from a header and rows.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(n) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            line.push_str(&" ".repeat(widths[i].saturating_sub(cell.chars().count())));
+        }
+        line.trim_end().to_owned()
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(
+        &header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one module's complexity report.
+pub fn render_report(report: &ModuleReport) -> String {
+    let mut out = format!("== Complexity report: {} ==\n", report.module);
+    if report.findings.is_empty() {
+        out.push_str("  (no findings)\n");
+        return out;
+    }
+    for f in &report.findings {
+        out.push_str(&format!("  [{}] {}\n    {}\n", f.kind, f.location, f.note));
+        for (k, v) in &f.metrics {
+            out.push_str(&format!("    {k}: {v}\n"));
+        }
+    }
+    out
+}
+
+/// Render an effort estimate in the style of Tables 5/8: one row per
+/// task, then the total.
+pub fn render_estimate(estimate: &EffortEstimate) -> String {
+    let rows: Vec<Vec<String>> = estimate
+        .tasks
+        .iter()
+        .map(|t| {
+            vec![
+                format!("{} ({})", t.task.task_type.label(), t.task.location),
+                t.task.params.repetitions.to_string(),
+                t.task.category.label().to_owned(),
+                format!("{:.0} mins", t.minutes),
+            ]
+        })
+        .collect();
+    let mut out = format!("== Effort estimate: {} ==\n", estimate.scenario);
+    out.push_str(&text_table(
+        &["Task", "Repetitions", "Category", "Effort"],
+        &rows,
+    ));
+    out.push_str(&format!("\nTotal  {:.0} mins\n", estimate.total_minutes()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Finding;
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let t = text_table(
+            &["Task", "Effort"],
+            &[
+                vec!["Add tuples".into(), "5 mins".into()],
+                vec!["Merge".into(), "15 mins".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Task"));
+        assert!(lines[2].contains("Add tuples"));
+    }
+
+    #[test]
+    fn render_report_includes_metrics() {
+        let mut r = ModuleReport::new("structure");
+        r.push(Finding::new("structural-conflict", "records→artist", "too many").with_int("violations", 503));
+        let s = render_report(&r);
+        assert!(s.contains("structural-conflict"));
+        assert!(s.contains("violations: 503"));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let s = render_report(&ModuleReport::new("values"));
+        assert!(s.contains("no findings"));
+    }
+}
+
+/// The schema-difficulty map — the paper's §1/§3.3 visualization
+/// application: *"support for data visualization, i.e., highlight parts
+/// of the schemas that are hard to integrate."*
+///
+/// Aggregates every module's findings per location and renders the
+/// locations ranked by a difficulty score (violation counts weigh by
+/// magnitude; heterogeneities by 1 − fit).
+pub fn render_difficulty_map(reports: &[ModuleReport]) -> String {
+    use std::collections::BTreeMap;
+    let mut scores: BTreeMap<String, (f64, Vec<String>)> = BTreeMap::new();
+    for report in reports {
+        for f in &report.findings {
+            let weight = if let Some(v) = f.int("violations") {
+                (1.0 + v as f64).ln()
+            } else if let Some(fit) = f.float("score") {
+                // Heterogeneity scores: farther below the 0.9 threshold →
+                // harder. Counts (critical rule) score by magnitude.
+                if fit > 1.0 {
+                    (1.0 + fit).ln()
+                } else {
+                    1.0 + (0.9 - fit).max(0.0) * 5.0
+                }
+            } else {
+                1.0
+            };
+            let entry = scores.entry(f.location.clone()).or_default();
+            entry.0 += weight;
+            entry.1.push(f.note.clone());
+        }
+    }
+    if scores.is_empty() {
+        return "== Schema difficulty map ==\n  (no integration problems detected)\n".to_owned();
+    }
+    let mut ranked: Vec<(String, (f64, Vec<String>))> = scores.into_iter().collect();
+    ranked.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap_or(std::cmp::Ordering::Equal));
+    let max = ranked[0].1 .0.max(1e-9);
+    let mut out = String::from("== Schema difficulty map (hardest first) ==\n");
+    for (location, (score, notes)) in &ranked {
+        let cells = ((score / max) * 24.0).round().max(1.0) as usize;
+        out.push_str(&format!(
+            "  {:45} {:5.1} |{}\n",
+            location,
+            score,
+            "█".repeat(cells)
+        ));
+        for n in notes {
+            out.push_str(&format!("      · {n}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod difficulty_tests {
+    use super::*;
+    use crate::framework::Finding;
+
+    #[test]
+    fn difficulty_map_ranks_by_severity() {
+        let mut r = ModuleReport::new("structure");
+        r.push(
+            Finding::new("structural-conflict", "records.artist", "many artists")
+                .with_int("violations", 503),
+        );
+        r.push(
+            Finding::new("structural-conflict", "records.title", "few gaps")
+                .with_int("violations", 2),
+        );
+        let map = render_difficulty_map(&[r]);
+        let artist_pos = map.find("records.artist").unwrap();
+        let title_pos = map.find("records.title").unwrap();
+        assert!(artist_pos < title_pos, "{map}");
+        assert!(map.contains('█'));
+    }
+
+    #[test]
+    fn empty_reports_render_placeholder() {
+        let map = render_difficulty_map(&[ModuleReport::new("values")]);
+        assert!(map.contains("no integration problems"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Execution settings and expected result quality (paper §3.4).
+
+use serde::{Deserialize, Serialize};
+
+pub use efes_csg::Quality;
+
+/// Level of tool support available to the integration practitioner.
+///
+/// Paper Example 3.6/3.8: *"if a tool can generate this mapping
+/// automatically based on the correspondences (e.g., \[18\]), then a
+/// constant value, such as effort = 2 mins, can reflect this
+/// circumstance."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ToolSupport {
+    /// Manual SQL + a basic admin tool — the experimental setup of §6.1.
+    ManualSql,
+    /// A second-generation mapping tool (++Spicy-class) generates
+    /// executable mappings from correspondences.
+    MappingTool,
+}
+
+/// The execution settings of §3.4 (ii): *"the circumstances under which
+/// the data integration shall be conducted"*.
+///
+/// All scalar factors are multipliers on estimated minutes; 1.0 is the
+/// calibration baseline (an SQL-fluent practitioner who has not seen the
+/// datasets, integrating non-critical data — the paper's own setup).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionSettings {
+    /// Practitioner expertise: < 1.0 for experts, > 1.0 for novices.
+    pub expertise_factor: f64,
+    /// Familiarity with the data: > 1.0 when the data is unknown.
+    pub familiarity_factor: f64,
+    /// Criticality of errors: *"integrating medical prescriptions
+    /// requires more attention (and therefore effort) than integrating
+    /// music tracks"*.
+    pub criticality_factor: f64,
+    /// Available tooling.
+    pub tools: ToolSupport,
+}
+
+impl Default for ExecutionSettings {
+    fn default() -> Self {
+        ExecutionSettings {
+            expertise_factor: 1.0,
+            familiarity_factor: 1.0,
+            criticality_factor: 1.0,
+            tools: ToolSupport::ManualSql,
+        }
+    }
+}
+
+impl ExecutionSettings {
+    /// The combined multiplier applied to every task's base minutes.
+    pub fn multiplier(&self) -> f64 {
+        self.expertise_factor * self.familiarity_factor * self.criticality_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_neutral() {
+        assert_eq!(ExecutionSettings::default().multiplier(), 1.0);
+    }
+
+    #[test]
+    fn factors_multiply() {
+        let s = ExecutionSettings {
+            expertise_factor: 2.0,
+            familiarity_factor: 1.5,
+            criticality_factor: 2.0,
+            tools: ToolSupport::ManualSql,
+        };
+        assert!((s.multiplier() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,266 @@
+//! The task model: typed integration/cleaning tasks with parameters
+//! (paper §3.4: *"Each of these tasks is of a certain type, is expected to
+//! deliver a certain result quality, and comprises an arbitrary set of
+//! parameters, such as on how many tuples it has to be executed."*).
+
+use crate::settings::Quality;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The broad effort category a task belongs to — the stacking dimension
+/// of Figures 6 and 7 (Mapping / Cleaning (Structure) / Cleaning
+/// (Values)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskCategory {
+    /// Writing executable mappings.
+    Mapping,
+    /// Repairing structural conflicts.
+    CleaningStructure,
+    /// Resolving value heterogeneities.
+    CleaningValues,
+    /// Other cleaning work (custom modules).
+    CleaningOther,
+}
+
+impl TaskCategory {
+    /// Display label as used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskCategory::Mapping => "Mapping",
+            TaskCategory::CleaningStructure => "Cleaning (Structure)",
+            TaskCategory::CleaningValues => "Cleaning (Values)",
+            TaskCategory::CleaningOther => "Cleaning",
+        }
+    }
+}
+
+/// The task types of the paper's Tables 4, 7 and 9, plus an open variant
+/// for custom modules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskType {
+    // --- mapping (§3, Table 2/9) ---
+    /// Write an executable mapping for one connection.
+    WriteMapping,
+
+    // --- structural cleaning (§4, Tables 4/5/9) ---
+    /// Reject tuples that violate a constraint (low effort).
+    RejectTuples,
+    /// Add values — Table 9's `Add values 2·#values`; fixes not-null
+    /// violations at high quality (Table 5's "Add missing values").
+    AddValues,
+    /// Set surplus values to null (unique violated, low effort).
+    SetValuesToNull,
+    /// Aggregate tuples sharing a key (unique violated, high quality).
+    AggregateTuples,
+    /// Keep an arbitrary value (multiple attribute values, low effort).
+    KeepAnyValue,
+    /// Merge multiple values into one (multiple attribute values, high
+    /// quality) — Table 5.
+    MergeValues,
+    /// Aggregate values — Table 9's `3·#repetitions` variant of merging.
+    AggregateValues,
+    /// Skip detached values during integration (low effort; free).
+    DeleteDetachedValues,
+    /// Create tuples to host detached values — Table 5's "Add tuples".
+    AddTuples,
+    /// Create enclosing tuples (Table 9's separately-priced variant).
+    CreateEnclosingTuples,
+    /// Delete dangling FK values (low effort).
+    DeleteDanglingValues,
+    /// Add missing referenced values (high quality).
+    AddReferencedValues,
+    /// Delete dangling tuples (Table 9 extra).
+    DeleteDanglingTuples,
+    /// Unlink all but one tuple (Table 9 extra).
+    UnlinkAllButOneTuple,
+
+    // --- value cleaning (§5, Tables 7/8/9) ---
+    /// Convert values into the target representation.
+    ConvertValues,
+    /// Drop values with an incompatible representation.
+    DropValues,
+    /// Generalise too-specific values.
+    GeneralizeValues,
+    /// Refine too-general values.
+    RefineValues,
+
+    // --- extensibility ---
+    /// A task type introduced by a custom estimation module.
+    Custom(String),
+}
+
+impl TaskType {
+    /// Display name (Table 5/8 style).
+    pub fn label(&self) -> &str {
+        match self {
+            TaskType::WriteMapping => "Write mapping",
+            TaskType::RejectTuples => "Reject tuples",
+            TaskType::AddValues => "Add missing values",
+            TaskType::SetValuesToNull => "Set values to null",
+            TaskType::AggregateTuples => "Aggregate tuples",
+            TaskType::KeepAnyValue => "Keep any value",
+            TaskType::MergeValues => "Merge values",
+            TaskType::AggregateValues => "Aggregate values",
+            TaskType::DeleteDetachedValues => "Delete detached values",
+            TaskType::AddTuples => "Add tuples",
+            TaskType::CreateEnclosingTuples => "Create enclosing tuples",
+            TaskType::DeleteDanglingValues => "Delete dangling values",
+            TaskType::AddReferencedValues => "Add referenced values",
+            TaskType::DeleteDanglingTuples => "Delete dangling tuples",
+            TaskType::UnlinkAllButOneTuple => "Unlink all but one tuple",
+            TaskType::ConvertValues => "Convert values",
+            TaskType::DropValues => "Drop values",
+            TaskType::GeneralizeValues => "Generalize values",
+            TaskType::RefineValues => "Refine values",
+            TaskType::Custom(name) => name,
+        }
+    }
+
+    /// The category a built-in task type reports under.
+    pub fn category(&self) -> TaskCategory {
+        match self {
+            TaskType::WriteMapping => TaskCategory::Mapping,
+            TaskType::ConvertValues
+            | TaskType::DropValues
+            | TaskType::GeneralizeValues
+            | TaskType::RefineValues => TaskCategory::CleaningValues,
+            TaskType::Custom(_) => TaskCategory::CleaningOther,
+            _ => TaskCategory::CleaningStructure,
+        }
+    }
+}
+
+/// Numeric task parameters consumed by the effort-calculation functions
+/// (Table 9's `#repetitions`, `#values`, `#dist-vals`, `#tables`,
+/// `#atts`, `#PKs`, `#FKs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskParams {
+    /// How often the task must be performed.
+    pub repetitions: u64,
+    /// Number of values involved.
+    pub values: u64,
+    /// Number of distinct values involved.
+    pub distinct_values: u64,
+    /// Number of source tables (mapping connections).
+    pub tables: u64,
+    /// Number of attributes to copy (mapping connections).
+    pub attributes: u64,
+    /// Number of primary keys to generate (mapping connections).
+    pub pks: u64,
+    /// Number of foreign keys to establish (mapping connections).
+    pub fks: u64,
+}
+
+impl TaskParams {
+    /// Parameters for a task repeated `n` times over `n` values.
+    pub fn repeated(n: u64) -> Self {
+        TaskParams {
+            repetitions: n,
+            values: n,
+            distinct_values: n,
+            ..TaskParams::default()
+        }
+    }
+}
+
+/// A planned task: the unit the effort-calculation functions price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// The task type.
+    pub task_type: TaskType,
+    /// Category for the Figure 6/7 breakdown.
+    pub category: TaskCategory,
+    /// The quality level the task is expected to deliver.
+    pub quality: Quality,
+    /// Numeric parameters.
+    pub params: TaskParams,
+    /// Human-readable location, e.g. `records ← albums` or `title`.
+    pub location: String,
+    /// Which module proposed the task.
+    pub module: String,
+}
+
+impl Task {
+    /// Create a task; the category defaults from the task type.
+    pub fn new(
+        task_type: TaskType,
+        quality: Quality,
+        params: TaskParams,
+        location: impl Into<String>,
+        module: impl Into<String>,
+    ) -> Self {
+        let category = task_type.category();
+        Task {
+            task_type,
+            category,
+            quality,
+            params,
+            location: location.into(),
+            module: module.into(),
+        }
+    }
+
+    /// Override the category (custom modules).
+    pub fn with_category(mut self, category: TaskCategory) -> Self {
+        self.category = category;
+        self
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.task_type.label(), self.location)?;
+        if self.params.repetitions > 1 {
+            write!(f, " ×{}", self.params.repetitions)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_modules() {
+        assert_eq!(TaskType::WriteMapping.category(), TaskCategory::Mapping);
+        assert_eq!(TaskType::MergeValues.category(), TaskCategory::CleaningStructure);
+        assert_eq!(TaskType::ConvertValues.category(), TaskCategory::CleaningValues);
+        assert_eq!(
+            TaskType::Custom("find-duplicates".into()).category(),
+            TaskCategory::CleaningOther
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(TaskType::AddValues.label(), "Add missing values");
+        assert_eq!(TaskType::AddTuples.label(), "Add tuples");
+        assert_eq!(TaskType::ConvertValues.label(), "Convert values");
+    }
+
+    #[test]
+    fn display_includes_repetitions() {
+        let t = Task::new(
+            TaskType::MergeValues,
+            Quality::HighQuality,
+            TaskParams::repeated(503),
+            "title",
+            "structure",
+        );
+        assert_eq!(t.to_string(), "Merge values (title) ×503");
+    }
+
+    #[test]
+    fn with_category_overrides() {
+        let t = Task::new(
+            TaskType::Custom("x".into()),
+            Quality::LowEffort,
+            TaskParams::default(),
+            "loc",
+            "m",
+        )
+        .with_category(TaskCategory::Mapping);
+        assert_eq!(t.category, TaskCategory::Mapping);
+    }
+}

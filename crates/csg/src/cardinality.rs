@@ -1,0 +1,555 @@
+//! Cardinality sets and the inference operators of Lemmas 1–4.
+//!
+//! The paper defines `κ: P → 2^ℕ`: a cardinality is an arbitrary set of
+//! natural numbers. We represent such sets as **normalised unions of
+//! integer intervals** (sorted, disjoint, non-adjacent), with `None` as an
+//! upper bound meaning unbounded (`*`). This is exact for every
+//! cardinality the paper's lemmas can produce from interval-shaped inputs,
+//! and closed under all four operators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One maximal run `lo..=hi` of naturals; `hi == None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound; `None` = `*`.
+    pub hi: Option<u64>,
+}
+
+impl Interval {
+    fn contains(&self, n: u64) -> bool {
+        n >= self.lo && self.hi.is_none_or(|h| n <= h)
+    }
+
+    /// `true` iff `self ⊆ other`.
+    fn is_subset(&self, other: &Interval) -> bool {
+        self.lo >= other.lo
+            && match (self.hi, other.hi) {
+                (_, None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(b)) => a <= b,
+            }
+    }
+
+    /// Merge if overlapping or adjacent; `None` if disjoint with a gap.
+    fn merge(&self, other: &Interval) -> Option<Interval> {
+        let (a, b) = if self.lo <= other.lo {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let a_hi_plus = match a.hi {
+            None => return Some(Interval { lo: a.lo, hi: None }),
+            Some(h) => h.saturating_add(1),
+        };
+        if b.lo <= a_hi_plus {
+            Some(Interval {
+                lo: a.lo,
+                hi: match (a.hi, b.hi) {
+                    (None, _) | (_, None) => None,
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                },
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// A cardinality: a (possibly empty) set of naturals as normalised
+/// intervals.
+///
+/// The paper writes `1`, `0..1`, `1..*`, `0..*` etc.; [`fmt::Display`]
+/// uses the same notation.
+///
+/// ```
+/// use efes_csg::Cardinality;
+///
+/// // Lemma 1: composing a nullable step with a to-many step.
+/// let k = Cardinality::zero_or_one().compose(&Cardinality::one_or_more());
+/// assert_eq!(k.to_string(), "0..*");
+///
+/// // The conciseness order of §4.1 is the subset relation.
+/// assert!(Cardinality::one().is_strict_subset(&k));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cardinality {
+    intervals: Vec<Interval>,
+}
+
+impl Cardinality {
+    /// The empty cardinality `∅` (Lemma 3 produces it for `m = 0`).
+    pub fn empty() -> Self {
+        Cardinality { intervals: vec![] }
+    }
+
+    /// The singleton `{n}`.
+    pub fn exactly(n: u64) -> Self {
+        Cardinality {
+            intervals: vec![Interval {
+                lo: n,
+                hi: Some(n),
+            }],
+        }
+    }
+
+    /// The bounded range `lo..hi` (inclusive). Panics if `lo > hi`.
+    pub fn range(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "invalid cardinality range {lo}..{hi}");
+        Cardinality {
+            intervals: vec![Interval { lo, hi: Some(hi) }],
+        }
+    }
+
+    /// The unbounded range `lo..*`.
+    pub fn at_least(lo: u64) -> Self {
+        Cardinality {
+            intervals: vec![Interval { lo, hi: None }],
+        }
+    }
+
+    /// `1` — exactly one.
+    pub fn one() -> Self {
+        Self::exactly(1)
+    }
+
+    /// `0..1` — at most one.
+    pub fn zero_or_one() -> Self {
+        Self::range(0, 1)
+    }
+
+    /// `1..*` — at least one.
+    pub fn one_or_more() -> Self {
+        Self::at_least(1)
+    }
+
+    /// `0..*` — anything.
+    pub fn any() -> Self {
+        Self::at_least(0)
+    }
+
+    /// Build from explicit intervals (normalising).
+    pub fn from_intervals(intervals: impl IntoIterator<Item = (u64, Option<u64>)>) -> Self {
+        let mut c = Cardinality {
+            intervals: intervals
+                .into_iter()
+                .map(|(lo, hi)| Interval { lo, hi })
+                .collect(),
+        };
+        c.normalise();
+        c
+    }
+
+    fn normalise(&mut self) {
+        self.intervals
+            .retain(|iv| iv.hi.is_none_or(|h| h >= iv.lo));
+        self.intervals.sort_by_key(|iv| iv.lo);
+        let mut merged: Vec<Interval> = Vec::with_capacity(self.intervals.len());
+        for iv in self.intervals.drain(..) {
+            if let Some(last) = merged.last_mut() {
+                if let Some(m) = last.merge(&iv) {
+                    *last = m;
+                    continue;
+                }
+            }
+            merged.push(iv);
+        }
+        self.intervals = merged;
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// `true` iff `n ∈ κ`.
+    pub fn contains(&self, n: u64) -> bool {
+        self.intervals.iter().any(|iv| iv.contains(n))
+    }
+
+    /// Smallest element, or `None` for the empty set.
+    pub fn min(&self) -> Option<u64> {
+        self.intervals.first().map(|iv| iv.lo)
+    }
+
+    /// Largest element: `Some(Some(n))` for bounded, `Some(None)` for
+    /// unbounded, `None` for the empty set (the paper's `⊥`).
+    pub fn max(&self) -> Option<Option<u64>> {
+        self.intervals.last().map(|iv| iv.hi)
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &Cardinality) -> bool {
+        self.intervals
+            .iter()
+            .all(|iv| other.intervals.iter().any(|o| iv.is_subset(o)))
+    }
+
+    /// `true` iff `self ⊂ other` — the *strictly more specific than*
+    /// relation behind the paper's conciseness order.
+    pub fn is_strict_subset(&self, other: &Cardinality) -> bool {
+        self != other && self.is_subset(other)
+    }
+
+    /// Set union `κ₁ ∪ κ₂` (Lemma 2, disjoint-domain case).
+    pub fn union(&self, other: &Cardinality) -> Cardinality {
+        let mut c = Cardinality {
+            intervals: self
+                .intervals
+                .iter()
+                .chain(other.intervals.iter())
+                .copied()
+                .collect(),
+        };
+        c.normalise();
+        c
+    }
+
+    /// Set intersection (used for constraint tightening).
+    pub fn intersect(&self, other: &Cardinality) -> Cardinality {
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                let lo = a.lo.max(b.lo);
+                let hi = match (a.hi, b.hi) {
+                    (None, None) => None,
+                    (Some(x), None) => Some(x),
+                    (None, Some(y)) => Some(y),
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                };
+                if hi.is_none_or(|h| lo <= h) {
+                    out.push(Interval { lo, hi });
+                }
+            }
+        }
+        let mut c = Cardinality { intervals: out };
+        c.normalise();
+        c
+    }
+
+    /// **Lemma 1** — composition:
+    /// `κ(ρ₁ ∘ ρ₂) = (sgn a₁ · a₂)..(b₁ · b₂)` per interval pair, where
+    /// `sgn 0 = 0` and `sgn n = 1` for `n > 0`, and `b·* = *` except
+    /// `0·* = 0`.
+    pub fn compose(&self, other: &Cardinality) -> Cardinality {
+        if self.is_empty() || other.is_empty() {
+            return Cardinality::empty();
+        }
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                let lo = if a.lo == 0 { 0 } else { b.lo };
+                let hi = match (a.hi, b.hi) {
+                    (Some(0), _) => Some(0),
+                    (_, Some(0)) => Some(0),
+                    (None, _) | (_, None) => None,
+                    (Some(x), Some(y)) => Some(x.saturating_mul(y)),
+                };
+                // The product set of two intervals is itself an interval
+                // hull here — exact for the lemma's statement.
+                out.push(Interval { lo, hi });
+            }
+        }
+        let mut c = Cardinality { intervals: out };
+        c.normalise();
+        c
+    }
+
+    /// **Lemma 2**, equal-domains/disjoint-codomains case:
+    /// `κ₁ + κ₂ = {a + b : a ∈ κ₁ ∧ b ∈ κ₂}` (Minkowski sum).
+    pub fn plus(&self, other: &Cardinality) -> Cardinality {
+        if self.is_empty() || other.is_empty() {
+            return Cardinality::empty();
+        }
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                out.push(Interval {
+                    lo: a.lo + b.lo,
+                    hi: match (a.hi, b.hi) {
+                        (Some(x), Some(y)) => Some(x.saturating_add(y)),
+                        _ => None,
+                    },
+                });
+            }
+        }
+        let mut c = Cardinality { intervals: out };
+        c.normalise();
+        c
+    }
+
+    /// **Lemma 2**, overlapping-codomains case:
+    /// `κ₁ +̂ κ₂ = {c : a ∈ κ₁ ∧ b ∈ κ₂ ∧ max(a,b) ≤ c ≤ a + b}`.
+    pub fn hat_plus(&self, other: &Cardinality) -> Cardinality {
+        if self.is_empty() || other.is_empty() {
+            return Cardinality::empty();
+        }
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                out.push(Interval {
+                    lo: a.lo.max(b.lo),
+                    hi: match (a.hi, b.hi) {
+                        (Some(x), Some(y)) => Some(x.saturating_add(y)),
+                        _ => None,
+                    },
+                });
+            }
+        }
+        let mut c = Cardinality { intervals: out };
+        c.normalise();
+        c
+    }
+
+    /// **Lemma 3** — join cardinality: with
+    /// `m = min{max κ₁, max κ₂}` (where the max of an unbounded set is
+    /// `*`),
+    /// `κ(ρ₁ ⋈ ρ₂) = ∅ if m = 0 ∨ m = ⊥, else 1..m`.
+    pub fn join(&self, other: &Cardinality) -> Cardinality {
+        let (Some(a), Some(b)) = (self.max(), other.max()) else {
+            return Cardinality::empty(); // m = ⊥ (one side empty)
+        };
+        let m = match (a, b) {
+            (None, None) => None,
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (Some(x), Some(y)) => Some(x.min(y)),
+        };
+        match m {
+            Some(0) => Cardinality::empty(),
+            Some(n) => Cardinality::range(1, n),
+            None => Cardinality::at_least(1),
+        }
+    }
+
+    /// **Lemma 3** — inverse join cardinality:
+    /// `(min κ₁ · min κ₂)..(max κ₁ · max κ₂)`.
+    pub fn join_inverse(&self, other: &Cardinality) -> Cardinality {
+        let (Some(lo1), Some(lo2)) = (self.min(), other.min()) else {
+            return Cardinality::empty();
+        };
+        let (Some(hi1), Some(hi2)) = (self.max(), other.max()) else {
+            return Cardinality::empty();
+        };
+        let lo = lo1.saturating_mul(lo2);
+        let hi = match (hi1, hi2) {
+            (Some(0), _) | (_, Some(0)) => Some(0),
+            (Some(x), Some(y)) => Some(x.saturating_mul(y)),
+            _ => None,
+        };
+        Cardinality {
+            intervals: vec![Interval { lo, hi }],
+        }
+    }
+
+    /// **Lemma 4** — collateral: `κ(ρ₁ ∥ ρ₂) = 0..(max κ₁ · max κ₂)`.
+    pub fn collateral(&self, other: &Cardinality) -> Cardinality {
+        let (Some(a), Some(b)) = (self.max(), other.max()) else {
+            return Cardinality::empty();
+        };
+        let hi = match (a, b) {
+            (Some(0), _) | (_, Some(0)) => Some(0),
+            (Some(x), Some(y)) => Some(x.saturating_mul(y)),
+            _ => None,
+        };
+        Cardinality {
+            intervals: vec![Interval { lo: 0, hi }],
+        }
+    }
+
+    /// Interval hull `min..max` — used when a single summary interval is
+    /// needed (e.g. for the virtual-instance actual cardinalities).
+    pub fn hull(&self) -> Cardinality {
+        match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => Cardinality {
+                intervals: vec![Interval { lo, hi }],
+            },
+            _ => Cardinality::empty(),
+        }
+    }
+
+    /// Enumerate the elements up to `limit` — for brute-force checking in
+    /// tests only.
+    pub fn enumerate_up_to(&self, limit: u64) -> Vec<u64> {
+        (0..=limit).filter(|n| self.contains(*n)).collect()
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.is_empty() {
+            return write!(f, "∅");
+        }
+        let parts: Vec<String> = self
+            .intervals
+            .iter()
+            .map(|iv| match iv.hi {
+                Some(h) if h == iv.lo => format!("{}", iv.lo),
+                Some(h) => format!("{}..{}", iv.lo, h),
+                None => format!("{}..*", iv.lo),
+            })
+            .collect();
+        write!(f, "{}", parts.join("|"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(Cardinality::one().to_string(), "1");
+        assert_eq!(Cardinality::zero_or_one().to_string(), "0..1");
+        assert_eq!(Cardinality::one_or_more().to_string(), "1..*");
+        assert_eq!(Cardinality::any().to_string(), "0..*");
+        assert_eq!(Cardinality::empty().to_string(), "∅");
+    }
+
+    #[test]
+    fn normalisation_merges_adjacent_intervals() {
+        let c = Cardinality::from_intervals([(0, Some(1)), (2, Some(3))]);
+        assert_eq!(c, Cardinality::range(0, 3));
+        let gap = Cardinality::from_intervals([(0, Some(1)), (3, Some(4))]);
+        assert_eq!(gap.to_string(), "0..1|3..4");
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(Cardinality::one().is_subset(&Cardinality::zero_or_one()));
+        assert!(Cardinality::one().is_subset(&Cardinality::one_or_more()));
+        assert!(Cardinality::zero_or_one().is_subset(&Cardinality::any()));
+        assert!(!Cardinality::any().is_subset(&Cardinality::one_or_more()));
+        assert!(Cardinality::one().is_strict_subset(&Cardinality::any()));
+        assert!(!Cardinality::one().is_strict_subset(&Cardinality::one()));
+    }
+
+    #[test]
+    fn lemma1_composition_examples() {
+        // 1 ∘ 1 = 1
+        assert_eq!(
+            Cardinality::one().compose(&Cardinality::one()),
+            Cardinality::one()
+        );
+        // 0..1 ∘ 1..* = 0..*
+        assert_eq!(
+            Cardinality::zero_or_one().compose(&Cardinality::one_or_more()),
+            Cardinality::any()
+        );
+        // 1..* ∘ 1 = 1..*
+        assert_eq!(
+            Cardinality::one_or_more().compose(&Cardinality::one()),
+            Cardinality::one_or_more()
+        );
+        // 2..3 ∘ 4..5 = 4..15 (sgn 2 · 4 = 4, 3·5 = 15)
+        assert_eq!(
+            Cardinality::range(2, 3).compose(&Cardinality::range(4, 5)),
+            Cardinality::range(4, 15)
+        );
+        // 0 ∘ anything = 0
+        assert_eq!(
+            Cardinality::exactly(0).compose(&Cardinality::one_or_more()),
+            Cardinality::exactly(0)
+        );
+    }
+
+    #[test]
+    fn paper_path_inference_is_zero_to_many() {
+        // The example in §4.1: both candidate paths for records→artist
+        // infer 0..* — e.g. 1 ∘ 1..* ∘ 1 ∘ 0..* … Let's verify a chain
+        // albums→artist_list (1) ∘ id'→artist_list'' (0..*) ∘
+        // artist_credits→artist (1) gives 0..*.
+        let inferred = Cardinality::one()
+            .compose(&Cardinality::any())
+            .compose(&Cardinality::one());
+        assert_eq!(inferred, Cardinality::any());
+    }
+
+    #[test]
+    fn lemma2_union_variants() {
+        let a = Cardinality::exactly(1);
+        let b = Cardinality::exactly(2);
+        // Disjoint domains: set union.
+        assert_eq!(a.union(&b).to_string(), "1..2");
+        // Equal domains, disjoint codomains: Minkowski sum.
+        assert_eq!(a.plus(&b), Cardinality::exactly(3));
+        // Overlapping codomains: max(a,b)..a+b.
+        assert_eq!(a.hat_plus(&b), Cardinality::range(2, 3));
+    }
+
+    #[test]
+    fn lemma2_hat_plus_brute_force() {
+        let k1 = Cardinality::range(1, 3);
+        let k2 = Cardinality::range(2, 4);
+        let result = k1.hat_plus(&k2);
+        // {c : a∈1..3, b∈2..4, max(a,b) ≤ c ≤ a+b} = 2..7
+        assert_eq!(result, Cardinality::range(2, 7));
+    }
+
+    #[test]
+    fn lemma3_join() {
+        let a = Cardinality::range(0, 3);
+        let b = Cardinality::at_least(1);
+        assert_eq!(a.join(&b), Cardinality::range(1, 3));
+        // m = 0 → empty
+        assert_eq!(
+            Cardinality::exactly(0).join(&b),
+            Cardinality::empty()
+        );
+        // empty side → ⊥ → empty
+        assert_eq!(Cardinality::empty().join(&b), Cardinality::empty());
+        // both unbounded → 1..*
+        assert_eq!(
+            Cardinality::any().join(&Cardinality::any()),
+            Cardinality::one_or_more()
+        );
+    }
+
+    #[test]
+    fn lemma3_join_inverse() {
+        let a = Cardinality::range(1, 2);
+        let b = Cardinality::range(3, 4);
+        assert_eq!(a.join_inverse(&b), Cardinality::range(3, 8));
+        let u = Cardinality::at_least(2);
+        assert_eq!(a.join_inverse(&u), Cardinality::at_least(2));
+    }
+
+    #[test]
+    fn lemma4_collateral() {
+        let a = Cardinality::range(1, 2);
+        let b = Cardinality::range(1, 3);
+        assert_eq!(a.collateral(&b), Cardinality::range(0, 6));
+        assert_eq!(
+            a.collateral(&Cardinality::any()),
+            Cardinality::any()
+        );
+    }
+
+    #[test]
+    fn intersect_examples() {
+        let a = Cardinality::range(0, 5);
+        let b = Cardinality::at_least(3);
+        assert_eq!(a.intersect(&b), Cardinality::range(3, 5));
+        assert_eq!(
+            Cardinality::one().intersect(&Cardinality::exactly(2)),
+            Cardinality::empty()
+        );
+    }
+
+    #[test]
+    fn min_max_and_bottom() {
+        assert_eq!(Cardinality::empty().max(), None);
+        assert_eq!(Cardinality::any().max(), Some(None));
+        assert_eq!(Cardinality::range(2, 7).max(), Some(Some(7)));
+        assert_eq!(Cardinality::range(2, 7).min(), Some(2));
+    }
+
+    #[test]
+    fn hull_summarises() {
+        let c = Cardinality::from_intervals([(0, Some(1)), (5, Some(9))]);
+        assert_eq!(c.hull(), Cardinality::range(0, 9));
+    }
+}

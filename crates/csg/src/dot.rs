@@ -1,0 +1,183 @@
+//! Graphviz DOT rendering of CSGs — regenerates Figure 4.
+
+use crate::graph::{Csg, NodeKind, RelKind};
+
+/// Render a CSG as a Graphviz `digraph`.
+///
+/// Table nodes are rectangles, attribute nodes rounded (as in Figure 4);
+/// equality relationships are dashed. Each edge is labelled
+/// `fwd / bwd` with the prescribed cardinalities of both readings.
+pub fn to_dot(g: &Csg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", g.name));
+    out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+    for (i, n) in g.nodes().iter().enumerate() {
+        let shape = match n.kind {
+            NodeKind::Table => "box",
+            NodeKind::Attribute => "ellipse",
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={}];\n",
+            i, n.name, shape
+        ));
+    }
+    for rel in g.relationships() {
+        let style = match rel.kind {
+            RelKind::Attribute => "solid",
+            RelKind::Equality => "dashed",
+        };
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{} / {}\", style={}, dir=none];\n",
+            rel.from.0, rel.to.0, rel.card_fwd, rel.card_bwd, style
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::Cardinality;
+    use crate::graph::{Csg, NodeKind, RelKind};
+
+    #[test]
+    fn renders_shapes_and_styles() {
+        let mut g = Csg::new("t");
+        let a = g.add_node("tracks", NodeKind::Table);
+        let b = g.add_node("tracks.record", NodeKind::Attribute);
+        g.add_relationship(
+            a,
+            b,
+            RelKind::Attribute,
+            Cardinality::one(),
+            Cardinality::one_or_more(),
+        );
+        let dot = to_dot(&g);
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("label=\"1 / 1..*\""));
+        assert!(dot.contains("digraph \"t\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn equality_edges_are_dashed() {
+        let mut g = Csg::new("t");
+        let a = g.add_node("x", NodeKind::Attribute);
+        let b = g.add_node("y", NodeKind::Attribute);
+        g.add_relationship(
+            a,
+            b,
+            RelKind::Equality,
+            Cardinality::one(),
+            Cardinality::zero_or_one(),
+        );
+        assert!(to_dot(&g).contains("style=dashed"));
+    }
+}
+
+/// Render a virtual CSG state (Figure 5 style): edges whose actual
+/// cardinality violates the prescription are highlighted red and
+/// labelled `actual ⊄ prescribed`; satisfied-but-annotated edges are
+/// labelled `actual ⊆ prescribed`.
+pub fn virtual_state_to_dot(v: &crate::virtual_instance::VirtualCsg<'_>) -> String {
+    use crate::graph::RelRef;
+    let g = v.graph();
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}-state\" {{\n", g.name));
+    out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+    for (i, n) in g.nodes().iter().enumerate() {
+        let shape = match n.kind {
+            NodeKind::Table => "box",
+            NodeKind::Attribute => "ellipse",
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={}];\n",
+            i, n.name, shape
+        ));
+    }
+    for (i, rel) in g.relationships().iter().enumerate() {
+        let fwd = RelRef::fwd(crate::graph::RelId(i));
+        let bwd = RelRef::bwd(crate::graph::RelId(i));
+        let label_of = |r: RelRef| {
+            let actual = v.actual_of(r);
+            let prescribed = g.card_of(r);
+            if v.is_satisfied(r) {
+                format!("{actual} ⊆ {prescribed}")
+            } else {
+                format!("{actual} ⊄ {prescribed}")
+            }
+        };
+        let violated = !v.is_satisfied(fwd) || !v.is_satisfied(bwd);
+        let style = match rel.kind {
+            RelKind::Attribute => "solid",
+            RelKind::Equality => "dashed",
+        };
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{} / {}\", style={}, dir=none{}];\n",
+            rel.from.0,
+            rel.to.0,
+            label_of(fwd),
+            label_of(bwd),
+            style,
+            if violated { ", color=red, fontcolor=red" } else { "" },
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod virtual_dot_tests {
+    use super::*;
+    use crate::cardinality::Cardinality;
+    use crate::graph::{NodeKind, RelId, RelKind, RelRef};
+    use crate::virtual_instance::{AffectedCounts, VirtualCsg};
+
+    #[test]
+    fn violated_edges_are_red_with_subset_labels() {
+        let mut g = Csg::new("t");
+        let records = g.add_node("records", NodeKind::Table);
+        let artist = g.add_node("artist", NodeKind::Attribute);
+        let r = g.add_relationship(
+            records,
+            artist,
+            RelKind::Attribute,
+            Cardinality::one(),
+            Cardinality::one_or_more(),
+        );
+        let v = VirtualCsg::with_actuals(
+            &g,
+            vec![(r, Cardinality::range(1, 4), Cardinality::one_or_more())],
+            vec![(
+                RelRef::fwd(r),
+                AffectedCounts {
+                    too_few: 0,
+                    too_many: 503,
+                },
+            )],
+        );
+        let dot = virtual_state_to_dot(&v);
+        assert!(dot.contains("color=red"), "{dot}");
+        assert!(dot.contains("1..4 ⊄ 1"));
+        assert!(dot.contains("1..* ⊆ 1..*"));
+        let _ = RelId(0);
+    }
+
+    #[test]
+    fn clean_states_have_no_red_edges() {
+        let mut g = Csg::new("t");
+        let a = g.add_node("a", NodeKind::Table);
+        let b = g.add_node("b", NodeKind::Attribute);
+        g.add_relationship(
+            a,
+            b,
+            RelKind::Attribute,
+            Cardinality::one(),
+            Cardinality::one_or_more(),
+        );
+        let v = VirtualCsg::with_actuals(&g, vec![], vec![]);
+        assert!(!virtual_state_to_dot(&v).contains("color=red"));
+    }
+}

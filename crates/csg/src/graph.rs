@@ -1,0 +1,308 @@
+//! CSG graphs: nodes, relationships, prescribed cardinalities.
+
+use crate::cardinality::Cardinality;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within its [`Csg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Index of a relationship within its [`Csg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelId(pub usize);
+
+/// What a node represents.
+///
+/// Definition 1 only requires a set of nodes; the rectangle/round-shape
+/// distinction of Figure 4 (table vs attribute nodes) is what conversion
+/// from the relational model produces and what the repair planner keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Holds abstract tuple identities (rectangles in Figure 4).
+    Table,
+    /// Holds the distinct values of an attribute (round shapes).
+    Attribute,
+}
+
+/// A CSG node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Display name, e.g. `tracks` or `duration`.
+    pub name: String,
+    /// Table or attribute node.
+    pub kind: NodeKind,
+}
+
+/// What a relationship represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelKind {
+    /// Tuple → attribute-value relationship (solid edges in Figure 4).
+    Attribute,
+    /// *"Foreign key relationships are represented by special equality
+    /// relationships (dashed line) that link all equal elements of two
+    /// nodes."*
+    Equality,
+}
+
+/// A relationship `ρ ∈ P ⊂ N²` with prescribed cardinalities for **both**
+/// reading directions, as annotated on both edge ends in Figure 4:
+/// `card_fwd = κ(ρ_{from→to})`, `card_bwd = κ(ρ_{to→from})`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// Start node.
+    pub from: NodeId,
+    /// End node.
+    pub to: NodeId,
+    /// Attribute or equality relationship.
+    pub kind: RelKind,
+    /// Prescribed cardinality reading from → to.
+    pub card_fwd: Cardinality,
+    /// Prescribed cardinality reading to → from.
+    pub card_bwd: Cardinality,
+}
+
+/// Reading direction of a relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// from → to.
+    Forward,
+    /// to → from.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// A relationship read in a particular direction — the atomic unit of the
+/// relationship algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelRef {
+    /// The underlying relationship.
+    pub rel: RelId,
+    /// Reading direction.
+    pub dir: Direction,
+}
+
+impl RelRef {
+    /// Forward reading.
+    pub fn fwd(rel: RelId) -> Self {
+        RelRef {
+            rel,
+            dir: Direction::Forward,
+        }
+    }
+
+    /// Backward reading.
+    pub fn bwd(rel: RelId) -> Self {
+        RelRef {
+            rel,
+            dir: Direction::Backward,
+        }
+    }
+
+    /// The same relationship read the other way.
+    pub fn reverse(self) -> Self {
+        RelRef {
+            rel: self.rel,
+            dir: self.dir.reverse(),
+        }
+    }
+}
+
+/// A cardinality-constrained schema graph `Γ = (N, P, κ)` (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csg {
+    /// Graph name (usually the database name).
+    pub name: String,
+    nodes: Vec<Node>,
+    rels: Vec<Relationship>,
+}
+
+impl Csg {
+    /// An empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Csg {
+            name: name.into(),
+            nodes: Vec::new(),
+            rels: Vec::new(),
+        }
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a relationship with both prescribed cardinalities.
+    pub fn add_relationship(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: RelKind,
+        card_fwd: Cardinality,
+        card_bwd: Cardinality,
+    ) -> RelId {
+        self.rels.push(Relationship {
+            from,
+            to,
+            kind,
+            card_fwd,
+            card_bwd,
+        });
+        RelId(self.rels.len() - 1)
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All relationships.
+    pub fn relationships(&self) -> &[Relationship] {
+        &self.rels
+    }
+
+    /// Access one node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Access one relationship.
+    pub fn relationship(&self, id: RelId) -> &Relationship {
+        &self.rels[id.0]
+    }
+
+    /// Resolve a node by name (names are unique per conversion; on
+    /// collision the first match wins).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// The start node of a directed reading.
+    pub fn start_of(&self, r: RelRef) -> NodeId {
+        let rel = self.relationship(r.rel);
+        match r.dir {
+            Direction::Forward => rel.from,
+            Direction::Backward => rel.to,
+        }
+    }
+
+    /// The end node of a directed reading.
+    pub fn end_of(&self, r: RelRef) -> NodeId {
+        let rel = self.relationship(r.rel);
+        match r.dir {
+            Direction::Forward => rel.to,
+            Direction::Backward => rel.from,
+        }
+    }
+
+    /// The prescribed cardinality of a directed reading.
+    pub fn card_of(&self, r: RelRef) -> &Cardinality {
+        let rel = self.relationship(r.rel);
+        match r.dir {
+            Direction::Forward => &rel.card_fwd,
+            Direction::Backward => &rel.card_bwd,
+        }
+    }
+
+    /// All directed readings leaving `node` (both directions of every
+    /// incident relationship), in stable order.
+    pub fn readings_from(&self, node: NodeId) -> Vec<RelRef> {
+        let mut out = Vec::new();
+        for (i, rel) in self.rels.iter().enumerate() {
+            if rel.from == node {
+                out.push(RelRef::fwd(RelId(i)));
+            }
+            if rel.to == node {
+                out.push(RelRef::bwd(RelId(i)));
+            }
+        }
+        out
+    }
+
+    /// Human-readable label of a directed reading, e.g. `tracks→record`.
+    pub fn reading_label(&self, r: RelRef) -> String {
+        format!(
+            "{}→{}",
+            self.node(self.start_of(r)).name,
+            self.node(self.end_of(r)).name
+        )
+    }
+}
+
+impl fmt::Display for Csg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CSG `{}`: {} nodes, {} relationships", self.name, self.nodes.len(), self.rels.len())?;
+        for (i, rel) in self.rels.iter().enumerate() {
+            writeln!(
+                f,
+                "  ρ{}: {} —[{} / {}]— {}{}",
+                i,
+                self.node(rel.from).name,
+                rel.card_fwd,
+                rel.card_bwd,
+                self.node(rel.to).name,
+                if rel.kind == RelKind::Equality { " (=)" } else { "" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Csg, NodeId, NodeId, RelId) {
+        let mut g = Csg::new("g");
+        let t = g.add_node("tracks", NodeKind::Table);
+        let a = g.add_node("record", NodeKind::Attribute);
+        let r = g.add_relationship(
+            t,
+            a,
+            RelKind::Attribute,
+            Cardinality::one(),
+            Cardinality::one_or_more(),
+        );
+        (g, t, a, r)
+    }
+
+    #[test]
+    fn directed_readings() {
+        let (g, t, a, r) = tiny();
+        assert_eq!(g.start_of(RelRef::fwd(r)), t);
+        assert_eq!(g.end_of(RelRef::fwd(r)), a);
+        assert_eq!(g.start_of(RelRef::bwd(r)), a);
+        assert_eq!(g.card_of(RelRef::fwd(r)), &Cardinality::one());
+        assert_eq!(g.card_of(RelRef::bwd(r)), &Cardinality::one_or_more());
+        assert_eq!(RelRef::fwd(r).reverse(), RelRef::bwd(r));
+    }
+
+    #[test]
+    fn readings_from_covers_both_directions() {
+        let (g, t, a, _) = tiny();
+        assert_eq!(g.readings_from(t).len(), 1);
+        assert_eq!(g.readings_from(a).len(), 1);
+        assert_eq!(g.reading_label(g.readings_from(t)[0]), "tracks→record");
+        assert_eq!(g.reading_label(g.readings_from(a)[0]), "record→tracks");
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let (g, t, _, _) = tiny();
+        assert_eq!(g.node_by_name("tracks"), Some(t));
+        assert_eq!(g.node_by_name("nope"), None);
+    }
+}

@@ -1,0 +1,325 @@
+//! CSG instances `I(Γ) = (I_N, I_P)` (Definition 2) and expression
+//! evaluation over them.
+
+use crate::expr::RelExpr;
+use crate::graph::{Csg, Direction, NodeId, RelId, RelRef};
+use efes_relational::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// An element of a node's extension: an abstract tuple identity for table
+/// nodes, a concrete value for attribute nodes (paper Example 4.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Element {
+    /// Abstract identity `id_t` of a tuple.
+    Tuple(usize),
+    /// A concrete attribute value.
+    Val(Value),
+}
+
+/// Key of an element (or, for join/collateral results, an element tuple)
+/// inside the evaluation machinery: per-node element indices.
+pub type Key = Vec<u32>;
+
+/// A set of links, each connecting a (possibly compound) domain key to a
+/// (possibly compound) codomain key. `BTreeSet` keeps evaluation
+/// deterministic.
+pub type LinkSet = BTreeSet<(Key, Key)>;
+
+/// A CSG instance: element sets `I_N` per node and link sets `I_P` per
+/// relationship.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsgInstance {
+    /// `I_N`: elements per node, indexed by `NodeId`.
+    node_elements: Vec<Vec<Element>>,
+    /// Reverse lookup element → index, per node.
+    #[serde(skip)]
+    elem_index: Vec<HashMap<Element, u32>>,
+    /// `I_P`: links per relationship as (from-element-index,
+    /// to-element-index) pairs, indexed by `RelId`.
+    links: Vec<Vec<(u32, u32)>>,
+}
+
+impl CsgInstance {
+    /// An empty instance shaped for `g`.
+    pub fn empty(g: &Csg) -> Self {
+        CsgInstance {
+            node_elements: vec![Vec::new(); g.nodes().len()],
+            elem_index: vec![HashMap::new(); g.nodes().len()],
+            links: vec![Vec::new(); g.relationships().len()],
+        }
+    }
+
+    /// Add an element to a node (idempotent); returns its index.
+    pub fn add_element(&mut self, node: NodeId, elem: Element) -> u32 {
+        if let Some(idx) = self.elem_index[node.0].get(&elem) {
+            return *idx;
+        }
+        let idx = self.node_elements[node.0].len() as u32;
+        self.node_elements[node.0].push(elem.clone());
+        self.elem_index[node.0].insert(elem, idx);
+        idx
+    }
+
+    /// Look up an element's index without inserting.
+    pub fn element_index(&self, node: NodeId, elem: &Element) -> Option<u32> {
+        self.elem_index[node.0].get(elem).copied()
+    }
+
+    /// Add a link to a relationship, by element indices.
+    pub fn add_link(&mut self, rel: RelId, from_idx: u32, to_idx: u32) {
+        self.links[rel.0].push((from_idx, to_idx));
+    }
+
+    /// The elements of one node.
+    pub fn elements(&self, node: NodeId) -> &[Element] {
+        &self.node_elements[node.0]
+    }
+
+    /// Number of elements of one node.
+    pub fn element_count(&self, node: NodeId) -> usize {
+        self.node_elements[node.0].len()
+    }
+
+    /// The raw links of one relationship.
+    pub fn links_of(&self, rel: RelId) -> &[(u32, u32)] {
+        &self.links[rel.0]
+    }
+
+    /// The links of a directed reading as a [`LinkSet`] of singleton keys.
+    pub fn reading_links(&self, r: RelRef) -> LinkSet {
+        self.links[r.rel.0]
+            .iter()
+            .map(|(f, t)| match r.dir {
+                Direction::Forward => (vec![*f], vec![*t]),
+                Direction::Backward => (vec![*t], vec![*f]),
+            })
+            .collect()
+    }
+
+    /// Evaluate a relationship expression to its link set, per the
+    /// operator definitions of §4.1:
+    ///
+    /// * `I_P(ρ₁ ∘ ρ₂) = I_P(ρ₁) ∘ I_P(ρ₂)` (relation composition),
+    /// * `I_P(ρ₁ ∪ ρ₂) = I_P(ρ₁) ∪ I_P(ρ₂)`,
+    /// * `I_P(ρ₁ ⋈ ρ₂) = {((a,b),c) : (a,c) ∈ I_P(ρ₁) ∧ (b,c) ∈ I_P(ρ₂)}`,
+    /// * `I_P(ρ₁ ∥ ρ₂) = {((a,c),(b,d)) : (a,b) ∈ I_P(ρ₁) ∧ (c,d) ∈
+    ///   I_P(ρ₂)}`.
+    pub fn eval(&self, expr: &RelExpr) -> LinkSet {
+        match expr {
+            RelExpr::Atomic(r) => self.reading_links(*r),
+            RelExpr::Compose(a, b) => {
+                let la = self.eval(a);
+                let lb = self.eval(b);
+                let mut by_domain: HashMap<&Key, Vec<&Key>> = HashMap::new();
+                for (f, t) in &lb {
+                    by_domain.entry(f).or_default().push(t);
+                }
+                let mut out = LinkSet::new();
+                for (f, mid) in &la {
+                    if let Some(tails) = by_domain.get(mid) {
+                        for t in tails {
+                            out.insert((f.clone(), (*t).clone()));
+                        }
+                    }
+                }
+                out
+            }
+            RelExpr::Union(a, b, _) => {
+                let mut out = self.eval(a);
+                out.extend(self.eval(b));
+                out
+            }
+            RelExpr::Join(a, b) => {
+                let la = self.eval(a);
+                let lb = self.eval(b);
+                let mut by_codomain: HashMap<&Key, Vec<&Key>> = HashMap::new();
+                for (f, t) in &lb {
+                    by_codomain.entry(t).or_default().push(f);
+                }
+                let mut out = LinkSet::new();
+                for (a_key, c_key) in &la {
+                    if let Some(bs) = by_codomain.get(c_key) {
+                        for b_key in bs {
+                            let mut compound = a_key.clone();
+                            compound.extend_from_slice(b_key);
+                            out.insert((compound, c_key.clone()));
+                        }
+                    }
+                }
+                out
+            }
+            RelExpr::Collateral(a, b) => {
+                let la = self.eval(a);
+                let lb = self.eval(b);
+                let mut out = LinkSet::new();
+                for (a_key, b_key) in &la {
+                    for (c_key, d_key) in &lb {
+                        let mut dom = a_key.clone();
+                        dom.extend_from_slice(c_key);
+                        let mut cod = b_key.clone();
+                        cod.extend_from_slice(d_key);
+                        out.insert((dom, cod));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Per-domain-element link counts for an expression whose domain is
+    /// the atomic node `domain`: returns, for **every** element of the
+    /// domain node, how many links leave it (elements without links count
+    /// 0 — these are exactly the "detached" elements).
+    pub fn link_counts(&self, expr: &RelExpr, domain: NodeId) -> Vec<u64> {
+        let links = self.eval(expr);
+        let mut counts = vec![0u64; self.element_count(domain)];
+        for (f, _) in &links {
+            if f.len() == 1 {
+                if let Some(c) = counts.get_mut(f[0] as usize) {
+                    *c += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Verify the instance against the graph's prescribed cardinalities:
+    /// returns, per directed reading, the number of elements whose link
+    /// count falls outside the prescription. Used to test conversion
+    /// soundness and by the conflict detector.
+    pub fn violations_of(&self, g: &Csg, r: RelRef) -> u64 {
+        let domain = g.start_of(r);
+        let prescribed = g.card_of(r);
+        self.link_counts(&RelExpr::Atomic(r), domain)
+            .iter()
+            .filter(|c| !prescribed.contains(**c))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::Cardinality;
+    use crate::graph::{NodeKind, RelKind};
+
+    /// tracks(idt) —record→ {1}; two tracks share record 1, one track has
+    /// no record (violating κ=1).
+    fn sample() -> (Csg, CsgInstance, RelId, NodeId, NodeId) {
+        let mut g = Csg::new("t");
+        let tracks = g.add_node("tracks", NodeKind::Table);
+        let record = g.add_node("record", NodeKind::Attribute);
+        let r = g.add_relationship(
+            tracks,
+            record,
+            RelKind::Attribute,
+            Cardinality::one(),
+            Cardinality::one_or_more(),
+        );
+        let mut inst = CsgInstance::empty(&g);
+        let t0 = inst.add_element(tracks, Element::Tuple(0));
+        let t1 = inst.add_element(tracks, Element::Tuple(1));
+        let _t2 = inst.add_element(tracks, Element::Tuple(2));
+        let v1 = inst.add_element(record, Element::Val(Value::Int(1)));
+        inst.add_link(r, t0, v1);
+        inst.add_link(r, t1, v1);
+        (g, inst, r, tracks, record)
+    }
+
+    #[test]
+    fn paper_example_4_1_link_representation() {
+        let (_, inst, r, tracks, record) = sample();
+        // (id_t, 1) ∈ I_P(ρ_tracks→record)
+        assert_eq!(inst.element_count(tracks), 3);
+        assert_eq!(inst.element_count(record), 1);
+        assert_eq!(inst.links_of(r).len(), 2);
+    }
+
+    #[test]
+    fn reading_links_reverse() {
+        let (_, inst, r, _, _) = sample();
+        let fwd = inst.reading_links(RelRef::fwd(r));
+        let bwd = inst.reading_links(RelRef::bwd(r));
+        assert_eq!(fwd.len(), 2);
+        assert!(bwd.contains(&(vec![0], vec![0])));
+        assert!(bwd.contains(&(vec![0], vec![1])));
+    }
+
+    #[test]
+    fn link_counts_include_detached_elements() {
+        let (_, inst, r, tracks, _) = sample();
+        let counts = inst.link_counts(&RelExpr::Atomic(RelRef::fwd(r)), tracks);
+        assert_eq!(counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn violations_counted_against_prescription() {
+        let (g, inst, r, _, _) = sample();
+        // tracks→record prescribed 1: tuple 2 has none → 1 violation.
+        assert_eq!(inst.violations_of(&g, RelRef::fwd(r)), 1);
+        // record→tracks prescribed 1..*: value 1 has two → fine.
+        assert_eq!(inst.violations_of(&g, RelRef::bwd(r)), 0);
+    }
+
+    #[test]
+    fn composition_evaluates_relationally() {
+        // a —ρ1→ b —ρ2→ c with two hops.
+        let mut g = Csg::new("c");
+        let a = g.add_node("a", NodeKind::Table);
+        let b = g.add_node("b", NodeKind::Attribute);
+        let c = g.add_node("c", NodeKind::Attribute);
+        let r1 = g.add_relationship(a, b, RelKind::Attribute, Cardinality::any(), Cardinality::any());
+        let r2 = g.add_relationship(b, c, RelKind::Equality, Cardinality::any(), Cardinality::any());
+        let mut inst = CsgInstance::empty(&g);
+        let a0 = inst.add_element(a, Element::Tuple(0));
+        let b0 = inst.add_element(b, Element::Val(Value::Int(7)));
+        let c0 = inst.add_element(c, Element::Val(Value::Int(7)));
+        let c1 = inst.add_element(c, Element::Val(Value::Int(8)));
+        inst.add_link(r1, a0, b0);
+        inst.add_link(r2, b0, c0);
+        inst.add_link(r2, b0, c1);
+        let expr = RelExpr::path(&[RelRef::fwd(r1), RelRef::fwd(r2)]);
+        let links = inst.eval(&expr);
+        assert_eq!(links.len(), 2);
+        assert!(links.contains(&(vec![0], vec![0])));
+        assert!(links.contains(&(vec![0], vec![1])));
+    }
+
+    #[test]
+    fn join_produces_compound_domains() {
+        let (g, inst, r, _, record) = sample();
+        let _ = g;
+        // Join tracks→record with itself: pairs of tuples sharing a record.
+        let expr = RelExpr::Join(
+            Box::new(RelExpr::Atomic(RelRef::fwd(r))),
+            Box::new(RelExpr::Atomic(RelRef::fwd(r))),
+        );
+        let links = inst.eval(&expr);
+        // (t0,t0),(t0,t1),(t1,t0),(t1,t1) all share record value 0.
+        assert_eq!(links.len(), 4);
+        assert!(links.iter().all(|(d, c)| d.len() == 2 && c.len() == 1));
+        let _ = record;
+    }
+
+    #[test]
+    fn collateral_crosses_links() {
+        let (_, inst, r, _, _) = sample();
+        let expr = RelExpr::Collateral(
+            Box::new(RelExpr::Atomic(RelRef::fwd(r))),
+            Box::new(RelExpr::Atomic(RelRef::fwd(r))),
+        );
+        let links = inst.eval(&expr);
+        assert_eq!(links.len(), 4); // 2 links × 2 links
+    }
+
+    #[test]
+    fn add_element_is_idempotent() {
+        let (g, mut inst, _, tracks, _) = sample();
+        let _ = g;
+        let before = inst.element_count(tracks);
+        let idx = inst.add_element(tracks, Element::Tuple(0));
+        assert_eq!(idx, 0);
+        assert_eq!(inst.element_count(tracks), before);
+    }
+}

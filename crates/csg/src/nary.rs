@@ -1,0 +1,358 @@
+//! N-ary constraints through the relationship algebra.
+//!
+//! Paper §4.1: *"prescribing cardinalities not only to atomic but also to
+//! complex relationships further allows to express n-ary versions of the
+//! above constraints and functional dependencies"*; *"The join can be
+//! combined with other operators to express n-ary uniqueness
+//! constraints"*; *"The collateral can be applied to express n-ary
+//! foreign keys."*
+//!
+//! This module puts the `⋈` and `∥` operators to that use: composite
+//! uniqueness and composite foreign keys are expressed as relationship
+//! expressions over the converted CSG and checked by evaluating those
+//! expressions on the instance — no shortcut through the relational
+//! layer.
+
+use crate::convert::CsgConversion;
+use crate::expr::RelExpr;
+use crate::graph::RelRef;
+use crate::instance::LinkSet;
+use efes_relational::schema::{AttrId, TableId};
+use std::collections::{HashMap, HashSet};
+
+/// The join expression for an n-ary uniqueness constraint over `attrs`
+/// of `table`: `ρ_{a₁→T} ⋈ ρ_{a₂→T} ⋈ …` (value→tuple readings joined on
+/// the common tuple codomain). The constraint holds iff every compound
+/// value combination links at most one tuple.
+pub fn composite_unique_expr(conv: &CsgConversion, table: TableId, attrs: &[AttrId]) -> RelExpr {
+    assert!(attrs.len() >= 2, "n-ary uniqueness needs ≥ 2 attributes");
+    let mut iter = attrs.iter();
+    let first = RelExpr::Atomic(RelRef::bwd(conv.attr_rel(table, *iter.next().unwrap())));
+    iter.fold(first, |acc, a| {
+        RelExpr::Join(
+            Box::new(acc),
+            Box::new(RelExpr::Atomic(RelRef::bwd(conv.attr_rel(table, *a)))),
+        )
+    })
+}
+
+/// Count the violations of an n-ary uniqueness constraint: compound
+/// value combinations shared by two or more tuples. Each tuple beyond
+/// the first per combination counts as one violation (matching the
+/// relational validator's duplicate counting).
+pub fn composite_unique_violations(
+    conv: &CsgConversion,
+    table: TableId,
+    attrs: &[AttrId],
+) -> u64 {
+    let expr = composite_unique_expr(conv, table, attrs);
+    let links = conv.instance.eval(&expr);
+    // links: ((v₁, …, vₙ), tuple). The join already restricts to
+    // combinations co-occurring in a tuple; group by compound domain.
+    let mut per_combo: HashMap<&[u32], HashSet<&[u32]>> = HashMap::new();
+    for (dom, cod) in &links {
+        per_combo
+            .entry(dom.as_slice())
+            .or_default()
+            .insert(cod.as_slice());
+    }
+    per_combo
+        .values()
+        .map(|tuples| (tuples.len() as u64).saturating_sub(1))
+        .sum()
+}
+
+/// Keep only the "diagonal" links of an expression built from two paths
+/// leaving the same node: compound domains `[x, y]` with `x == y`
+/// collapse to `[x]`. This is how a collateral of two readings of one
+/// tuple is restricted to that tuple's own value pair.
+fn diagonal(links: &LinkSet) -> LinkSet {
+    links
+        .iter()
+        .filter(|(dom, _)| dom.len() == 2 && dom[0] == dom[1])
+        .map(|(dom, cod)| (vec![dom[0]], cod.clone()))
+        .collect()
+}
+
+/// Count the violations of a composite (two-column) foreign key using
+/// the collateral operator: the referencing tuples' value *pairs* —
+/// `(ρ_{RT→fa} ∘ eq_a) ∥ (ρ_{RT→fb} ∘ eq_b)` restricted to the diagonal
+/// — must each co-occur in one referenced tuple, computed as the
+/// diagonal of `ρ_{T→pa} ∥ ρ_{T→pb}`.
+///
+/// Returns the number of referencing tuples whose pair has no referenced
+/// counterpart (including tuples whose components dangle individually).
+pub fn composite_fk_violations(
+    conv: &CsgConversion,
+    from_table: TableId,
+    from_attrs: (AttrId, AttrId),
+    eq_rels: (crate::graph::RelId, crate::graph::RelId),
+    to_table: TableId,
+    to_attrs: (AttrId, AttrId),
+) -> u64 {
+    // Referencing side: tuple → referenced key-component values.
+    let via = |attr: AttrId, eq: crate::graph::RelId| {
+        RelExpr::Compose(
+            Box::new(RelExpr::Atomic(RelRef::fwd(conv.attr_rel(from_table, attr)))),
+            Box::new(RelExpr::Atomic(RelRef::fwd(eq))),
+        )
+    };
+    let referencing = RelExpr::Collateral(
+        Box::new(via(from_attrs.0, eq_rels.0)),
+        Box::new(via(from_attrs.1, eq_rels.1)),
+    );
+    let referencing_pairs = diagonal(&conv.instance.eval(&referencing));
+
+    // Referenced side: tuple → its own key pair.
+    let referenced = RelExpr::Collateral(
+        Box::new(RelExpr::Atomic(RelRef::fwd(conv.attr_rel(to_table, to_attrs.0)))),
+        Box::new(RelExpr::Atomic(RelRef::fwd(conv.attr_rel(to_table, to_attrs.1)))),
+    );
+    let referenced_pairs: HashSet<Vec<u32>> = diagonal(&conv.instance.eval(&referenced))
+        .into_iter()
+        .map(|(_, cod)| cod)
+        .collect();
+
+    // A referencing tuple with a resolvable pair not in the referenced
+    // set violates; tuples whose components dangle never reach
+    // `referencing_pairs` (the equality link is missing), so count them
+    // from the total of tuples carrying both components.
+    let resolvable: HashMap<Vec<u32>, &Vec<u32>> = referencing_pairs
+        .iter()
+        .map(|(dom, cod)| (dom.clone(), cod))
+        .collect();
+    let mut violations = 0u64;
+    // Tuples with both fk components present:
+    let fa_links: HashMap<u32, ()> = conv
+        .instance
+        .links_of(conv.attr_rel(from_table, from_attrs.0))
+        .iter()
+        .map(|(t, _)| (*t, ()))
+        .collect();
+    let fb_links: HashSet<u32> = conv
+        .instance
+        .links_of(conv.attr_rel(from_table, from_attrs.1))
+        .iter()
+        .map(|(t, _)| *t)
+        .collect();
+    for t in fa_links.keys() {
+        if !fb_links.contains(t) {
+            continue; // NULL component: SQL MATCH SIMPLE passes
+        }
+        match resolvable.get(&vec![*t]) {
+            Some(pair) if referenced_pairs.contains(*pair) => {}
+            _ => violations += 1,
+        }
+    }
+    violations
+}
+
+/// Count the violations of a functional dependency `lhs → rhs` within
+/// one table, expressed through the algebra: the composition
+/// `ρ_{lhs→T} ∘ ρ_{T→rhs}` links each lhs *value* to the rhs values it
+/// determines; the FD holds iff every lhs value links at most one
+/// distinct rhs value (paper §4.1: complex-relationship cardinalities
+/// "express n-ary versions of the above constraints and functional
+/// dependencies").
+pub fn fd_violations(conv: &CsgConversion, table: TableId, lhs: AttrId, rhs: AttrId) -> u64 {
+    let expr = RelExpr::Compose(
+        Box::new(RelExpr::Atomic(RelRef::bwd(conv.attr_rel(table, lhs)))),
+        Box::new(RelExpr::Atomic(RelRef::fwd(conv.attr_rel(table, rhs)))),
+    );
+    let lhs_node = conv.attr_node(table, lhs);
+    conv.instance
+        .link_counts(&expr, lhs_node)
+        .into_iter()
+        .filter(|c| *c > 1)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::Cardinality;
+    use crate::convert::database_to_csg;
+    use efes_relational::{DataType, DatabaseBuilder};
+
+    /// credits(artist_list, position) with a duplicate combination.
+    #[test]
+    fn composite_unique_counts_duplicate_combinations() {
+        let db = DatabaseBuilder::new("d")
+            .table("credits", |t| {
+                t.attr("list", DataType::Integer)
+                    .attr("position", DataType::Integer)
+            })
+            .rows(
+                "credits",
+                vec![
+                    vec![1.into(), 1.into()],
+                    vec![1.into(), 2.into()],
+                    vec![1.into(), 1.into()], // duplicate (1,1)
+                    vec![2.into(), 1.into()],
+                    vec![2.into(), 1.into()], // duplicate (2,1)
+                    vec![2.into(), 1.into()], // triplicate (2,1)
+                ],
+            )
+            .build()
+            .unwrap();
+        let conv = database_to_csg(&db);
+        let (t, _) = db.schema.resolve("credits", "list").unwrap();
+        let violations = composite_unique_violations(
+            &conv,
+            t,
+            &[AttrId(0), AttrId(1)],
+        );
+        // (1,1): 1 extra tuple; (2,1): 2 extra tuples.
+        assert_eq!(violations, 3);
+    }
+
+    #[test]
+    fn composite_unique_clean_table_has_no_violations() {
+        let db = DatabaseBuilder::new("d")
+            .table("credits", |t| {
+                t.attr("list", DataType::Integer)
+                    .attr("position", DataType::Integer)
+            })
+            .rows(
+                "credits",
+                vec![
+                    vec![1.into(), 1.into()],
+                    vec![1.into(), 2.into()],
+                    vec![2.into(), 1.into()],
+                ],
+            )
+            .build()
+            .unwrap();
+        let conv = database_to_csg(&db);
+        assert_eq!(
+            composite_unique_violations(&conv, TableId(0), &[AttrId(0), AttrId(1)]),
+            0
+        );
+    }
+
+    #[test]
+    fn composite_unique_expr_infers_via_join() {
+        // Static inference: joining two value→tuple readings with max
+        // m = min(max κ₁, max κ₂) produces 1..m (Lemma 3).
+        let db = DatabaseBuilder::new("d")
+            .table("t", |t| {
+                t.attr("a", DataType::Integer).attr("b", DataType::Integer)
+            })
+            .rows("t", vec![vec![1.into(), 2.into()], vec![1.into(), 3.into()], vec![2.into(), 2.into()]])
+            .build()
+            .unwrap();
+        let conv = database_to_csg(&db);
+        let expr = composite_unique_expr(&conv, TableId(0), &[AttrId(0), AttrId(1)]);
+        // Both readings are 1..* (not unique individually) → join 1..*.
+        assert_eq!(expr.inferred_cardinality(&conv.csg), Cardinality::one_or_more());
+    }
+
+    #[test]
+    fn fd_violations_counted_through_the_algebra() {
+        // artist → genre: artist 1 maps to two genres (violation);
+        // artist 2 is consistent.
+        let db = DatabaseBuilder::new("d")
+            .table("albums", |t| {
+                t.attr("artist", DataType::Integer).attr("genre", DataType::Text)
+            })
+            .rows(
+                "albums",
+                vec![
+                    vec![1.into(), "rock".into()],
+                    vec![1.into(), "jazz".into()], // breaks artist→genre
+                    vec![2.into(), "pop".into()],
+                    vec![2.into(), "pop".into()],
+                ],
+            )
+            .build()
+            .unwrap();
+        let conv = database_to_csg(&db);
+        assert_eq!(fd_violations(&conv, TableId(0), AttrId(0), AttrId(1)), 1);
+        // genre → artist: rock→1, jazz→1, pop→2 — all functional.
+        assert_eq!(fd_violations(&conv, TableId(0), AttrId(1), AttrId(0)), 0);
+    }
+
+    /// Composite FK over (list, position) with one dangling pair whose
+    /// components exist individually — the case a per-column check
+    /// cannot catch.
+    #[test]
+    fn composite_fk_catches_pairwise_dangling_references() {
+        let db = DatabaseBuilder::new("d")
+            .table("slots", |t| {
+                t.attr("list", DataType::Integer)
+                    .attr("position", DataType::Integer)
+                    .unique(&["list", "position"])
+            })
+            .table("entries", |t| {
+                t.attr("list", DataType::Integer)
+                    .attr("position", DataType::Integer)
+                    .attr("artist", DataType::Text)
+                    .foreign_key(&["list", "position"], "slots", &["list", "position"])
+            })
+            .rows(
+                "slots",
+                vec![
+                    vec![1.into(), 1.into()],
+                    vec![1.into(), 2.into()],
+                    vec![2.into(), 1.into()],
+                ],
+            )
+            .rows(
+                "entries",
+                vec![
+                    vec![1.into(), 1.into(), "ok".into()],
+                    // (2,2): both 2s exist somewhere, but never together.
+                    vec![2.into(), 2.into(), "pairwise dangling".into()],
+                ],
+            )
+            .build()
+            .unwrap();
+        let conv = database_to_csg(&db);
+        // The per-column relational validator would pass component
+        // checks; the true composite check must flag one violation.
+        let eq_a = conv.fk_rels[0].1;
+        let eq_b = conv.fk_rels[1].1;
+        let violations = composite_fk_violations(
+            &conv,
+            TableId(1),
+            (AttrId(0), AttrId(1)),
+            (eq_a, eq_b),
+            TableId(0),
+            (AttrId(0), AttrId(1)),
+        );
+        assert_eq!(violations, 1);
+    }
+
+    #[test]
+    fn composite_fk_clean_reference_has_no_violations() {
+        let db = DatabaseBuilder::new("d")
+            .table("slots", |t| {
+                t.attr("list", DataType::Integer)
+                    .attr("position", DataType::Integer)
+                    .unique(&["list", "position"])
+            })
+            .table("entries", |t| {
+                t.attr("list", DataType::Integer)
+                    .attr("position", DataType::Integer)
+                    .foreign_key(&["list", "position"], "slots", &["list", "position"])
+            })
+            .rows("slots", vec![vec![1.into(), 1.into()], vec![1.into(), 2.into()]])
+            .rows("entries", vec![vec![1.into(), 1.into()], vec![1.into(), 2.into()]])
+            .build()
+            .unwrap();
+        let conv = database_to_csg(&db);
+        let eq_a = conv.fk_rels[0].1;
+        let eq_b = conv.fk_rels[1].1;
+        assert_eq!(
+            composite_fk_violations(
+                &conv,
+                TableId(1),
+                (AttrId(0), AttrId(1)),
+                (eq_a, eq_b),
+                TableId(0),
+                (AttrId(0), AttrId(1)),
+            ),
+            0
+        );
+    }
+}

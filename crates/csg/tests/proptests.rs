@@ -1,0 +1,211 @@
+//! Property-based tests for the cardinality algebra (Lemmas 1–4).
+//!
+//! Strategy: generate small bounded cardinality sets, enumerate them
+//! explicitly, and check every inferred operator result against
+//! brute-force set computation. For the *sound over-approximation*
+//! operators (composition on multi-interval sets), we check ⊇ instead of
+//! equality.
+
+use efes_csg::Cardinality;
+use proptest::prelude::*;
+
+const LIMIT: u64 = 40;
+
+/// A small cardinality: 1–2 intervals with bounds in 0..=6, possibly one
+/// unbounded tail.
+fn arb_card() -> impl Strategy<Value = Cardinality> {
+    let interval = (0u64..=6, 0u64..=6, any::<bool>()).prop_map(|(a, b, unbounded)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        (lo, if unbounded { None } else { Some(hi) })
+    });
+    proptest::collection::vec(interval, 1..=2)
+        .prop_map(Cardinality::from_intervals)
+}
+
+/// A single-interval cardinality — the shape Lemma 1 is stated for.
+fn arb_interval_card() -> impl Strategy<Value = Cardinality> {
+    (0u64..=6, 0u64..=6, any::<bool>()).prop_map(|(a, b, unbounded)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if unbounded {
+            Cardinality::at_least(lo)
+        } else {
+            Cardinality::range(lo, hi)
+        }
+    })
+}
+
+fn elems(c: &Cardinality) -> Vec<u64> {
+    c.enumerate_up_to(LIMIT)
+}
+
+fn sgn(n: u64) -> u64 {
+    u64::from(n > 0)
+}
+
+proptest! {
+    /// Normalisation: membership is preserved and intervals are canonical
+    /// (re-normalising is a no-op).
+    #[test]
+    fn normalisation_is_idempotent(c in arb_card()) {
+        let again = Cardinality::from_intervals(
+            elems(&c).iter().map(|n| (*n, Some(*n))),
+        );
+        for n in 0..=LIMIT {
+            if c.max().flatten().is_some_and(|m| m <= LIMIT) {
+                prop_assert_eq!(c.contains(n), again.contains(n));
+            }
+        }
+    }
+
+    /// Subset agrees with element-wise containment on bounded sets.
+    #[test]
+    fn subset_matches_enumeration(a in arb_card(), b in arb_card()) {
+        let brute = elems(&a).iter().all(|n| b.contains(*n))
+            // An unbounded a can never be a subset of a bounded b.
+            && !(a.max() == Some(None) && b.max() != Some(None));
+        prop_assert_eq!(a.is_subset(&b), brute, "a={} b={}", a, b);
+    }
+
+    /// Lemma 1 on single intervals: compose equals the stated formula.
+    #[test]
+    fn lemma1_formula(a in arb_interval_card(), b in arb_interval_card()) {
+        let c = a.compose(&b);
+        let lo = if a.min().unwrap() == 0 { 0 } else { b.min().unwrap() };
+        prop_assert_eq!(c.min(), Some(lo.min(sgn(a.min().unwrap()) * b.min().unwrap())));
+        match (a.max().unwrap(), b.max().unwrap()) {
+            (Some(0), _) | (_, Some(0)) => prop_assert_eq!(c.max(), Some(Some(0))),
+            (Some(x), Some(y)) => prop_assert_eq!(c.max(), Some(Some(x * y))),
+            _ => prop_assert_eq!(c.max(), Some(None)),
+        }
+    }
+
+    /// Composition is a sound over-approximation: for any achievable link
+    /// structure, an element with `x ∈ κ₁` mid-links each having
+    /// `y ∈ κ₂` end-links can reach between `min` and `x·y` distinct ends;
+    /// in particular `x·y` itself must be admitted.
+    #[test]
+    fn compose_admits_products(a in arb_card(), b in arb_card()) {
+        let c = a.compose(&b);
+        for x in elems(&a).iter().take(6) {
+            for y in elems(&b).iter().take(6) {
+                if *x == 0 {
+                    prop_assert!(c.contains(0), "0 missing in {} ∘ {}", a, b);
+                } else {
+                    prop_assert!(
+                        c.contains(x * y) || x * y > LIMIT,
+                        "{}·{} missing in {} ∘ {} = {}", x, y, a, b, c
+                    );
+                }
+            }
+        }
+    }
+
+    /// Minkowski sum: exact on enumerations.
+    #[test]
+    fn plus_is_minkowski(a in arb_card(), b in arb_card()) {
+        let c = a.plus(&b);
+        let ea = elems(&a);
+        let eb = elems(&b);
+        for x in ea.iter().take(8) {
+            for y in eb.iter().take(8) {
+                prop_assert!(c.contains(x + y));
+            }
+        }
+        // No element below the minimal sum.
+        if let (Some(ma), Some(mb)) = (a.min(), b.min()) {
+            if ma + mb > 0 {
+                prop_assert!(!c.contains(ma + mb - 1));
+            }
+        }
+    }
+
+    /// Hat-plus: every c with max(a,b) ≤ c ≤ a+b is contained.
+    #[test]
+    fn hat_plus_covers_band(a in arb_interval_card(), b in arb_interval_card()) {
+        let c = a.hat_plus(&b);
+        let (la, lb) = (a.min().unwrap(), b.min().unwrap());
+        for x in elems(&a).iter().take(4) {
+            for y in elems(&b).iter().take(4) {
+                for v in (*x).max(*y)..=(x + y).min(LIMIT) {
+                    prop_assert!(c.contains(v), "{} missing in {} +̂ {}", v, a, b);
+                }
+            }
+        }
+        let _ = (la, lb);
+    }
+
+    /// Join: empty iff a max is 0 or a side is empty; otherwise 1..m.
+    #[test]
+    fn join_shape(a in arb_card(), b in arb_card()) {
+        let j = a.join(&b);
+        let m = match (a.max(), b.max()) {
+            (Some(x), Some(y)) => match (x, y) {
+                (None, None) => Some(None),
+                (Some(p), None) => Some(Some(p)),
+                (None, Some(q)) => Some(Some(q)),
+                (Some(p), Some(q)) => Some(Some(p.min(q))),
+            },
+            _ => None,
+        };
+        match m {
+            None | Some(Some(0)) => prop_assert!(j.is_empty()),
+            Some(Some(n)) => {
+                prop_assert_eq!(j.min(), Some(1));
+                prop_assert_eq!(j.max(), Some(Some(n)));
+            }
+            Some(None) => {
+                prop_assert_eq!(j.min(), Some(1));
+                prop_assert_eq!(j.max(), Some(None));
+            }
+        }
+    }
+
+    /// Collateral always starts at 0 and multiplies the maxima.
+    #[test]
+    fn collateral_shape(a in arb_card(), b in arb_card()) {
+        let c = a.collateral(&b);
+        prop_assert_eq!(c.min(), Some(0));
+        match (a.max().unwrap(), b.max().unwrap()) {
+            // 0·* = 0: a side with max 0 contributes no links at all.
+            (Some(0), _) | (_, Some(0)) => prop_assert_eq!(c.max(), Some(Some(0))),
+            (Some(x), Some(y)) => prop_assert_eq!(c.max(), Some(Some(x * y))),
+            _ => prop_assert_eq!(c.max(), Some(None)),
+        }
+    }
+
+    /// Union is exact set union.
+    #[test]
+    fn union_is_set_union(a in arb_card(), b in arb_card()) {
+        let u = a.union(&b);
+        for n in 0..=LIMIT {
+            prop_assert_eq!(u.contains(n), a.contains(n) || b.contains(n));
+        }
+    }
+
+    /// Intersection is exact.
+    #[test]
+    fn intersection_is_exact(a in arb_card(), b in arb_card()) {
+        let i = a.intersect(&b);
+        for n in 0..=LIMIT {
+            prop_assert_eq!(i.contains(n), a.contains(n) && b.contains(n));
+        }
+    }
+
+    /// Hull contains the original set.
+    #[test]
+    fn hull_is_superset(a in arb_card()) {
+        prop_assert!(a.is_subset(&a.hull()));
+    }
+
+    /// Display round-trips through the constructors for common shapes.
+    #[test]
+    fn subset_is_partial_order(a in arb_card(), b in arb_card(), c in arb_card()) {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

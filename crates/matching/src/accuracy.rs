@@ -1,0 +1,91 @@
+//! Melnik's match accuracy: *"a novel measure to estimate how much effort
+//! it costs the user to modify the proposed match result into the
+//! intended result in terms of additions and deletions of matching
+//! attribute pairs"* (paper §2, citing \[19\]; §7 proposes it as the
+//! bridge between matcher output and correspondence-creation effort).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The difference between a proposed and an intended match result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchDiff {
+    /// Pairs the user must delete from the proposal (false positives).
+    pub deletions: usize,
+    /// Pairs the user must add to the proposal (false negatives).
+    pub additions: usize,
+    /// Pairs the proposal got right.
+    pub correct: usize,
+    /// Melnik accuracy: `1 − (deletions + additions) / |intended|`,
+    /// clamped at 0. Accuracy 1 means no manual work; ≤ 0 means the
+    /// proposal is no better than starting from scratch.
+    pub accuracy: f64,
+}
+
+/// Compute the match accuracy of `proposed` against `intended`, both as
+/// sets of element-pair identifiers (any `Ord` id works; the EFES
+/// pipeline uses `((table, attr), (table, attr))` tuples).
+pub fn match_accuracy<T: Ord + Clone>(proposed: &[T], intended: &[T]) -> MatchDiff {
+    let p: BTreeSet<&T> = proposed.iter().collect();
+    let i: BTreeSet<&T> = intended.iter().collect();
+    let correct = p.intersection(&i).count();
+    let deletions = p.len() - correct;
+    let additions = i.len() - correct;
+    let accuracy = if i.is_empty() {
+        if deletions == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (1.0 - (deletions + additions) as f64 / i.len() as f64).max(0.0)
+    };
+    MatchDiff {
+        deletions,
+        additions,
+        correct,
+        accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_proposal_scores_one() {
+        let intended = vec![(0, 0), (1, 1), (2, 2)];
+        let d = match_accuracy(&intended, &intended);
+        assert_eq!(d.accuracy, 1.0);
+        assert_eq!(d.deletions, 0);
+        assert_eq!(d.additions, 0);
+        assert_eq!(d.correct, 3);
+    }
+
+    #[test]
+    fn missing_and_spurious_pairs_cost() {
+        let proposed = vec![(0, 0), (9, 9)];
+        let intended = vec![(0, 0), (1, 1)];
+        let d = match_accuracy(&proposed, &intended);
+        assert_eq!(d.deletions, 1);
+        assert_eq!(d.additions, 1);
+        assert_eq!(d.correct, 1);
+        assert!((d.accuracy - 0.0).abs() < 1e-12); // 1 - 2/2
+    }
+
+    #[test]
+    fn worse_than_scratch_clamps_to_zero() {
+        let proposed = vec![(5, 5), (6, 6), (7, 7)];
+        let intended = vec![(0, 0)];
+        let d = match_accuracy(&proposed, &intended);
+        assert_eq!(d.accuracy, 0.0);
+    }
+
+    #[test]
+    fn empty_intended_set() {
+        let d = match_accuracy::<(usize, usize)>(&[], &[]);
+        assert_eq!(d.accuracy, 1.0);
+        let d = match_accuracy(&[(1, 1)], &[]);
+        assert_eq!(d.accuracy, 0.0);
+    }
+}

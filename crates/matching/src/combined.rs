@@ -1,0 +1,295 @@
+//! The combined matcher: weighted name + instance similarity, greedy 1:1
+//! assignment, and emission of correspondence sets consumable by the EFES
+//! pipeline.
+
+use crate::instance::instance_similarity;
+use crate::name::name_similarity;
+use efes_relational::schema::{AttrId, TableId};
+use efes_relational::{
+    Correspondence, CorrespondenceSet, Database, SourceId,
+};
+use serde::{Deserialize, Serialize};
+
+/// Matcher configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Weight of name similarity (instance similarity gets `1 - w`).
+    pub name_weight: f64,
+    /// Minimum combined score for a proposed attribute correspondence.
+    pub attr_threshold: f64,
+    /// Minimum aggregated score for a proposed table correspondence.
+    pub table_threshold: f64,
+    /// Use instance data at all (pure name matching when false — the
+    /// right choice for empty targets).
+    pub use_instances: bool,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            name_weight: 0.6,
+            attr_threshold: 0.55,
+            table_threshold: 0.45,
+            use_instances: true,
+        }
+    }
+}
+
+/// One proposed correspondence with its score.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProposedMatch {
+    /// Source attribute.
+    pub source: (TableId, AttrId),
+    /// Target attribute.
+    pub target: (TableId, AttrId),
+    /// Combined similarity score.
+    pub score: f64,
+}
+
+/// The combined schema matcher.
+#[derive(Debug, Clone, Default)]
+pub struct CombinedMatcher {
+    config: MatcherConfig,
+}
+
+impl CombinedMatcher {
+    /// Create a matcher with the given configuration.
+    pub fn new(config: MatcherConfig) -> Self {
+        CombinedMatcher { config }
+    }
+
+    /// Score every source×target attribute pair and keep stable 1:1
+    /// matches above the threshold (greedy on descending score, each
+    /// attribute used at most once per direction).
+    pub fn propose_attribute_matches(
+        &self,
+        source: &Database,
+        target: &Database,
+    ) -> Vec<ProposedMatch> {
+        let mut scored: Vec<ProposedMatch> = Vec::new();
+        for (st, sa, s_attr) in source.schema.iter_attributes() {
+            for (tt, ta, t_attr) in target.schema.iter_attributes() {
+                let s_table = &source.schema.table(st).name;
+                let t_table = &target.schema.table(tt).name;
+                // Attribute name similarity, boosted by table-context
+                // similarity so `albums.name` prefers `records.title`
+                // over `tracks.title`.
+                let attr_sim = name_similarity(&s_attr.name, &t_attr.name);
+                let table_sim = name_similarity(s_table, t_table);
+                let name_score = 0.8 * attr_sim + 0.2 * table_sim;
+                let score = if self.config.use_instances
+                    && !source.instance.table(st).is_empty()
+                    && !target.instance.table(tt).is_empty()
+                {
+                    let inst = instance_similarity(source, (st, sa), target, (tt, ta));
+                    self.config.name_weight * name_score
+                        + (1.0 - self.config.name_weight) * inst
+                } else {
+                    name_score
+                };
+                if score >= self.config.attr_threshold {
+                    scored.push(ProposedMatch {
+                        source: (st, sa),
+                        target: (tt, ta),
+                        score,
+                    });
+                }
+            }
+        }
+        // Greedy 1:1: best scores first; deterministic tie-break by ids.
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.source.cmp(&b.source))
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        let mut used_source = std::collections::HashSet::new();
+        let mut used_target = std::collections::HashSet::new();
+        scored
+            .into_iter()
+            .filter(|m| {
+                if used_source.contains(&m.source) || used_target.contains(&m.target) {
+                    return false;
+                }
+                used_source.insert(m.source);
+                used_target.insert(m.target);
+                true
+            })
+            .collect()
+    }
+
+    /// Derive table correspondences from accepted attribute matches: a
+    /// source table corresponds to the target table that won most of its
+    /// attributes (ties by aggregate score).
+    pub fn propose_table_matches(
+        &self,
+        source: &Database,
+        target: &Database,
+        attr_matches: &[ProposedMatch],
+    ) -> Vec<(TableId, TableId, f64)> {
+        use std::collections::HashMap;
+        let mut votes: HashMap<(TableId, TableId), (usize, f64)> = HashMap::new();
+        for m in attr_matches {
+            let e = votes.entry((m.source.0, m.target.0)).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += m.score;
+        }
+        let mut out: Vec<(TableId, TableId, f64)> = Vec::new();
+        for st in 0..source.schema.table_count() {
+            let st = TableId(st);
+            let mut best: Option<(TableId, f64)> = None;
+            for tt in 0..target.schema.table_count() {
+                let tt = TableId(tt);
+                if let Some((n, s)) = votes.get(&(st, tt)) {
+                    let arity = source.schema.table(st).arity().max(1);
+                    let coverage = *n as f64 / arity as f64;
+                    let score = 0.5 * coverage
+                        + 0.3 * (s / *n as f64)
+                        + 0.2 * name_similarity(
+                            &source.schema.table(st).name,
+                            &target.schema.table(tt).name,
+                        );
+                    if best.is_none_or(|(_, bs)| score > bs) {
+                        best = Some((tt, score));
+                    }
+                }
+            }
+            if let Some((tt, score)) = best {
+                if score >= self.config.table_threshold {
+                    out.push((st, tt, score));
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the full matcher and emit a [`CorrespondenceSet`] for a
+    /// single-source scenario.
+    pub fn match_databases(&self, source: &Database, target: &Database) -> CorrespondenceSet {
+        let attr_matches = self.propose_attribute_matches(source, target);
+        let table_matches = self.propose_table_matches(source, target, &attr_matches);
+        let mut set = CorrespondenceSet::new();
+        for (st, tt, _) in &table_matches {
+            set.push(Correspondence::Table {
+                source: SourceId(0),
+                source_table: *st,
+                target_table: *tt,
+            });
+        }
+        for m in &attr_matches {
+            set.push(Correspondence::Attribute {
+                source: SourceId(0),
+                source_attr: efes_relational::AttrRef {
+                    table: m.source.0,
+                    attr: m.source.1,
+                },
+                target_attr: efes_relational::AttrRef {
+                    table: m.target.0,
+                    attr: m.target.1,
+                },
+            });
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes_relational::{DataType, DatabaseBuilder};
+
+    fn source() -> Database {
+        DatabaseBuilder::new("src")
+            .table("albums", |t| {
+                t.attr("id", DataType::Integer)
+                    .attr("name", DataType::Text)
+                    .attr("genre", DataType::Text)
+            })
+            .rows(
+                "albums",
+                vec![
+                    vec![1.into(), "Second Helping".into(), "rock".into()],
+                    vec![2.into(), "Recovery".into(), "rap".into()],
+                ],
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn target() -> Database {
+        DatabaseBuilder::new("tgt")
+            .table("records", |t| {
+                t.attr("id", DataType::Integer)
+                    .attr("title", DataType::Text)
+                    .attr("genre", DataType::Text)
+            })
+            .rows(
+                "records",
+                vec![
+                    vec![7.into(), "Nevermind".into(), "rock".into()],
+                    vec![8.into(), "Horses".into(), "rock".into()],
+                ],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_synonymous_attributes_one_to_one() {
+        let m = CombinedMatcher::new(MatcherConfig::default());
+        let matches = m.propose_attribute_matches(&source(), &target());
+        // genre↔genre, id↔id, name↔title all expected.
+        assert_eq!(matches.len(), 3);
+        let mut seen_targets = std::collections::HashSet::new();
+        for pm in &matches {
+            assert!(seen_targets.insert(pm.target), "1:1 violated");
+        }
+        let name_title = matches.iter().find(|pm| {
+            pm.source == (TableId(0), AttrId(1)) && pm.target == (TableId(0), AttrId(1))
+        });
+        assert!(name_title.is_some(), "{matches:?}");
+    }
+
+    #[test]
+    fn table_correspondence_derived_from_attributes() {
+        let m = CombinedMatcher::new(MatcherConfig::default());
+        let s = source();
+        let t = target();
+        let attrs = m.propose_attribute_matches(&s, &t);
+        let tables = m.propose_table_matches(&s, &t, &attrs);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].0, TableId(0));
+        assert_eq!(tables[0].1, TableId(0));
+    }
+
+    #[test]
+    fn emitted_correspondences_validate_in_scenario() {
+        let m = CombinedMatcher::new(MatcherConfig::default());
+        let s = source();
+        let t = target();
+        let set = m.match_databases(&s, &t);
+        assert!(set.len() >= 4); // 1 table + 3 attributes
+        let scenario = efes_relational::IntegrationScenario::single_source("auto", s, t, set);
+        assert!(scenario.is_ok());
+    }
+
+    #[test]
+    fn name_only_mode_works_on_empty_instances() {
+        let cfg = MatcherConfig {
+            use_instances: false,
+            ..MatcherConfig::default()
+        };
+        let m = CombinedMatcher::new(cfg);
+        let s = DatabaseBuilder::new("s")
+            .table("albums", |t| t.attr("name", DataType::Text))
+            .build()
+            .unwrap();
+        let t = DatabaseBuilder::new("t")
+            .table("records", |t| t.attr("title", DataType::Text))
+            .build()
+            .unwrap();
+        let matches = m.propose_attribute_matches(&s, &t);
+        assert_eq!(matches.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Instance-based matching: two attributes correspond when their value
+//! distributions fit each other.
+//!
+//! This reuses the §5.1 fit machinery of `efes-profiling` symmetrically:
+//! the similarity of attributes `a`, `b` is
+//! `(fit(a→b) + fit(b→a)) / 2`, computed on profiles designated by each
+//! other's datatype.
+
+use efes_profiling::AttributeProfile;
+use efes_relational::schema::{AttrId, TableId};
+use efes_relational::Database;
+
+/// Instance similarity of two concrete attributes in `[0,1]`.
+pub fn instance_similarity(
+    db_a: &Database,
+    a: (TableId, AttrId),
+    db_b: &Database,
+    b: (TableId, AttrId),
+) -> f64 {
+    let type_a = db_a.schema.table(a.0).attribute(a.1).datatype;
+    let type_b = db_b.schema.table(b.0).attribute(b.1).datatype;
+
+    // Profile each column under the *other* side's datatype — the same
+    // designation rule the value fit detector uses.
+    let pa_under_b = AttributeProfile::of_attribute(db_a, a.0, a.1, type_b);
+    let pb = AttributeProfile::of_attribute(db_b, b.0, b.1, type_b);
+    let fit_ab = AttributeProfile::fit_against(&pa_under_b, &pb).overall;
+
+    let pb_under_a = AttributeProfile::of_attribute(db_b, b.0, b.1, type_a);
+    let pa = AttributeProfile::of_attribute(db_a, a.0, a.1, type_a);
+    let fit_ba = AttributeProfile::fit_against(&pb_under_a, &pa).overall;
+
+    // Penalise incompatible values: a column that cannot even be cast
+    // into the other's type is a weak match however the statistics look.
+    let incompat_penalty = if pa_under_b.fill.has_incompatible() || pb_under_a.fill.has_incompatible()
+    {
+        0.5
+    } else {
+        1.0
+    };
+    ((fit_ab + fit_ba) / 2.0) * incompat_penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes_relational::{DataType, DatabaseBuilder};
+
+    fn db_with(name: &str, attr: &str, dt: DataType, rows: Vec<efes_relational::Value>) -> Database {
+        let mut b = DatabaseBuilder::new(name).table("t", |t| t.attr(attr, dt));
+        b = b.rows("t", rows.into_iter().map(|v| vec![v]).collect());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_distribution_scores_high() {
+        let a = db_with(
+            "a",
+            "dur",
+            DataType::Text,
+            vec!["4:43".into(), "6:55".into(), "3:26".into()],
+        );
+        let b = db_with(
+            "b",
+            "len",
+            DataType::Text,
+            vec!["5:01".into(), "2:58".into(), "7:33".into()],
+        );
+        let s = instance_similarity(&a, (TableId(0), AttrId(0)), &b, (TableId(0), AttrId(0)));
+        assert!(s > 0.8, "{s}");
+    }
+
+    #[test]
+    fn format_mismatch_scores_low() {
+        let durations = db_with(
+            "a",
+            "duration",
+            DataType::Text,
+            vec!["4:43".into(), "6:55".into(), "3:26".into()],
+        );
+        let millis = db_with(
+            "b",
+            "length",
+            DataType::Integer,
+            vec![215900.into(), 238100.into(), 218200.into()],
+        );
+        let s = instance_similarity(
+            &durations,
+            (TableId(0), AttrId(0)),
+            &millis,
+            (TableId(0), AttrId(0)),
+        );
+        assert!(s < 0.6, "{s}");
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = db_with("a", "x", DataType::Integer, vec![1.into(), 2.into(), 3.into()]);
+        let b = db_with("b", "y", DataType::Integer, vec![2.into(), 3.into(), 4.into()]);
+        let s1 = instance_similarity(&a, (TableId(0), AttrId(0)), &b, (TableId(0), AttrId(0)));
+        let s2 = instance_similarity(&b, (TableId(0), AttrId(0)), &a, (TableId(0), AttrId(0)));
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+}

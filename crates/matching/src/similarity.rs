@@ -1,0 +1,229 @@
+//! String similarity primitives and identifier tokenisation.
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalised Levenshtein similarity in `[0,1]`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity.
+fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, used)| **used)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity (prefix boost up to 4 chars, p = 0.1).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Character-trigram Jaccard similarity (padded with `^`/`$`).
+pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> HashSet<String> {
+        let padded: Vec<char> = std::iter::once('^')
+            .chain(s.chars())
+            .chain(std::iter::once('$'))
+            .collect();
+        padded.windows(3).map(|w| w.iter().collect()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count() as f64;
+    let union = ga.union(&gb).count() as f64;
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Split an identifier into lowercase tokens at `_`, `-`, whitespace,
+/// digits↔letters boundaries and camelCase humps: `artistList_2` →
+/// `["artist", "list", "2"]`.
+pub fn tokenize(ident: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut prev: Option<char> = None;
+    for c in ident.chars() {
+        let boundary = match (prev, c) {
+            (_, '_' | '-' | ' ' | '.') => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                prev = Some(c);
+                continue;
+            }
+            (Some(p), c) if p.is_lowercase() && c.is_uppercase() => true,
+            (Some(p), c) if p.is_alphabetic() && c.is_ascii_digit() => true,
+            (Some(p), c) if p.is_ascii_digit() && c.is_alphabetic() => true,
+            _ => false,
+        };
+        if boundary && !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+        cur.extend(c.to_lowercase());
+        prev = Some(c);
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Token-set overlap similarity: Jaccard over the tokenised identifiers,
+/// with fuzzy token equality (Jaro-Winkler ≥ 0.9 counts as a hit).
+pub fn token_similarity(a: &str, b: &str) -> f64 {
+    let ta = tokenize(a);
+    let tb = tokenize(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut hit = 0usize;
+    let mut used = vec![false; tb.len()];
+    for x in &ta {
+        for (j, y) in tb.iter().enumerate() {
+            if !used[j] && (x == y || jaro_winkler(x, y) >= 0.9) {
+                used[j] = true;
+                hit += 1;
+                break;
+            }
+        }
+    }
+    hit as f64 / (ta.len() + tb.len() - hit) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert!((levenshtein_similarity("title", "title") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_prefers_shared_prefixes() {
+        let jw1 = jaro_winkler("artist", "artists");
+        let jw2 = jaro_winkler("artist", "tsitra");
+        assert!(jw1 > 0.9);
+        assert!(jw1 > jw2);
+        assert_eq!(jaro_winkler("x", "x"), 1.0);
+        assert_eq!(jaro_winkler("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn trigram_jaccard_bounds() {
+        assert!((trigram_jaccard("duration", "duration") - 1.0).abs() < 1e-12);
+        assert_eq!(trigram_jaccard("abc", "xyz"), 0.0);
+        let partial = trigram_jaccard("duration", "durations");
+        assert!(partial > 0.5 && partial < 1.0);
+    }
+
+    #[test]
+    fn tokenizer_handles_cases() {
+        assert_eq!(tokenize("artist_list"), vec!["artist", "list"]);
+        assert_eq!(tokenize("artistList"), vec!["artist", "list"]);
+        assert_eq!(tokenize("ArtistList2"), vec!["artist", "list", "2"]);
+        assert_eq!(tokenize("id"), vec!["id"]);
+        assert_eq!(tokenize("__x__"), vec!["x"]);
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn token_similarity_matches_reordered_names() {
+        assert!((token_similarity("artist_list", "list_artist") - 1.0).abs() < 1e-12);
+        assert!(token_similarity("album_name", "name") > 0.4);
+        assert_eq!(token_similarity("genre", "duration"), 0.0);
+    }
+
+    #[test]
+    fn similarities_are_symmetric() {
+        for (a, b) in [("title", "titel"), ("record", "records"), ("x", "")] {
+            assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
+            assert!((trigram_jaccard(a, b) - trigram_jaccard(b, a)).abs() < 1e-12);
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+}

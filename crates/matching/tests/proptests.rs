@@ -1,0 +1,76 @@
+//! Property-based tests for the matching substrate: similarity measures
+//! are bounded, symmetric and identity-respecting; the tokenizer never
+//! produces empty tokens; match accuracy behaves like a distance
+//! complement.
+
+use efes_matching::{jaro_winkler, levenshtein, match_accuracy, tokenize, trigram_jaccard};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_ -]{0,24}"
+}
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(a in arb_ident(), b in arb_ident(), c in arb_ident()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by the longer string.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    /// Jaro-Winkler and trigram Jaccard stay in [0,1], are symmetric, and
+    /// score identical strings 1.
+    #[test]
+    fn string_similarities_bounded_and_symmetric(a in arb_ident(), b in arb_ident()) {
+        for f in [jaro_winkler, trigram_jaccard] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{s}");
+            prop_assert!((s - f(&b, &a)).abs() < 1e-12);
+        }
+        if !a.is_empty() {
+            prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((trigram_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The tokenizer emits non-empty lowercase tokens that jointly cover
+    /// every alphanumeric character of the input.
+    #[test]
+    fn tokenizer_is_well_formed(ident in arb_ident()) {
+        let tokens = tokenize(&ident);
+        let mut token_chars = 0usize;
+        for t in &tokens {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| !c.is_uppercase()));
+            token_chars += t.chars().count();
+        }
+        let alnum = ident.chars().filter(|c| c.is_alphanumeric()).count();
+        prop_assert_eq!(token_chars, alnum);
+    }
+
+    /// Match accuracy: 1 iff the proposal equals the intended set;
+    /// adding a spurious pair never increases it.
+    #[test]
+    fn match_accuracy_behaviour(
+        intended in proptest::collection::btree_set(0u32..40, 1..12),
+        spurious in 100u32..200,
+    ) {
+        let intended: Vec<u32> = intended.into_iter().collect();
+        let perfect = match_accuracy(&intended, &intended);
+        prop_assert_eq!(perfect.accuracy, 1.0);
+
+        let mut with_extra = intended.clone();
+        with_extra.push(spurious);
+        let worse = match_accuracy(&with_extra, &intended);
+        prop_assert!(worse.accuracy < 1.0);
+        prop_assert_eq!(worse.deletions, 1);
+
+        let empty: Vec<u32> = vec![];
+        let scratch = match_accuracy(&empty, &intended);
+        prop_assert_eq!(scratch.accuracy, 0.0);
+        prop_assert_eq!(scratch.additions, intended.len());
+    }
+}

@@ -1,0 +1,119 @@
+//! Character histogram of a string attribute.
+
+use efes_relational::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// *"Character histogram captures the relative occurrences of characters
+/// in a string attribute."* (§5.1)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharHistogram {
+    /// Character → relative frequency over all characters of all non-null
+    /// values. `BTreeMap` keeps the report output deterministic.
+    pub frequencies: BTreeMap<char, f64>,
+    /// Total characters observed.
+    pub total_chars: usize,
+}
+
+impl CharHistogram {
+    /// Compute the histogram of a column (values rendered as text).
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut counts: BTreeMap<char, usize> = BTreeMap::new();
+        let mut total_chars = 0usize;
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            for c in v.render().chars() {
+                *counts.entry(c).or_insert(0) += 1;
+                total_chars += 1;
+            }
+        }
+        let frequencies = counts
+            .into_iter()
+            .map(|(c, n)| (c, n as f64 / total_chars.max(1) as f64))
+            .collect();
+        CharHistogram {
+            frequencies,
+            total_chars,
+        }
+    }
+
+    /// Importance: how *concentrated* the target's character usage is.
+    /// An attribute drawing on a narrow alphabet (digits and `:` for
+    /// durations) is strongly characterised by it; free prose is not.
+    /// Capped at 0.5: which characters occur is a weaker signal than the
+    /// pattern/length statistics (two title columns naming different
+    /// things legitimately use different letters).
+    pub fn importance(&self) -> f64 {
+        if self.total_chars == 0 {
+            return 0.0;
+        }
+        // Inverse normalised alphabet breadth: ≤8 distinct chars → max,
+        // full printable ASCII → near 0.
+        let distinct = self.frequencies.len() as f64;
+        0.5 * super::unit(1.0 - ((distinct - 8.0) / 56.0)).min(1.0)
+    }
+
+    /// Fit: histogram intersection, `Σ min(p_src(c), p_tgt(c))` — 1 for
+    /// identical distributions, 0 for disjoint alphabets.
+    pub fn fit(source: &CharHistogram, target: &CharHistogram) -> f64 {
+        if source.total_chars == 0 || target.total_chars == 0 {
+            return 1.0;
+        }
+        let overlap: f64 = source
+            .frequencies
+            .iter()
+            .filter_map(|(c, p)| target.frequencies.get(c).map(|q| p.min(*q)))
+            .sum();
+        super::unit(overlap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(items: &[&str]) -> Vec<Value> {
+        items.iter().map(|s| Value::Text((*s).into())).collect()
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let vals = texts(&["ab", "ba", "aa"]);
+        let h = CharHistogram::compute(vals.iter());
+        let sum: f64 = h.frequencies.values().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((h.frequencies[&'a'] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_fit_one() {
+        let h = CharHistogram::compute(texts(&["4:43", "6:55"]).iter());
+        assert!((CharHistogram::fit(&h, &h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_alphabets_fit_zero() {
+        let a = CharHistogram::compute(texts(&["abc"]).iter());
+        let b = CharHistogram::compute(texts(&["123"]).iter());
+        assert_eq!(CharHistogram::fit(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn narrow_alphabet_is_important() {
+        let durations = CharHistogram::compute(texts(&["4:43", "6:55", "3:26"]).iter());
+        assert!(durations.importance() > 0.45);
+        let prose = CharHistogram::compute(
+            texts(&["The quick brown fox jumps over the lazy dog 0123456789!?"]).iter(),
+        );
+        assert!(prose.importance() < 0.35);
+    }
+
+    #[test]
+    fn empty_column_fits_anything() {
+        let empty = CharHistogram::compute(std::iter::empty());
+        let full = CharHistogram::compute(texts(&["xyz"]).iter());
+        assert_eq!(CharHistogram::fit(&empty, &full), 1.0);
+    }
+}

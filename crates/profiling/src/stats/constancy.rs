@@ -1,0 +1,135 @@
+//! Constancy: inverse normalised Shannon entropy.
+
+use efes_relational::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// *"The constancy is the inverse of Shannon's information entropy and is
+/// useful to classify whether the values of an attribute come from a
+/// discrete domain."* (§5.1, citing MacKay)
+///
+/// We normalise: `constancy = 1 − H(X) / log₂(n)` where `n` is the number
+/// of non-null values, so a constant column scores 1 and an all-distinct
+/// column scores 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constancy {
+    /// Non-null value count.
+    pub count: usize,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Normalised constancy in `[0,1]`.
+    pub constancy: f64,
+}
+
+impl Constancy {
+    /// Compute the constancy of a column.
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        let mut count = 0usize;
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            count += 1;
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let distinct = counts.len();
+        let constancy = if count <= 1 {
+            1.0
+        } else {
+            let n = count as f64;
+            let entropy: f64 = counts
+                .values()
+                .map(|&c| {
+                    let p = c as f64 / n;
+                    -p * p.log2()
+                })
+                .sum();
+            let max_entropy = n.log2();
+            super::unit(1.0 - entropy / max_entropy)
+        };
+        Constancy {
+            count,
+            distinct,
+            constancy,
+        }
+    }
+
+    /// The `domainRestricted` predicate of Algorithm 1: values come from a
+    /// small discrete domain — high constancy, or a small vocabulary that
+    /// demonstrably repeats (each distinct value used ≥ 2× on average).
+    /// A small column of unique values (names, titles, reference-table
+    /// keys) does not qualify: nothing distinguishes it statistically
+    /// from a sample of an open domain.
+    pub fn domain_restricted(&self) -> bool {
+        if self.count < 5 {
+            return false; // too little evidence either way
+        }
+        self.constancy >= 0.5 || (self.distinct <= 20 && self.count >= 2 * self.distinct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(items: &[&str]) -> Vec<Value> {
+        items.iter().map(|s| Value::Text((*s).into())).collect()
+    }
+
+    #[test]
+    fn constant_column_scores_one() {
+        let vals = texts(&["rock", "rock", "rock", "rock", "rock"]);
+        let c = Constancy::compute(vals.iter());
+        assert_eq!(c.constancy, 1.0);
+        assert!(c.domain_restricted());
+    }
+
+    #[test]
+    fn all_distinct_column_scores_zero() {
+        let vals: Vec<Value> = (0..25).map(|i| Value::Text(format!("value-{i}"))).collect();
+        let c = Constancy::compute(vals.iter());
+        assert!(c.constancy.abs() < 1e-12);
+        assert!(!c.domain_restricted());
+    }
+
+    #[test]
+    fn unique_reference_column_is_not_restricted() {
+        // One row per genre, never repeating: statistically a sample of
+        // an open domain, so not classified as restricted on its own.
+        let vals = texts(&["rock", "pop", "jazz", "blues", "soul", "folk"]);
+        let c = Constancy::compute(vals.iter());
+        assert!(!c.domain_restricted());
+    }
+
+    #[test]
+    fn repeating_vocabulary_is_restricted() {
+        let vals = texts(&["rock", "pop", "rock", "jazz", "pop", "rock", "jazz", "pop"]);
+        let c = Constancy::compute(vals.iter());
+        assert!(c.domain_restricted());
+    }
+
+    #[test]
+    fn small_label_domain_is_restricted() {
+        let genres: Vec<Value> = (0..100)
+            .map(|i| Value::Text(["rock", "pop", "jazz"][i % 3].into()))
+            .collect();
+        let c = Constancy::compute(genres.iter());
+        assert_eq!(c.distinct, 3);
+        assert!(c.domain_restricted());
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let vals = [Value::Null, Value::Text("x".into()), Value::Null];
+        let c = Constancy::compute(vals.iter());
+        assert_eq!(c.count, 1);
+        assert_eq!(c.constancy, 1.0);
+    }
+
+    #[test]
+    fn empty_column_is_not_restricted() {
+        let c = Constancy::compute(std::iter::empty());
+        assert!(!c.domain_restricted());
+    }
+}

@@ -1,0 +1,132 @@
+//! Fill status: nulls and type-incompatible values.
+
+use efes_relational::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// *"The fill status counts the null values in an attribute and the values
+/// that cannot be cast to the target attribute's datatype."* (§5.1)
+///
+/// It backs two rules of Algorithm 1: `substantiallyFewerSourceValues`
+/// (compare fill ratios) and `hasIncompatibleValues` (any uncastable
+/// values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FillStatus {
+    /// Total number of values (rows) observed.
+    pub total: usize,
+    /// Number of NULLs among them.
+    pub nulls: usize,
+    /// Number of non-null values that cannot be cast to the reference
+    /// datatype.
+    pub incompatible: usize,
+}
+
+impl FillStatus {
+    /// Compute the fill status of a column relative to `target_type` (the
+    /// datatype of the corresponding target attribute).
+    pub fn compute<'a>(
+        values: impl IntoIterator<Item = &'a Value>,
+        target_type: DataType,
+    ) -> Self {
+        let mut total = 0;
+        let mut nulls = 0;
+        let mut incompatible = 0;
+        for v in values {
+            total += 1;
+            if v.is_null() {
+                nulls += 1;
+            } else if target_type.try_cast(v).is_none() {
+                incompatible += 1;
+            }
+        }
+        FillStatus {
+            total,
+            nulls,
+            incompatible,
+        }
+    }
+
+    /// Fraction of values that are non-null and castable, in `[0,1]`.
+    /// An empty column counts as completely filled.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        (self.total - self.nulls - self.incompatible) as f64 / self.total as f64
+    }
+
+    /// Fraction of values that are present (non-null), ignoring
+    /// castability. An empty column counts as completely filled.
+    pub fn presence_ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        (self.total - self.nulls) as f64 / self.total as f64
+    }
+
+    /// `true` iff at least one non-null value cannot be cast — the
+    /// `hasIncompatibleValues` rule.
+    pub fn has_incompatible(&self) -> bool {
+        self.incompatible > 0
+    }
+
+    /// The `substantiallyFewerSourceValues` rule: the source's *presence*
+    /// ratio falls short of the target's by more than `margin`
+    /// (absolute). Castability is deliberately ignored here — values in
+    /// the wrong representation are *present* and belong to the
+    /// `hasIncompatibleValues` rule; counting them twice would add a
+    /// phantom add-values task on top of the conversion task.
+    pub fn substantially_fewer(source: &FillStatus, target: &FillStatus, margin: f64) -> bool {
+        source.presence_ratio() + margin < target.presence_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_nulls_and_incompatibles() {
+        let vals = [Value::Text("4:43".into()),
+            Value::Null,
+            Value::Text("12".into())];
+        let fs = FillStatus::compute(vals.iter(), DataType::Integer);
+        assert_eq!(fs.total, 3);
+        assert_eq!(fs.nulls, 1);
+        assert_eq!(fs.incompatible, 1); // "4:43" cannot be an integer
+        assert!((fs.fill_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(fs.has_incompatible());
+    }
+
+    #[test]
+    fn integers_always_fit_text_targets() {
+        // The worked example: "integers can always be cast to strings".
+        let vals = [Value::Int(215900), Value::Int(238100)];
+        let fs = FillStatus::compute(vals.iter(), DataType::Text);
+        assert_eq!(fs.incompatible, 0);
+        assert_eq!(fs.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_column_is_full() {
+        let fs = FillStatus::compute(std::iter::empty(), DataType::Text);
+        assert_eq!(fs.fill_ratio(), 1.0);
+        assert!(!fs.has_incompatible());
+    }
+
+    #[test]
+    fn substantially_fewer_uses_margin() {
+        let poor = FillStatus {
+            total: 10,
+            nulls: 5,
+            incompatible: 0,
+        };
+        let full = FillStatus {
+            total: 10,
+            nulls: 0,
+            incompatible: 0,
+        };
+        assert!(FillStatus::substantially_fewer(&poor, &full, 0.2));
+        assert!(!FillStatus::substantially_fewer(&full, &poor, 0.2));
+        assert!(!FillStatus::substantially_fewer(&full, &full, 0.2));
+    }
+}

@@ -1,0 +1,310 @@
+//! Numeric statistics: mean/σ, value range, equi-width histogram.
+
+use efes_relational::Value;
+use serde::{Deserialize, Serialize};
+
+/// *"The mean statistic collects the mean value and standard deviation of
+/// a numeric attribute."* (§5.1)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumericMean {
+    /// Number of numeric (castable) values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl NumericMean {
+    /// Compute mean/σ over the numeric view of non-null values; values
+    /// without a numeric view are skipped.
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let nums: Vec<f64> = values.into_iter().filter_map(numeric_view).collect();
+        let count = nums.len();
+        if count == 0 {
+            return NumericMean {
+                count,
+                mean: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mean = nums.iter().sum::<f64>() / count as f64;
+        let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        NumericMean {
+            count,
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Importance via coefficient of variation, as for string lengths.
+    pub fn importance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.mean == 0.0 {
+            return if self.stddev == 0.0 { 1.0 } else { 0.3 };
+        }
+        super::unit(1.0 / (1.0 + 2.0 * (self.stddev / self.mean).abs()))
+    }
+
+    /// Fit: Gaussian kernel over the standardised mean distance.
+    pub fn fit(source: &NumericMean, target: &NumericMean) -> f64 {
+        if source.count == 0 || target.count == 0 {
+            return 1.0;
+        }
+        let sigma = target.stddev.max(0.25 * target.mean.abs()).max(1e-9);
+        // Same 1.5σ half-width as the string-length kernel.
+        let z = (source.mean - target.mean) / (1.5 * sigma);
+        super::unit((-0.5 * z * z).exp())
+    }
+}
+
+/// *"Value ranges are used to determine the minimum and maximum value of a
+/// numeric attribute."* (§5.1)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueRange {
+    /// Number of numeric values.
+    pub count: usize,
+    /// Minimum, if any values were numeric.
+    pub min: Option<f64>,
+    /// Maximum, if any values were numeric.
+    pub max: Option<f64>,
+}
+
+impl ValueRange {
+    /// Compute min/max over numeric views.
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut count = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for x in values.into_iter().filter_map(numeric_view) {
+            count += 1;
+            min = min.min(x);
+            max = max.max(x);
+        }
+        ValueRange {
+            count,
+            min: (count > 0).then_some(min),
+            max: (count > 0).then_some(max),
+        }
+    }
+
+    /// Importance: ranges are always somewhat characteristic for numeric
+    /// attributes; a degenerate range (a constant) maximally so.
+    pub fn importance(&self) -> f64 {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) if lo == hi => 1.0,
+            (Some(_), Some(_)) => 0.5,
+            _ => 0.0,
+        }
+    }
+
+    /// Fit: the fraction of the source range that lies inside the target
+    /// range (interval overlap / source width); point sources score 1 if
+    /// inside, 0 if outside.
+    pub fn fit(source: &ValueRange, target: &ValueRange) -> f64 {
+        let (Some(slo), Some(shi)) = (source.min, source.max) else {
+            return 1.0;
+        };
+        let (Some(tlo), Some(thi)) = (target.min, target.max) else {
+            return 1.0;
+        };
+        // Tolerate 10% slack around the target range: new data may slightly
+        // extend an observed range without being a different domain.
+        let slack = 0.1 * (thi - tlo).max(thi.abs().max(tlo.abs())).max(1.0);
+        let (tlo, thi) = (tlo - slack, thi + slack);
+        if shi <= slo {
+            return if slo >= tlo && slo <= thi { 1.0 } else { 0.0 };
+        }
+        let overlap = (shi.min(thi) - slo.max(tlo)).max(0.0);
+        super::unit(overlap / (shi - slo))
+    }
+}
+
+/// *"The histogram statistic describes numeric attributes as histograms."*
+/// (§5.1) — equi-width over the observed range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumericHistogram {
+    /// Lower bound of the first bucket.
+    pub lo: f64,
+    /// Upper bound of the last bucket.
+    pub hi: f64,
+    /// Relative frequency per bucket (sums to 1 when `count > 0`).
+    pub buckets: Vec<f64>,
+    /// Number of numeric values.
+    pub count: usize,
+}
+
+impl NumericHistogram {
+    /// Default bucket count used throughout the crate.
+    pub const DEFAULT_BUCKETS: usize = 16;
+
+    /// Compute an equi-width histogram with `n_buckets` buckets.
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>, n_buckets: usize) -> Self {
+        let nums: Vec<f64> = values.into_iter().filter_map(numeric_view).collect();
+        let count = nums.len();
+        if count == 0 {
+            return NumericHistogram {
+                lo: 0.0,
+                hi: 0.0,
+                buckets: vec![0.0; n_buckets],
+                count,
+            };
+        }
+        let lo = nums.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / n_buckets as f64).max(f64::MIN_POSITIVE);
+        let mut buckets = vec![0.0; n_buckets];
+        for x in &nums {
+            let idx = (((x - lo) / width) as usize).min(n_buckets - 1);
+            buckets[idx] += 1.0;
+        }
+        for b in &mut buckets {
+            *b /= count as f64;
+        }
+        NumericHistogram {
+            lo,
+            hi,
+            buckets,
+            count,
+        }
+    }
+
+    /// Importance: fixed moderate weight — histograms refine mean/range
+    /// but rarely define an attribute on their own.
+    pub fn importance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            0.4
+        }
+    }
+
+    /// Fit: histogram intersection after re-bucketing the source onto the
+    /// target's bucket boundaries.
+    pub fn fit(source: &NumericHistogram, target: &NumericHistogram) -> f64 {
+        if source.count == 0 || target.count == 0 {
+            return 1.0;
+        }
+        let n = target.buckets.len();
+        if target.hi <= target.lo {
+            // Degenerate target (constant attribute): fit iff source is the
+            // same constant.
+            return if source.lo == target.lo && source.hi == target.hi {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let width = (target.hi - target.lo) / n as f64;
+        let mut rebucketed = vec![0.0; n];
+        let src_n = source.buckets.len();
+        let src_width = if source.hi > source.lo {
+            (source.hi - source.lo) / src_n as f64
+        } else {
+            0.0
+        };
+        for (i, mass) in source.buckets.iter().enumerate() {
+            let centre = if src_width > 0.0 {
+                source.lo + (i as f64 + 0.5) * src_width
+            } else {
+                source.lo
+            };
+            let idx = ((centre - target.lo) / width).floor();
+            if idx >= 0.0 && (idx as usize) < n {
+                rebucketed[idx as usize] += mass;
+            }
+        }
+        let overlap: f64 = rebucketed
+            .iter()
+            .zip(target.buckets.iter())
+            .map(|(a, b)| a.min(*b))
+            .sum();
+        super::unit(overlap)
+    }
+}
+
+/// Numeric view of a value: ints/floats directly, numeric strings parsed.
+fn numeric_view(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Text(s) => s.trim().parse::<f64>().ok(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(items: &[i64]) -> Vec<Value> {
+        items.iter().map(|i| Value::Int(*i)).collect()
+    }
+
+    #[test]
+    fn mean_basics() {
+        let m = NumericMean::compute(ints(&[1, 2, 3]).iter());
+        assert_eq!(m.count, 3);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.stddev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_parses_numeric_strings() {
+        let vals = [Value::Text("10".into()), Value::Text("x".into())];
+        let m = NumericMean::compute(vals.iter());
+        assert_eq!(m.count, 1);
+        assert_eq!(m.mean, 10.0);
+    }
+
+    #[test]
+    fn range_overlap_fit() {
+        let years_src = ValueRange::compute(ints(&[1990, 2000, 2010]).iter());
+        let years_tgt = ValueRange::compute(ints(&[1960, 2015]).iter());
+        assert!(ValueRange::fit(&years_src, &years_tgt) > 0.99);
+        let millis = ValueRange::compute(ints(&[215900, 238100]).iter());
+        assert!(ValueRange::fit(&millis, &years_tgt) < 0.01);
+    }
+
+    #[test]
+    fn degenerate_source_range() {
+        let point = ValueRange::compute(ints(&[5]).iter());
+        let wide = ValueRange::compute(ints(&[0, 10]).iter());
+        assert_eq!(ValueRange::fit(&point, &wide), 1.0);
+        let outside = ValueRange::compute(ints(&[100]).iter());
+        assert_eq!(ValueRange::fit(&outside, &wide), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_one() {
+        let h = NumericHistogram::compute(ints(&[1, 2, 3, 4, 5, 6, 7, 8]).iter(), 4);
+        assert!((h.buckets.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(h.count, 8);
+    }
+
+    #[test]
+    fn histogram_self_fit_is_high() {
+        let h = NumericHistogram::compute(ints(&[1, 2, 2, 3, 3, 3, 9, 10]).iter(), 8);
+        assert!(NumericHistogram::fit(&h, &h) > 0.95);
+    }
+
+    #[test]
+    fn histogram_disjoint_fit_is_zero() {
+        let a = NumericHistogram::compute(ints(&[1, 2, 3]).iter(), 4);
+        let b = NumericHistogram::compute(ints(&[100, 200, 300]).iter(), 4);
+        assert_eq!(NumericHistogram::fit(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_behave() {
+        let e = NumericMean::compute(std::iter::empty());
+        assert_eq!(e.count, 0);
+        let r = ValueRange::compute(std::iter::empty());
+        assert_eq!(r.min, None);
+        let h = NumericHistogram::compute(std::iter::empty(), 4);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.importance(), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! String length distribution of a string attribute.
+
+use efes_relational::Value;
+use serde::{Deserialize, Serialize};
+
+/// *"The string length statistic determines the average string length and
+/// its standard deviation for a string attribute."* (§5.1)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StringLength {
+    /// Number of non-null values.
+    pub count: usize,
+    /// Mean length in characters.
+    pub mean: f64,
+    /// Population standard deviation of lengths.
+    pub stddev: f64,
+}
+
+impl StringLength {
+    /// Compute mean/σ of rendered lengths.
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let lengths: Vec<f64> = values
+            .into_iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.render().chars().count() as f64)
+            .collect();
+        let count = lengths.len();
+        if count == 0 {
+            return StringLength {
+                count,
+                mean: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mean = lengths.iter().sum::<f64>() / count as f64;
+        let var = lengths.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / count as f64;
+        StringLength {
+            count,
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Importance: tight length distributions characterise the attribute
+    /// strongly (codes, timestamps); widely varying lengths do not
+    /// (titles, free text). Uses the coefficient of variation.
+    pub fn importance(&self) -> f64 {
+        if self.count == 0 || self.mean == 0.0 {
+            return 0.0;
+        }
+        super::unit(1.0 / (1.0 + 2.0 * self.stddev / self.mean))
+    }
+
+    /// Fit: how plausible the source mean is under the target length
+    /// distribution — a Gaussian-style kernel over the standardised
+    /// distance, with the target σ floored at 10 % of its mean so exact
+    /// formats don't divide by zero.
+    pub fn fit(source: &StringLength, target: &StringLength) -> f64 {
+        if source.count == 0 || target.count == 0 {
+            return 1.0;
+        }
+        let sigma = target.stddev.max(0.25 * target.mean).max(0.5);
+        // 1.5σ half-width: a source mean within one target σ is entirely
+        // plausible and should not be penalised much.
+        let z = (source.mean - target.mean) / (1.5 * sigma);
+        super::unit((-0.5 * z * z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(items: &[&str]) -> Vec<Value> {
+        items.iter().map(|s| Value::Text((*s).into())).collect()
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let s = StringLength::compute(texts(&["ab", "abcd"]).iter());
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_lengths_are_important() {
+        let s = StringLength::compute(texts(&["4:43", "6:55", "3:26"]).iter());
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.importance(), 1.0);
+    }
+
+    #[test]
+    fn self_fit_is_one() {
+        let s = StringLength::compute(texts(&["4:43", "6:55"]).iter());
+        assert!((StringLength::fit(&s, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergent_lengths_fit_poorly() {
+        let durations = StringLength::compute(texts(&["4:43", "6:55", "3:26"]).iter());
+        let millis = StringLength::compute(texts(&["215900", "238100", "218200"]).iter());
+        assert!(StringLength::fit(&millis, &durations) < 0.5);
+    }
+
+    #[test]
+    fn empty_source_fits() {
+        let empty = StringLength::compute(std::iter::empty());
+        let t = StringLength::compute(texts(&["abc"]).iter());
+        assert_eq!(StringLength::fit(&empty, &t), 1.0);
+        assert_eq!(empty.importance(), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Frequent text patterns of a string attribute.
+
+use efes_relational::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// *"The text pattern statistic collects frequent patterns in a string
+/// attribute."* (§5.1)
+///
+/// A value's pattern abstracts runs of digits to `<n>` and runs of letters
+/// to `<w>`, keeping all other characters verbatim — the paper's worked
+/// example renders `"4:43"` as *\[number ":" number\]*, here `<n>:<n>`,
+/// and `"215900"` as *\[number\]*, here `<n>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextPatterns {
+    /// Pattern → occurrence count, over non-null values rendered as text.
+    pub counts: Vec<(String, usize)>,
+    /// Total non-null values observed.
+    pub total: usize,
+}
+
+/// Abstract a single string into its pattern.
+pub fn pattern_of(s: &str) -> String {
+    let mut out = String::new();
+    let mut mode: u8 = 0; // 0 = none, 1 = digits, 2 = letters
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            if mode != 1 {
+                out.push_str("<n>");
+                mode = 1;
+            }
+        } else if c.is_alphabetic() {
+            if mode != 2 {
+                out.push_str("<w>");
+                mode = 2;
+            }
+        } else {
+            out.push(c);
+            mode = 0;
+        }
+    }
+    out
+}
+
+impl TextPatterns {
+    /// Compute pattern frequencies, sorted by descending count (ties by
+    /// pattern text for determinism).
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut map: HashMap<String, usize> = HashMap::new();
+        let mut total = 0usize;
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            total += 1;
+            *map.entry(pattern_of(&v.render())).or_insert(0) += 1;
+        }
+        let mut counts: Vec<(String, usize)> = map.into_iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        TextPatterns { counts, total }
+    }
+
+    /// Share of values covered by the single most frequent pattern.
+    pub fn dominant_share(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .first()
+            .map(|(_, c)| *c as f64 / self.total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Importance: *"in the duration attribute, all values have the same
+    /// text pattern \[number ":" number\], so the string format statistic
+    /// is presumably an important characteristic and should therefore have
+    /// a high importance score. If it had many different text patterns in
+    /// contrast, its importance would be close to 0."*
+    ///
+    /// We use the probability mass of the target's patterns weighted by
+    /// concentration: the dominant-pattern share squared-root-scaled so a
+    /// 100 % uniform format scores 1 and a long tail of formats scores ≈0.
+    pub fn importance(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Herfindahl concentration of the pattern distribution.
+        let hhi: f64 = self
+            .counts
+            .iter()
+            .map(|(_, c)| {
+                let p = *c as f64 / self.total as f64;
+                p * p
+            })
+            .sum();
+        super::unit(hhi)
+    }
+
+    /// Fit: the fraction of source values whose pattern appears among the
+    /// target's *frequent* patterns (≥ 5 % share), so a source of `<n>`
+    /// values scores 0 against a target whose values are all `<n>:<n>`.
+    pub fn fit(source: &TextPatterns, target: &TextPatterns) -> f64 {
+        if source.total == 0 || target.total == 0 {
+            return 1.0;
+        }
+        let frequent: Vec<&str> = target
+            .counts
+            .iter()
+            .filter(|(_, c)| *c as f64 / target.total as f64 >= 0.05)
+            .map(|(p, _)| p.as_str())
+            .collect();
+        let covered: usize = source
+            .counts
+            .iter()
+            .filter(|(p, _)| frequent.contains(&p.as_str()))
+            .map(|(_, c)| *c)
+            .sum();
+        super::unit(covered as f64 / source.total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(items: &[&str]) -> Vec<Value> {
+        items.iter().map(|s| Value::Text((*s).into())).collect()
+    }
+
+    #[test]
+    fn pattern_abstraction_matches_paper_example() {
+        assert_eq!(pattern_of("4:43"), "<n>:<n>");
+        assert_eq!(pattern_of("215900"), "<n>");
+        assert_eq!(pattern_of("Sweet Home Alabama"), "<w> <w> <w>");
+        assert_eq!(pattern_of(""), "");
+        assert_eq!(pattern_of("a1b2"), "<w><n><w><n>");
+    }
+
+    #[test]
+    fn uniform_format_has_high_importance() {
+        let durations = texts(&["4:43", "6:55", "3:26", "12:01"]);
+        let tp = TextPatterns::compute(durations.iter());
+        assert_eq!(tp.counts.len(), 1);
+        assert_eq!(tp.importance(), 1.0);
+        assert_eq!(tp.dominant_share(), 1.0);
+    }
+
+    #[test]
+    fn diverse_formats_have_low_importance() {
+        let vals = texts(&["a-1", "b:2", "c.3", "4 d", "e/5", "(f)", "#g", "h!"]);
+        let tp = TextPatterns::compute(vals.iter());
+        assert!(tp.importance() < 0.2);
+    }
+
+    #[test]
+    fn mismatched_formats_fit_zero() {
+        // The paper's worked example: lengths `<n>` vs durations `<n>:<n>`.
+        let target = TextPatterns::compute(texts(&["4:43", "6:55", "3:26"]).iter());
+        let source = TextPatterns::compute(
+            [Value::Int(215900), Value::Int(238100)].iter(),
+        );
+        assert_eq!(TextPatterns::fit(&source, &target), 0.0);
+        assert_eq!(TextPatterns::fit(&target, &target), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_fits_partially() {
+        let target = TextPatterns::compute(texts(&["1:11", "2:22", "3:33", "4:44"]).iter());
+        let source = TextPatterns::compute(texts(&["5:55", "123", "6:06", "7:07"]).iter());
+        let f = TextPatterns::fit(&source, &target);
+        assert!((f - 0.75).abs() < 1e-12);
+    }
+}

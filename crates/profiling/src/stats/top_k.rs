@@ -1,0 +1,117 @@
+//! Top-k most frequent values.
+
+use efes_relational::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// *"For attributes with values from a discrete domain, the top-k values
+/// statistic identifies the most frequent values."* (§5.1)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopK {
+    /// The `k` most frequent non-null values with their counts, in
+    /// descending count order (ties broken by value order, deterministic).
+    pub values: Vec<(Value, usize)>,
+    /// Total non-null values observed.
+    pub total: usize,
+}
+
+impl TopK {
+    /// Default `k` used throughout the crate.
+    pub const DEFAULT_K: usize = 10;
+
+    /// Compute the top-`k` values of a column.
+    pub fn compute<'a>(values: impl IntoIterator<Item = &'a Value>, k: usize) -> Self {
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        let mut total = 0usize;
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            total += 1;
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let mut all: Vec<(Value, usize)> = counts
+            .into_iter()
+            .map(|(v, c)| (v.clone(), c))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        TopK { values: all, total }
+    }
+
+    /// Probability mass covered by the retained top-k values.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.values.iter().map(|(_, c)| *c).sum::<usize>() as f64 / self.total as f64
+    }
+
+    /// Importance: high when the top-k covers most of the column — i.e.
+    /// the attribute is essentially a small controlled vocabulary.
+    pub fn importance(&self) -> f64 {
+        super::unit(self.coverage())
+    }
+
+    /// Fit: the share of the source's top-k mass whose values also occur
+    /// in the target's top-k.
+    pub fn fit(source: &TopK, target: &TopK) -> f64 {
+        if source.total == 0 || target.total == 0 || source.values.is_empty() {
+            return 1.0;
+        }
+        let target_vals: Vec<&Value> = target.values.iter().map(|(v, _)| v).collect();
+        let shared: usize = source
+            .values
+            .iter()
+            .filter(|(v, _)| target_vals.contains(&v))
+            .map(|(_, c)| *c)
+            .sum();
+        let mass: usize = source.values.iter().map(|(_, c)| *c).sum();
+        super::unit(shared as f64 / mass as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(items: &[&str]) -> Vec<Value> {
+        items.iter().map(|s| Value::Text((*s).into())).collect()
+    }
+
+    #[test]
+    fn keeps_k_most_frequent_deterministically() {
+        let vals = texts(&["rock", "pop", "rock", "jazz", "rock", "pop"]);
+        let t = TopK::compute(vals.iter(), 2);
+        assert_eq!(t.values.len(), 2);
+        assert_eq!(t.values[0], (Value::Text("rock".into()), 3));
+        assert_eq!(t.values[1], (Value::Text("pop".into()), 2));
+        assert!((t.coverage() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_vocabulary_is_important() {
+        let genres: Vec<Value> = (0..50)
+            .map(|i| Value::Text(["rock", "pop"][i % 2].into()))
+            .collect();
+        let t = TopK::compute(genres.iter(), 10);
+        assert_eq!(t.importance(), 1.0);
+    }
+
+    #[test]
+    fn shared_vocabulary_fits() {
+        let a = TopK::compute(texts(&["rock", "pop", "rock"]).iter(), 10);
+        let b = TopK::compute(texts(&["pop", "rock", "jazz"]).iter(), 10);
+        assert_eq!(TopK::fit(&a, &b), 1.0);
+        let c = TopK::compute(texts(&["Rock", "Pop"]).iter(), 10);
+        assert_eq!(TopK::fit(&c, &b), 0.0); // case-divergent vocabulary
+    }
+
+    #[test]
+    fn empty_columns_are_neutral() {
+        let e = TopK::compute(std::iter::empty(), 10);
+        let t = TopK::compute(texts(&["x"]).iter(), 10);
+        assert_eq!(TopK::fit(&e, &t), 1.0);
+        assert_eq!(e.importance(), 0.0);
+    }
+}

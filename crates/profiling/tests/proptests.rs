@@ -1,0 +1,110 @@
+//! Property-based tests for the profiling statistics.
+//!
+//! The invariants here back the §5.1 machinery: all importance and fit
+//! scores stay in [0,1], self-fit of any column is ≥ the domain-difference
+//! threshold (0.9), and fill ratios behave monotonically.
+
+use efes_profiling::stats::*;
+use efes_profiling::AttributeProfile;
+use efes_relational::{DataType, Value};
+use proptest::prelude::*;
+
+fn arb_column() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => Just(Value::Null),
+            10 => (-10_000i64..10_000).prop_map(Value::Int),
+            10 => "[a-z0-9:\\. -]{0,15}".prop_map(Value::Text),
+            2 => any::<bool>().prop_map(Value::Bool),
+        ],
+        0..60,
+    )
+}
+
+fn arb_homogeneous_column() -> impl Strategy<Value = (Vec<Value>, DataType)> {
+    prop_oneof![
+        proptest::collection::vec((-10_000i64..10_000).prop_map(Value::Int), 1..60)
+            .prop_map(|v| (v, DataType::Integer)),
+        proptest::collection::vec("[a-z0-9:\\. -]{1,15}".prop_map(Value::Text), 1..60)
+            .prop_map(|v| (v, DataType::Text)),
+    ]
+}
+
+proptest! {
+    /// Every statistic's importance and every pairwise fit is within [0,1].
+    #[test]
+    fn scores_are_unit_interval(a in arb_column(), b in arb_column()) {
+        for dt in [DataType::Text, DataType::Integer, DataType::Float, DataType::Boolean] {
+            let pa = AttributeProfile::compute(a.iter(), dt);
+            let pb = AttributeProfile::compute(b.iter(), dt);
+            let fit = AttributeProfile::fit_against(&pa, &pb);
+            prop_assert!((0.0..=1.0).contains(&fit.overall), "overall {}", fit.overall);
+            for c in &fit.components {
+                prop_assert!((0.0..=1.0).contains(&c.importance), "imp {}", c.importance);
+                prop_assert!((0.0..=1.0).contains(&c.fit), "fit {}", c.fit);
+            }
+        }
+    }
+
+    /// An attribute always fits itself above the paper's 0.9 threshold —
+    /// otherwise identical-schema scenarios (s4-s4, d1-d2) would report
+    /// spurious value heterogeneities.
+    #[test]
+    fn self_fit_clears_threshold((col, dt) in arb_homogeneous_column()) {
+        let p = AttributeProfile::compute(col.iter(), dt);
+        let fit = AttributeProfile::fit_against(&p, &p);
+        prop_assert!(fit.overall > 0.9, "self fit {} for {:?}", fit.overall, dt);
+    }
+
+    /// Fill ratio is (total - nulls - incompatible) / total and in [0,1].
+    #[test]
+    fn fill_ratio_bounds(col in arb_column()) {
+        let fs = FillStatus::compute(col.iter(), DataType::Integer);
+        prop_assert!((0.0..=1.0).contains(&fs.fill_ratio()));
+        prop_assert!(fs.nulls + fs.incompatible <= fs.total);
+    }
+
+    /// Constancy is in [0,1] and equals 1 iff at most one distinct value.
+    #[test]
+    fn constancy_bounds(col in arb_column()) {
+        let c = Constancy::compute(col.iter());
+        prop_assert!((0.0..=1.0).contains(&c.constancy));
+        if c.distinct <= 1 {
+            prop_assert_eq!(c.constancy, 1.0);
+        }
+    }
+
+    /// Pattern counts partition the non-null values.
+    #[test]
+    fn pattern_counts_partition(col in arb_column()) {
+        let tp = TextPatterns::compute(col.iter());
+        let sum: usize = tp.counts.iter().map(|(_, c)| *c).sum();
+        prop_assert_eq!(sum, tp.total);
+    }
+
+    /// Histogram buckets sum to ~1 when any numeric values exist.
+    #[test]
+    fn histogram_mass_conserved(col in proptest::collection::vec((-1000i64..1000).prop_map(Value::Int), 1..50)) {
+        let h = NumericHistogram::compute(col.iter(), 8);
+        let sum: f64 = h.buckets.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Top-k coverage never exceeds 1 and the retained counts are sorted.
+    #[test]
+    fn top_k_sorted_and_bounded(col in arb_column()) {
+        let t = TopK::compute(col.iter(), 5);
+        prop_assert!(t.coverage() <= 1.0 + 1e-12);
+        for w in t.values.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        prop_assert!(t.values.len() <= 5);
+    }
+
+    /// Range fit is symmetric in the degenerate equal case.
+    #[test]
+    fn range_self_fit(col in proptest::collection::vec((-1000i64..1000).prop_map(Value::Int), 1..50)) {
+        let r = ValueRange::compute(col.iter());
+        prop_assert_eq!(ValueRange::fit(&r, &r), 1.0);
+    }
+}

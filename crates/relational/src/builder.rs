@@ -1,0 +1,266 @@
+//! Fluent builders for databases — the ergonomic front door used by the
+//! scenario generators and by tests.
+
+use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
+use crate::database::Database;
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+use crate::instance::Row;
+use crate::schema::{Attribute, Schema, Table};
+
+/// Builder for a single table and its table-local constraints.
+///
+/// Constraints are recorded by *name* and resolved to ids when the
+/// enclosing [`DatabaseBuilder`] finishes, so tables can reference tables
+/// declared later (forward foreign keys).
+pub struct TableBuilder {
+    name: String,
+    attributes: Vec<Attribute>,
+    pending: Vec<PendingConstraint>,
+}
+
+enum PendingConstraint {
+    PrimaryKey(Vec<String>),
+    Unique(Vec<String>),
+    NotNull(String),
+    ForeignKey {
+        from: Vec<String>,
+        to_table: String,
+        to: Vec<String>,
+    },
+}
+
+impl TableBuilder {
+    fn new(name: &str) -> Self {
+        TableBuilder {
+            name: name.to_owned(),
+            attributes: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Add an attribute.
+    pub fn attr(mut self, name: &str, datatype: DataType) -> Self {
+        self.attributes.push(Attribute::new(name, datatype));
+        self
+    }
+
+    /// Declare a primary key over the named attributes.
+    pub fn primary_key(mut self, attrs: &[&str]) -> Self {
+        self.pending.push(PendingConstraint::PrimaryKey(
+            attrs.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        self
+    }
+
+    /// Declare a uniqueness constraint over the named attributes.
+    pub fn unique(mut self, attrs: &[&str]) -> Self {
+        self.pending.push(PendingConstraint::Unique(
+            attrs.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        self
+    }
+
+    /// Declare a NOT NULL constraint on the named attribute.
+    pub fn not_null(mut self, attr: &str) -> Self {
+        self.pending.push(PendingConstraint::NotNull(attr.to_owned()));
+        self
+    }
+
+    /// Declare a foreign key from this table's `from` attributes to
+    /// `to_table`'s `to` attributes.
+    pub fn foreign_key(mut self, from: &[&str], to_table: &str, to: &[&str]) -> Self {
+        self.pending.push(PendingConstraint::ForeignKey {
+            from: from.iter().map(|s| (*s).to_owned()).collect(),
+            to_table: to_table.to_owned(),
+            to: to.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        self
+    }
+}
+
+/// Builder for a whole [`Database`].
+///
+/// ```
+/// use efes_relational::{DatabaseBuilder, DataType};
+///
+/// let db = DatabaseBuilder::new("music")
+///     .table("albums", |t| {
+///         t.attr("id", DataType::Integer)
+///             .attr("name", DataType::Text)
+///             .primary_key(&["id"])
+///             .not_null("name")
+///     })
+///     .rows("albums", vec![vec![1.into(), "Second Helping".into()]])
+///     .build()
+///     .unwrap();
+/// assert_eq!(db.schema.attribute_count(), 2);
+/// ```
+pub struct DatabaseBuilder {
+    name: String,
+    tables: Vec<TableBuilder>,
+    rows: Vec<(String, Vec<Row>)>,
+}
+
+impl DatabaseBuilder {
+    /// Start building a database with the given name.
+    pub fn new(name: &str) -> Self {
+        DatabaseBuilder {
+            name: name.to_owned(),
+            tables: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Define a table via a closure over a [`TableBuilder`].
+    pub fn table(mut self, name: &str, f: impl FnOnce(TableBuilder) -> TableBuilder) -> Self {
+        self.tables.push(f(TableBuilder::new(name)));
+        self
+    }
+
+    /// Queue rows for the named table (inserted after schema assembly).
+    pub fn rows(mut self, table: &str, rows: Vec<Row>) -> Self {
+        self.rows.push((table.to_owned(), rows));
+        self
+    }
+
+    /// Assemble the database: build the schema, resolve constraint names to
+    /// ids, validate the constraint set, and insert the queued rows with
+    /// type checking.
+    pub fn build(self) -> Result<Database> {
+        let mut schema = Schema::new(self.name);
+        for tb in &self.tables {
+            schema.add_table(Table::new(tb.name.clone(), tb.attributes.clone()))?;
+        }
+
+        let mut constraints = ConstraintSet::new();
+        for tb in &self.tables {
+            let tid = schema.table_id(&tb.name).expect("just added");
+            let resolve_list = |names: &[String]| -> Result<Vec<crate::schema::AttrId>> {
+                names
+                    .iter()
+                    .map(|n| {
+                        schema.table(tid).attr_id(n).ok_or_else(|| Error::UnknownAttribute {
+                            table: tb.name.clone(),
+                            attribute: n.clone(),
+                        })
+                    })
+                    .collect()
+            };
+            for pc in &tb.pending {
+                let constraint = match pc {
+                    PendingConstraint::PrimaryKey(attrs) => Constraint::new(
+                        format!("{}_pk", tb.name),
+                        ConstraintKind::PrimaryKey {
+                            table: tid,
+                            attrs: resolve_list(attrs)?,
+                        },
+                    ),
+                    PendingConstraint::Unique(attrs) => Constraint::new(
+                        format!("{}_{}_uq", tb.name, attrs.join("_")),
+                        ConstraintKind::Unique {
+                            table: tid,
+                            attrs: resolve_list(attrs)?,
+                        },
+                    ),
+                    PendingConstraint::NotNull(attr) => Constraint::new(
+                        format!("{}_{}_nn", tb.name, attr),
+                        ConstraintKind::NotNull {
+                            table: tid,
+                            attr: resolve_list(std::slice::from_ref(attr))?[0],
+                        },
+                    ),
+                    PendingConstraint::ForeignKey { from, to_table, to } => {
+                        let to_tid = schema
+                            .table_id(to_table)
+                            .ok_or_else(|| Error::UnknownTable(to_table.clone()))?;
+                        let to_attrs = to
+                            .iter()
+                            .map(|n| {
+                                schema.table(to_tid).attr_id(n).ok_or_else(|| {
+                                    Error::UnknownAttribute {
+                                        table: to_table.clone(),
+                                        attribute: n.clone(),
+                                    }
+                                })
+                            })
+                            .collect::<Result<Vec<_>>>()?;
+                        Constraint::new(
+                            format!("{}_{}_fk", tb.name, from.join("_")),
+                            ConstraintKind::ForeignKey {
+                                from_table: tid,
+                                from_attrs: resolve_list(from)?,
+                                to_table: to_tid,
+                                to_attrs,
+                            },
+                        )
+                    }
+                };
+                constraints.push(constraint);
+            }
+        }
+        constraints.check_against(&schema)?;
+
+        let mut db = Database::new(schema, constraints);
+        for (table, rows) in self.rows {
+            for row in rows {
+                db.insert_by_name(&table, row)?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_forward_foreign_keys() {
+        let db = DatabaseBuilder::new("x")
+            .table("child", |t| {
+                t.attr("parent", DataType::Integer)
+                    .foreign_key(&["parent"], "parent", &["id"])
+            })
+            .table("parent", |t| t.attr("id", DataType::Integer).primary_key(&["id"]))
+            .build()
+            .unwrap();
+        assert_eq!(db.constraints.foreign_key_count(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_fk_target() {
+        let r = DatabaseBuilder::new("x")
+            .table("child", |t| {
+                t.attr("parent", DataType::Integer)
+                    .foreign_key(&["parent"], "nope", &["id"])
+            })
+            .build();
+        assert!(matches!(r, Err(Error::UnknownTable(_))));
+    }
+
+    #[test]
+    fn rejects_bad_rows_at_build_time() {
+        let r = DatabaseBuilder::new("x")
+            .table("t", |t| t.attr("a", DataType::Integer))
+            .rows("t", vec![vec!["oops".into()]])
+            .build();
+        assert!(matches!(r, Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn constraint_names_are_deterministic() {
+        let db = DatabaseBuilder::new("x")
+            .table("t", |t| {
+                t.attr("a", DataType::Integer)
+                    .attr("b", DataType::Text)
+                    .primary_key(&["a"])
+                    .not_null("b")
+                    .unique(&["b"])
+            })
+            .build()
+            .unwrap();
+        let names: Vec<&str> = db.constraints.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["t_pk", "t_b_nn", "t_b_uq"]);
+    }
+}

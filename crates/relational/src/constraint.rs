@@ -1,0 +1,369 @@
+//! Declarative integrity constraints.
+//!
+//! The paper's CSG formalism (§4.1) expresses "unique, not-null, and foreign
+//! key constraints [...] as well as two conformity rules for relational
+//! schemas" through prescribed cardinalities. This module is the relational-
+//! level representation those cardinalities are derived from.
+
+use crate::error::{Error, Result};
+use crate::schema::{AttrId, Schema, TableId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of an integrity constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Primary key over one or more attributes (implies unique + not-null).
+    PrimaryKey {
+        /// The constrained table.
+        table: TableId,
+        /// The key attributes, in declaration order.
+        attrs: Vec<AttrId>,
+    },
+    /// Uniqueness over one or more attributes.
+    Unique {
+        /// The constrained table.
+        table: TableId,
+        /// The unique attribute combination.
+        attrs: Vec<AttrId>,
+    },
+    /// A single attribute may not be NULL.
+    NotNull {
+        /// The constrained table.
+        table: TableId,
+        /// The non-nullable attribute.
+        attr: AttrId,
+    },
+    /// Foreign key: `from` attributes reference `to` attributes.
+    ForeignKey {
+        /// The referencing table.
+        from_table: TableId,
+        /// The referencing attributes.
+        from_attrs: Vec<AttrId>,
+        /// The referenced table.
+        to_table: TableId,
+        /// The referenced attributes (position-aligned with
+        /// `from_attrs`).
+        to_attrs: Vec<AttrId>,
+    },
+}
+
+/// A named integrity constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Stable constraint name used in complexity reports.
+    pub name: String,
+    /// What the constraint requires.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// Create a named constraint.
+    pub fn new(name: impl Into<String>, kind: ConstraintKind) -> Self {
+        Constraint {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The table the constraint is *defined on* (the referencing table for
+    /// foreign keys).
+    pub fn table(&self) -> TableId {
+        match &self.kind {
+            ConstraintKind::PrimaryKey { table, .. }
+            | ConstraintKind::Unique { table, .. }
+            | ConstraintKind::NotNull { table, .. } => *table,
+            ConstraintKind::ForeignKey { from_table, .. } => *from_table,
+        }
+    }
+
+    /// Validate that every referenced table/attribute exists in `schema`
+    /// and that attribute lists are well-formed.
+    pub fn check_against(&self, schema: &Schema) -> Result<()> {
+        let check_attr = |table: TableId, attr: AttrId| -> Result<()> {
+            if table.0 >= schema.table_count() {
+                return Err(Error::InvalidConstraint(format!(
+                    "constraint `{}` refers to missing table {table}",
+                    self.name
+                )));
+            }
+            if attr.0 >= schema.table(table).arity() {
+                return Err(Error::InvalidConstraint(format!(
+                    "constraint `{}` refers to missing attribute {attr} of table `{}`",
+                    self.name,
+                    schema.table(table).name
+                )));
+            }
+            Ok(())
+        };
+        match &self.kind {
+            ConstraintKind::PrimaryKey { table, attrs }
+            | ConstraintKind::Unique { table, attrs } => {
+                if attrs.is_empty() {
+                    return Err(Error::InvalidConstraint(format!(
+                        "constraint `{}` has an empty attribute list",
+                        self.name
+                    )));
+                }
+                attrs.iter().try_for_each(|a| check_attr(*table, *a))
+            }
+            ConstraintKind::NotNull { table, attr } => check_attr(*table, *attr),
+            ConstraintKind::ForeignKey {
+                from_table,
+                from_attrs,
+                to_table,
+                to_attrs,
+            } => {
+                if from_attrs.is_empty() || from_attrs.len() != to_attrs.len() {
+                    return Err(Error::InvalidConstraint(format!(
+                        "foreign key `{}` has mismatched attribute lists",
+                        self.name
+                    )));
+                }
+                from_attrs
+                    .iter()
+                    .try_for_each(|a| check_attr(*from_table, *a))?;
+                to_attrs.iter().try_for_each(|a| check_attr(*to_table, *a))
+            }
+        }
+    }
+}
+
+/// An ordered collection of constraints attached to a schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a constraint.
+    pub fn push(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// All constraints, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` iff no constraints are present.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// `true` iff `attr` of `table` is non-nullable: either via an explicit
+    /// NOT NULL or because it participates in the table's primary key.
+    pub fn is_not_null(&self, table: TableId, attr: AttrId) -> bool {
+        self.constraints.iter().any(|c| match &c.kind {
+            ConstraintKind::NotNull { table: t, attr: a } => *t == table && *a == attr,
+            ConstraintKind::PrimaryKey { table: t, attrs } => *t == table && attrs.contains(&attr),
+            _ => false,
+        })
+    }
+
+    /// `true` iff `attr` of `table` is unique on its own: either via a
+    /// single-column UNIQUE or a single-column primary key.
+    pub fn is_unique(&self, table: TableId, attr: AttrId) -> bool {
+        self.constraints.iter().any(|c| match &c.kind {
+            ConstraintKind::Unique { table: t, attrs }
+            | ConstraintKind::PrimaryKey { table: t, attrs } => {
+                *t == table && attrs.len() == 1 && attrs[0] == attr
+            }
+            _ => false,
+        })
+    }
+
+    /// The primary-key attributes of `table`, if a primary key is declared.
+    pub fn primary_key(&self, table: TableId) -> Option<&[AttrId]> {
+        self.constraints.iter().find_map(|c| match &c.kind {
+            ConstraintKind::PrimaryKey { table: t, attrs } if *t == table => {
+                Some(attrs.as_slice())
+            }
+            _ => None,
+        })
+    }
+
+    /// All foreign keys *leaving* `table`.
+    pub fn foreign_keys_from(&self, table: TableId) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter().filter(move |c| {
+            matches!(&c.kind, ConstraintKind::ForeignKey { from_table, .. } if *from_table == table)
+        })
+    }
+
+    /// All foreign keys in the set.
+    pub fn foreign_keys(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints
+            .iter()
+            .filter(|c| matches!(c.kind, ConstraintKind::ForeignKey { .. }))
+    }
+
+    /// Count of foreign keys (used by the mapping effort function,
+    /// Table 9: `Write mapping = 3·#FKs + 3·#PKs + #atts + 3·#tables`).
+    pub fn foreign_key_count(&self) -> usize {
+        self.foreign_keys().count()
+    }
+
+    /// Count of primary keys.
+    pub fn primary_key_count(&self) -> usize {
+        self.constraints
+            .iter()
+            .filter(|c| matches!(c.kind, ConstraintKind::PrimaryKey { .. }))
+            .count()
+    }
+
+    /// Validate every constraint against `schema`.
+    pub fn check_against(&self, schema: &Schema) -> Result<()> {
+        self.constraints
+            .iter()
+            .try_for_each(|c| c.check_against(schema))
+    }
+}
+
+impl fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintKind::PrimaryKey { .. } => write!(f, "PRIMARY KEY"),
+            ConstraintKind::Unique { .. } => write!(f, "UNIQUE"),
+            ConstraintKind::NotNull { .. } => write!(f, "NOT NULL"),
+            ConstraintKind::ForeignKey { .. } => write!(f, "FOREIGN KEY"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::{Attribute, Table};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("t");
+        s.add_table(Table::new(
+            "records",
+            vec![
+                Attribute::new("id", DataType::Integer),
+                Attribute::new("title", DataType::Text),
+                Attribute::new("artist", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        s.add_table(Table::new(
+            "tracks",
+            vec![
+                Attribute::new("record", DataType::Integer),
+                Attribute::new("title", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        s
+    }
+
+    fn constraints() -> ConstraintSet {
+        let mut cs = ConstraintSet::new();
+        cs.push(Constraint::new(
+            "records_pk",
+            ConstraintKind::PrimaryKey {
+                table: TableId(0),
+                attrs: vec![AttrId(0)],
+            },
+        ));
+        cs.push(Constraint::new(
+            "records_title_nn",
+            ConstraintKind::NotNull {
+                table: TableId(0),
+                attr: AttrId(1),
+            },
+        ));
+        cs.push(Constraint::new(
+            "tracks_record_fk",
+            ConstraintKind::ForeignKey {
+                from_table: TableId(1),
+                from_attrs: vec![AttrId(0)],
+                to_table: TableId(0),
+                to_attrs: vec![AttrId(0)],
+            },
+        ));
+        cs
+    }
+
+    #[test]
+    fn pk_implies_not_null_and_unique() {
+        let cs = constraints();
+        assert!(cs.is_not_null(TableId(0), AttrId(0)));
+        assert!(cs.is_unique(TableId(0), AttrId(0)));
+        assert!(cs.is_not_null(TableId(0), AttrId(1)));
+        assert!(!cs.is_not_null(TableId(0), AttrId(2)));
+        assert!(!cs.is_unique(TableId(0), AttrId(1)));
+    }
+
+    #[test]
+    fn counts_match() {
+        let cs = constraints();
+        assert_eq!(cs.foreign_key_count(), 1);
+        assert_eq!(cs.primary_key_count(), 1);
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_set() {
+        assert!(constraints().check_against(&schema()).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_dangling_references() {
+        let mut cs = ConstraintSet::new();
+        cs.push(Constraint::new(
+            "bad",
+            ConstraintKind::NotNull {
+                table: TableId(9),
+                attr: AttrId(0),
+            },
+        ));
+        assert!(cs.check_against(&schema()).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_empty_key() {
+        let mut cs = ConstraintSet::new();
+        cs.push(Constraint::new(
+            "bad",
+            ConstraintKind::PrimaryKey {
+                table: TableId(0),
+                attrs: vec![],
+            },
+        ));
+        assert!(cs.check_against(&schema()).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_arity_mismatched_fk() {
+        let mut cs = ConstraintSet::new();
+        cs.push(Constraint::new(
+            "bad_fk",
+            ConstraintKind::ForeignKey {
+                from_table: TableId(1),
+                from_attrs: vec![AttrId(0), AttrId(1)],
+                to_table: TableId(0),
+                to_attrs: vec![AttrId(0)],
+            },
+        ));
+        assert!(cs.check_against(&schema()).is_err());
+    }
+
+    #[test]
+    fn primary_key_lookup() {
+        let cs = constraints();
+        assert_eq!(cs.primary_key(TableId(0)), Some(&[AttrId(0)][..]));
+        assert_eq!(cs.primary_key(TableId(1)), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type shared across the relational substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the relational substrate.
+///
+/// The variants are deliberately coarse: callers in the EFES stack either
+/// surface them to the user verbatim or treat them as programming errors in
+/// scenario construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table name could not be resolved in a schema.
+    UnknownTable(String),
+    /// An attribute name could not be resolved in a table.
+    UnknownAttribute {
+        /// The table that was searched.
+        table: String,
+        /// The attribute name that was not found.
+        attribute: String,
+    },
+    /// A table or attribute with this name already exists.
+    DuplicateName(String),
+    /// A row has the wrong arity or a value of the wrong type for its table.
+    RowShape {
+        /// The target table.
+        table: String,
+        /// The table's arity.
+        expected: usize,
+        /// The offending row's length.
+        actual: usize,
+    },
+    /// A value does not conform to the declared attribute type.
+    TypeMismatch {
+        /// The target table.
+        table: String,
+        /// The typed attribute.
+        attribute: String,
+        /// The declared datatype.
+        expected: String,
+        /// The offending value's runtime type.
+        actual: String,
+    },
+    /// A cast between datatypes failed for a concrete value.
+    CastFailed {
+        /// Rendering of the value that failed to cast.
+        value: String,
+        /// The requested target datatype.
+        target: String,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A constraint refers to schema elements that do not exist.
+    InvalidConstraint(String),
+    /// A correspondence refers to schema elements that do not exist.
+    InvalidCorrespondence(String),
+    /// I/O error while reading or writing data files.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            Error::UnknownAttribute { table, attribute } => {
+                write!(f, "unknown attribute `{table}.{attribute}`")
+            }
+            Error::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            Error::RowShape {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "row for table `{table}` has {actual} values, expected {expected}"
+            ),
+            Error::TypeMismatch {
+                table,
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "value for `{table}.{attribute}` has type {actual}, expected {expected}"
+            ),
+            Error::CastFailed { value, target } => {
+                write!(f, "cannot cast `{value}` to {target}")
+            }
+            Error::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            Error::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            Error::InvalidCorrespondence(msg) => write!(f, "invalid correspondence: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}

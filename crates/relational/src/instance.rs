@@ -1,0 +1,329 @@
+//! Database instances (the data) and constraint validation.
+
+use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
+use crate::error::{Error, Result};
+use crate::schema::{AttrId, Schema, TableId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One tuple of a relation.
+pub type Row = Vec<Value>;
+
+/// The rows of a single table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableData {
+    rows: Vec<Row>,
+}
+
+impl TableData {
+    /// Empty table data.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a row (shape is checked by [`Instance::insert`]).
+    fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over the values of one column.
+    pub fn column(&self, attr: AttrId) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[attr.0])
+    }
+}
+
+/// A violation found while validating an instance against its constraints.
+///
+/// EFES only ever needs violation *counts* per constraint (paper §4.1:
+/// "we can count the number of albums in the source data, that are
+/// associated to no or more than one artist"), but carrying the row index
+/// makes the reports debuggable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Name of the violated constraint.
+    pub constraint: String,
+    /// Table the offending row lives in.
+    pub table: TableId,
+    /// Index of the offending row within its table.
+    pub row: usize,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// An instance of a [`Schema`]: one [`TableData`] per table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    tables: Vec<TableData>,
+}
+
+impl Instance {
+    /// An empty instance shaped for `schema`.
+    pub fn empty(schema: &Schema) -> Self {
+        Instance {
+            tables: (0..schema.table_count()).map(|_| TableData::new()).collect(),
+        }
+    }
+
+    /// Insert a row after checking arity and declared types against
+    /// `schema`.
+    pub fn insert(&mut self, schema: &Schema, table: TableId, row: Row) -> Result<()> {
+        let t = schema.table(table);
+        if row.len() != t.arity() {
+            return Err(Error::RowShape {
+                table: t.name.clone(),
+                expected: t.arity(),
+                actual: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            let attr = &t.attributes[i];
+            if !attr.datatype.admits(v) {
+                return Err(Error::TypeMismatch {
+                    table: t.name.clone(),
+                    attribute: attr.name.clone(),
+                    expected: attr.datatype.to_string(),
+                    actual: v.type_name().to_owned(),
+                });
+            }
+        }
+        self.tables[table.0].push(row);
+        Ok(())
+    }
+
+    /// Data of one table.
+    pub fn table(&self, id: TableId) -> &TableData {
+        &self.tables[id.0]
+    }
+
+    /// Total number of rows across all tables.
+    pub fn row_count(&self) -> usize {
+        self.tables.iter().map(TableData::len).sum()
+    }
+
+    /// Iterate over all `(TableId, &TableData)` pairs.
+    pub fn iter_tables(&self) -> impl Iterator<Item = (TableId, &TableData)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i), t))
+    }
+
+    /// The distinct non-null values of one column, in first-seen order.
+    pub fn distinct_values(&self, table: TableId, attr: AttrId) -> Vec<Value> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for v in self.table(table).column(attr) {
+            if !v.is_null() && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Validate the instance against `constraints`, returning every
+    /// violation. An empty result means the instance is valid — the paper
+    /// *assumes* source instances are valid w.r.t. their own schemas
+    /// (§3.1), and the scenario generators use this to assert it.
+    pub fn validate(&self, schema: &Schema, constraints: &ConstraintSet) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for c in constraints.iter() {
+            self.check_constraint(schema, c, &mut out);
+        }
+        out
+    }
+
+    fn check_constraint(&self, schema: &Schema, c: &Constraint, out: &mut Vec<Violation>) {
+        match &c.kind {
+            ConstraintKind::NotNull { table, attr } => {
+                for (i, row) in self.table(*table).rows().iter().enumerate() {
+                    if row[attr.0].is_null() {
+                        out.push(Violation {
+                            constraint: c.name.clone(),
+                            table: *table,
+                            row: i,
+                            detail: format!("NULL in {}", schema.qualified(*table, *attr)),
+                        });
+                    }
+                }
+            }
+            ConstraintKind::PrimaryKey { table, attrs } | ConstraintKind::Unique { table, attrs } => {
+                let is_pk = matches!(c.kind, ConstraintKind::PrimaryKey { .. });
+                let mut seen: HashMap<Vec<&Value>, usize> = HashMap::new();
+                for (i, row) in self.table(*table).rows().iter().enumerate() {
+                    let key: Vec<&Value> = attrs.iter().map(|a| &row[a.0]).collect();
+                    if is_pk && key.iter().any(|v| v.is_null()) {
+                        out.push(Violation {
+                            constraint: c.name.clone(),
+                            table: *table,
+                            row: i,
+                            detail: "NULL in primary key".to_owned(),
+                        });
+                        continue;
+                    }
+                    // SQL semantics: NULLs never collide under UNIQUE.
+                    if !is_pk && key.iter().any(|v| v.is_null()) {
+                        continue;
+                    }
+                    if let Some(first) = seen.insert(key, i) {
+                        out.push(Violation {
+                            constraint: c.name.clone(),
+                            table: *table,
+                            row: i,
+                            detail: format!("duplicate key (first at row {first})"),
+                        });
+                    }
+                }
+            }
+            ConstraintKind::ForeignKey {
+                from_table,
+                from_attrs,
+                to_table,
+                to_attrs,
+            } => {
+                let referenced: HashSet<Vec<&Value>> = self
+                    .table(*to_table)
+                    .rows()
+                    .iter()
+                    .map(|row| to_attrs.iter().map(|a| &row[a.0]).collect())
+                    .collect();
+                for (i, row) in self.table(*from_table).rows().iter().enumerate() {
+                    let key: Vec<&Value> = from_attrs.iter().map(|a| &row[a.0]).collect();
+                    // SQL MATCH SIMPLE: any NULL component satisfies the FK.
+                    if key.iter().any(|v| v.is_null()) {
+                        continue;
+                    }
+                    if !referenced.contains(&key) {
+                        out.push(Violation {
+                            constraint: c.name.clone(),
+                            table: *from_table,
+                            row: i,
+                            detail: format!(
+                                "dangling reference into `{}`",
+                                schema.table(*to_table).name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatabaseBuilder;
+    use crate::datatype::DataType;
+
+    fn db() -> crate::database::Database {
+        DatabaseBuilder::new("test")
+            .table("records", |t| {
+                t.attr("id", DataType::Integer)
+                    .attr("title", DataType::Text)
+                    .primary_key(&["id"])
+                    .not_null("title")
+            })
+            .table("tracks", |t| {
+                t.attr("record", DataType::Integer)
+                    .attr("title", DataType::Text)
+                    .foreign_key(&["record"], "records", &["id"])
+            })
+            .rows("records", vec![vec![1.into(), "A".into()], vec![2.into(), "B".into()]])
+            .rows("tracks", vec![vec![1.into(), "x".into()]])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_instance_has_no_violations() {
+        let db = db();
+        assert!(db.validate().is_empty());
+    }
+
+    #[test]
+    fn not_null_violation_detected() {
+        let mut db = db();
+        let t = db.schema.table_id("records").unwrap();
+        db.insert_by_name("records", vec![3.into(), Value::Null])
+            .unwrap();
+        let v = db.validate();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].table, t);
+        assert!(v[0].detail.contains("NULL"));
+    }
+
+    #[test]
+    fn duplicate_pk_detected() {
+        let mut db = db();
+        db.insert_by_name("records", vec![1.into(), "C".into()])
+            .unwrap();
+        let v = db.validate();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("duplicate"));
+    }
+
+    #[test]
+    fn dangling_fk_detected_and_null_fk_tolerated() {
+        let mut db = db();
+        db.insert_by_name("tracks", vec![99.into(), "y".into()])
+            .unwrap();
+        db.insert_by_name("tracks", vec![Value::Null, "z".into()])
+            .unwrap();
+        let v = db.validate();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("dangling"));
+    }
+
+    #[test]
+    fn unique_ignores_nulls() {
+        let db = DatabaseBuilder::new("u")
+            .table("t", |t| {
+                t.attr("x", DataType::Integer).unique(&["x"])
+            })
+            .rows("t", vec![vec![Value::Null], vec![Value::Null], vec![1.into()]])
+            .build()
+            .unwrap();
+        assert!(db.validate().is_empty());
+    }
+
+    #[test]
+    fn insert_checks_shape_and_types() {
+        let mut db = db();
+        assert!(matches!(
+            db.insert_by_name("records", vec![1.into()]),
+            Err(Error::RowShape { .. })
+        ));
+        assert!(matches!(
+            db.insert_by_name("records", vec!["notint".into(), "T".into()]),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_values_skips_nulls_and_dupes() {
+        let mut db = db();
+        db.insert_by_name("tracks", vec![1.into(), "x".into()])
+            .unwrap();
+        db.insert_by_name("tracks", vec![Value::Null, "w".into()])
+            .unwrap();
+        let t = db.schema.table_id("tracks").unwrap();
+        let d = db.instance.distinct_values(t, AttrId(0));
+        assert_eq!(d, vec![Value::Int(1)]);
+    }
+}

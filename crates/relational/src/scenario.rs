@@ -1,0 +1,455 @@
+//! Integration scenarios: sources, a target, and correspondences.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::schema::{AttrId, TableId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a source database within an [`IntegrationScenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub usize);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// A fully qualified attribute reference: which database, table, attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrRef {
+    /// Table within the owning schema.
+    pub table: TableId,
+    /// Attribute within the table.
+    pub attr: AttrId,
+}
+
+/// A correspondence between source and target schema elements (paper §3.1:
+/// *"each correspondence connects a source schema element with the target
+/// schema element, into which its contents should be integrated"*).
+///
+/// Correspondences come in two granularities, mirroring Figure 2a where
+/// solid arrows connect both attributes and relations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Correspondence {
+    /// A source table's instances should become instances of a target table
+    /// (e.g. `albums ⇝ records`).
+    Table {
+        /// Which source database the source table belongs to.
+        source: SourceId,
+        /// The source table.
+        source_table: TableId,
+        /// The target table.
+        target_table: TableId,
+    },
+    /// A source attribute stores the same atomic information as a target
+    /// attribute (e.g. `albums.name ⇝ records.title`).
+    Attribute {
+        /// Which source database the source attribute belongs to.
+        source: SourceId,
+        /// The source attribute.
+        source_attr: AttrRef,
+        /// The target attribute.
+        target_attr: AttrRef,
+    },
+}
+
+impl Correspondence {
+    /// The source database this correspondence originates from.
+    pub fn source(&self) -> SourceId {
+        match self {
+            Correspondence::Table { source, .. } | Correspondence::Attribute { source, .. } => {
+                *source
+            }
+        }
+    }
+}
+
+/// All correspondences of a scenario.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrespondenceSet {
+    items: Vec<Correspondence>,
+}
+
+impl CorrespondenceSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a correspondence.
+    pub fn push(&mut self, c: Correspondence) {
+        self.items.push(c);
+    }
+
+    /// All correspondences in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Correspondence> {
+        self.items.iter()
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff no correspondences exist.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// All attribute correspondences from `source`.
+    pub fn attribute_correspondences(
+        &self,
+        source: SourceId,
+    ) -> impl Iterator<Item = (AttrRef, AttrRef)> + '_ {
+        self.items.iter().filter_map(move |c| match c {
+            Correspondence::Attribute {
+                source: s,
+                source_attr,
+                target_attr,
+            } if *s == source => Some((*source_attr, *target_attr)),
+            _ => None,
+        })
+    }
+
+    /// All table correspondences from `source`.
+    pub fn table_correspondences(
+        &self,
+        source: SourceId,
+    ) -> impl Iterator<Item = (TableId, TableId)> + '_ {
+        self.items.iter().filter_map(move |c| match c {
+            Correspondence::Table {
+                source: s,
+                source_table,
+                target_table,
+            } if *s == source => Some((*source_table, *target_table)),
+            _ => None,
+        })
+    }
+
+    /// Source tables of `source` that (directly via a table correspondence,
+    /// or through one of their attributes) feed the given target table.
+    pub fn source_tables_feeding(&self, source: SourceId, target_table: TableId) -> Vec<TableId> {
+        let mut out: Vec<TableId> = Vec::new();
+        for (st, tt) in self.table_correspondences(source) {
+            if tt == target_table && !out.contains(&st) {
+                out.push(st);
+            }
+        }
+        for (sa, ta) in self.attribute_correspondences(source) {
+            if ta.table == target_table && !out.contains(&sa.table) {
+                out.push(sa.table);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// A data integration scenario (paper §3.1): source databases, a target
+/// database, and correspondences describing how sources relate to the
+/// target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntegrationScenario {
+    /// Human-readable scenario name (e.g. `"s1-s2"`, `"m1-d2"`).
+    pub name: String,
+    /// The source databases to be integrated.
+    pub sources: Vec<Database>,
+    /// The target database (may already contain data).
+    pub target: Database,
+    /// Correspondences between source and target schema elements.
+    pub correspondences: CorrespondenceSet,
+}
+
+impl IntegrationScenario {
+    /// Create a single-source scenario — the shape of all eight evaluation
+    /// scenarios in the paper.
+    pub fn single_source(
+        name: impl Into<String>,
+        source: Database,
+        target: Database,
+        correspondences: CorrespondenceSet,
+    ) -> Result<Self> {
+        let s = IntegrationScenario {
+            name: name.into(),
+            sources: vec![source],
+            target,
+            correspondences,
+        };
+        s.check()?;
+        Ok(s)
+    }
+
+    /// Create a multi-source scenario.
+    pub fn multi_source(
+        name: impl Into<String>,
+        sources: Vec<Database>,
+        target: Database,
+        correspondences: CorrespondenceSet,
+    ) -> Result<Self> {
+        let s = IntegrationScenario {
+            name: name.into(),
+            sources,
+            target,
+            correspondences,
+        };
+        s.check()?;
+        Ok(s)
+    }
+
+    /// Access a source database.
+    pub fn source(&self, id: SourceId) -> &Database {
+        &self.sources[id.0]
+    }
+
+    /// Iterate over `(SourceId, &Database)`.
+    pub fn iter_sources(&self) -> impl Iterator<Item = (SourceId, &Database)> {
+        self.sources
+            .iter()
+            .enumerate()
+            .map(|(i, db)| (SourceId(i), db))
+    }
+
+    /// Validate that every correspondence refers to existing schema
+    /// elements on both ends.
+    pub fn check(&self) -> Result<()> {
+        for c in self.correspondences.iter() {
+            let sid = c.source();
+            let source = self.sources.get(sid.0).ok_or_else(|| {
+                Error::InvalidCorrespondence(format!("unknown source database {sid}"))
+            })?;
+            let check = |db: &Database, table: TableId, attr: Option<AttrId>| -> Result<()> {
+                if table.0 >= db.schema.table_count() {
+                    return Err(Error::InvalidCorrespondence(format!(
+                        "table {table} missing in `{}`",
+                        db.name()
+                    )));
+                }
+                if let Some(a) = attr {
+                    if a.0 >= db.schema.table(table).arity() {
+                        return Err(Error::InvalidCorrespondence(format!(
+                            "attribute {a} missing in `{}.{}`",
+                            db.name(),
+                            db.schema.table(table).name
+                        )));
+                    }
+                }
+                Ok(())
+            };
+            match c {
+                Correspondence::Table {
+                    source_table,
+                    target_table,
+                    ..
+                } => {
+                    check(source, *source_table, None)?;
+                    check(&self.target, *target_table, None)?;
+                }
+                Correspondence::Attribute {
+                    source_attr,
+                    target_attr,
+                    ..
+                } => {
+                    check(source, source_attr.table, Some(source_attr.attr))?;
+                    check(&self.target, target_attr.table, Some(target_attr.attr))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: add an attribute correspondence by names, resolving
+    /// them against source 0 (single-source scenarios).
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "scenario `{}`: {} source(s) -> target `{}` ({} correspondences)",
+            self.name,
+            self.sources.len(),
+            self.target.name(),
+            self.correspondences.len()
+        );
+        for (sid, db) in self.iter_sources() {
+            s.push_str(&format!(
+                "\n  {sid}: `{}` ({} tables, {} attributes, {} rows)",
+                db.name(),
+                db.schema.table_count(),
+                db.schema.attribute_count(),
+                db.instance.row_count()
+            ));
+        }
+        s
+    }
+}
+
+/// Helper to build a [`CorrespondenceSet`] by names against concrete
+/// databases.
+pub struct CorrespondenceBuilder<'a> {
+    sources: Vec<&'a Database>,
+    target: &'a Database,
+    set: CorrespondenceSet,
+}
+
+impl<'a> CorrespondenceBuilder<'a> {
+    /// Start building against one source and a target.
+    pub fn new(source: &'a Database, target: &'a Database) -> Self {
+        CorrespondenceBuilder {
+            sources: vec![source],
+            target,
+            set: CorrespondenceSet::new(),
+        }
+    }
+
+    /// Start building against several sources and a target.
+    pub fn multi(sources: Vec<&'a Database>, target: &'a Database) -> Self {
+        CorrespondenceBuilder {
+            sources,
+            target,
+            set: CorrespondenceSet::new(),
+        }
+    }
+
+    /// Add a table correspondence `source_table ⇝ target_table` for source 0.
+    pub fn table(self, source_table: &str, target_table: &str) -> Result<Self> {
+        self.table_from(0, source_table, target_table)
+    }
+
+    /// Add a table correspondence for the given source index.
+    pub fn table_from(mut self, source: usize, source_table: &str, target_table: &str) -> Result<Self> {
+        let st = self.sources[source]
+            .schema
+            .table_id(source_table)
+            .ok_or_else(|| Error::UnknownTable(source_table.to_owned()))?;
+        let tt = self
+            .target
+            .schema
+            .table_id(target_table)
+            .ok_or_else(|| Error::UnknownTable(target_table.to_owned()))?;
+        self.set.push(Correspondence::Table {
+            source: SourceId(source),
+            source_table: st,
+            target_table: tt,
+        });
+        Ok(self)
+    }
+
+    /// Add an attribute correspondence `s_table.s_attr ⇝ t_table.t_attr`
+    /// for source 0.
+    pub fn attr(self, s_table: &str, s_attr: &str, t_table: &str, t_attr: &str) -> Result<Self> {
+        self.attr_from(0, s_table, s_attr, t_table, t_attr)
+    }
+
+    /// Add an attribute correspondence for the given source index.
+    pub fn attr_from(
+        mut self,
+        source: usize,
+        s_table: &str,
+        s_attr: &str,
+        t_table: &str,
+        t_attr: &str,
+    ) -> Result<Self> {
+        let (st, sa) = self.sources[source].schema.resolve(s_table, s_attr)?;
+        let (tt, ta) = self.target.schema.resolve(t_table, t_attr)?;
+        self.set.push(Correspondence::Attribute {
+            source: SourceId(source),
+            source_attr: AttrRef { table: st, attr: sa },
+            target_attr: AttrRef { table: tt, attr: ta },
+        });
+        Ok(self)
+    }
+
+    /// Finish and return the set.
+    pub fn finish(self) -> CorrespondenceSet {
+        self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatabaseBuilder;
+    use crate::datatype::DataType;
+
+    fn source() -> Database {
+        DatabaseBuilder::new("src")
+            .table("albums", |t| {
+                t.attr("id", DataType::Integer).attr("name", DataType::Text)
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn target() -> Database {
+        DatabaseBuilder::new("tgt")
+            .table("records", |t| {
+                t.attr("id", DataType::Integer).attr("title", DataType::Text)
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_resolves_names() {
+        let s = source();
+        let t = target();
+        let cs = CorrespondenceBuilder::new(&s, &t)
+            .table("albums", "records")
+            .unwrap()
+            .attr("albums", "name", "records", "title")
+            .unwrap()
+            .finish();
+        assert_eq!(cs.len(), 2);
+        let scenario = IntegrationScenario::single_source("x", s, t, cs).unwrap();
+        assert!(scenario.check().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_unknown_names() {
+        let s = source();
+        let t = target();
+        assert!(CorrespondenceBuilder::new(&s, &t)
+            .attr("albums", "nope", "records", "title")
+            .is_err());
+    }
+
+    #[test]
+    fn source_tables_feeding_unions_both_granularities() {
+        let s = source();
+        let t = target();
+        let cs = CorrespondenceBuilder::new(&s, &t)
+            .table("albums", "records")
+            .unwrap()
+            .attr("albums", "name", "records", "title")
+            .unwrap()
+            .finish();
+        let tt = t.schema.table_id("records").unwrap();
+        let feeding = cs.source_tables_feeding(SourceId(0), tt);
+        assert_eq!(feeding.len(), 1);
+    }
+
+    #[test]
+    fn scenario_check_catches_out_of_range_refs() {
+        let s = source();
+        let t = target();
+        let mut cs = CorrespondenceSet::new();
+        cs.push(Correspondence::Table {
+            source: SourceId(0),
+            source_table: TableId(7),
+            target_table: TableId(0),
+        });
+        assert!(IntegrationScenario::single_source("bad", s, t, cs).is_err());
+    }
+
+    #[test]
+    fn describe_mentions_everything() {
+        let s = source();
+        let t = target();
+        let cs = CorrespondenceBuilder::new(&s, &t)
+            .table("albums", "records")
+            .unwrap()
+            .finish();
+        let sc = IntegrationScenario::single_source("demo", s, t, cs).unwrap();
+        let d = sc.describe();
+        assert!(d.contains("demo") && d.contains("src") && d.contains("tgt"));
+    }
+}

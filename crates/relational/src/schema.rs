@@ -1,0 +1,248 @@
+//! Relational schemas: tables and attributes with stable integer ids.
+
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a table within its [`Schema`] (newtype over `usize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub usize);
+
+/// Index of an attribute within its [`Table`] (newtype over `usize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub usize);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// An attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its table.
+    pub name: String,
+    /// Declared datatype.
+    pub datatype: DataType,
+}
+
+impl Attribute {
+    /// Create a new attribute.
+    pub fn new(name: impl Into<String>, datatype: DataType) -> Self {
+        Attribute {
+            name: name.into(),
+            datatype,
+        }
+    }
+}
+
+/// A relation (table) with named, typed attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name, unique within its schema.
+    pub name: String,
+    /// Attributes in declaration order.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Table {
+    /// Create a table with the given attributes.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
+        Table {
+            name: name.into(),
+            attributes,
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Resolve an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttrId)
+    }
+
+    /// Access an attribute by id. Panics on out-of-range ids (ids are only
+    /// ever minted by this crate, so a bad id is a logic error).
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.0]
+    }
+}
+
+/// A named relational schema: an ordered collection of [`Table`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Schema name (e.g. the database name, `"target"`, `"amalgam-s1"`).
+    pub name: String,
+    tables: Vec<Table>,
+}
+
+impl Schema {
+    /// Create an empty schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        Schema {
+            name: name.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Add a table; fails on duplicate names.
+    pub fn add_table(&mut self, table: Table) -> Result<TableId> {
+        if self.tables.iter().any(|t| t.name == table.name) {
+            return Err(Error::DuplicateName(table.name));
+        }
+        self.tables.push(table);
+        Ok(TableId(self.tables.len() - 1))
+    }
+
+    /// Tables in declaration order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of attributes across all tables — the quantity the
+    /// attribute-counting baseline (Harden 2010) multiplies its task hours
+    /// by.
+    pub fn attribute_count(&self) -> usize {
+        self.tables.iter().map(Table::arity).sum()
+    }
+
+    /// Resolve a table by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables.iter().position(|t| t.name == name).map(TableId)
+    }
+
+    /// Access a table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0]
+    }
+
+    /// Resolve a `table.attribute` pair by names.
+    pub fn resolve(&self, table: &str, attribute: &str) -> Result<(TableId, AttrId)> {
+        let tid = self
+            .table_id(table)
+            .ok_or_else(|| Error::UnknownTable(table.to_owned()))?;
+        let aid = self
+            .table(tid)
+            .attr_id(attribute)
+            .ok_or_else(|| Error::UnknownAttribute {
+                table: table.to_owned(),
+                attribute: attribute.to_owned(),
+            })?;
+        Ok((tid, aid))
+    }
+
+    /// Iterate over `(TableId, AttrId, &Attribute)` for all attributes.
+    pub fn iter_attributes(&self) -> impl Iterator<Item = (TableId, AttrId, &Attribute)> {
+        self.tables.iter().enumerate().flat_map(|(ti, t)| {
+            t.attributes
+                .iter()
+                .enumerate()
+                .map(move |(ai, a)| (TableId(ti), AttrId(ai), a))
+        })
+    }
+
+    /// Qualified display name for an attribute, e.g. `songs.length`.
+    pub fn qualified(&self, table: TableId, attr: AttrId) -> String {
+        let t = self.table(table);
+        format!("{}.{}", t.name, t.attribute(attr).name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        let mut s = Schema::new("src");
+        s.add_table(Table::new(
+            "songs",
+            vec![
+                Attribute::new("album", DataType::Integer),
+                Attribute::new("name", DataType::Text),
+                Attribute::new("length", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        s.add_table(Table::new(
+            "albums",
+            vec![
+                Attribute::new("id", DataType::Integer),
+                Attribute::new("name", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn resolves_names_to_ids() {
+        let s = sample();
+        let (t, a) = s.resolve("songs", "length").unwrap();
+        assert_eq!(t, TableId(0));
+        assert_eq!(a, AttrId(2));
+        assert_eq!(s.qualified(t, a), "songs.length");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let s = sample();
+        assert!(matches!(
+            s.resolve("nope", "x"),
+            Err(Error::UnknownTable(_))
+        ));
+        assert!(matches!(
+            s.resolve("songs", "nope"),
+            Err(Error::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut s = sample();
+        let dup = Table::new("songs", vec![]);
+        assert!(matches!(s.add_table(dup), Err(Error::DuplicateName(_))));
+    }
+
+    #[test]
+    fn attribute_count_sums_over_tables() {
+        assert_eq!(sample().attribute_count(), 5);
+    }
+
+    #[test]
+    fn iter_attributes_covers_everything_in_order() {
+        let s = sample();
+        let names: Vec<String> = s
+            .iter_attributes()
+            .map(|(t, a, _)| s.qualified(t, a))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "songs.album",
+                "songs.name",
+                "songs.length",
+                "albums.id",
+                "albums.name"
+            ]
+        );
+    }
+}

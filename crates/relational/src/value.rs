@@ -1,0 +1,275 @@
+//! Typed relational values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single relational value.
+///
+/// `Value` is the atom both the profiling statistics (§5.1 of the paper) and
+/// the CSG instances (§4.1) operate on. It implements total ordering and
+/// hashing — floats are ordered with [`f64::total_cmp`] so values can be used
+/// as keys in `BTreeMap`s / `HashMap`s when computing distinct counts,
+/// histograms and top-k statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is permitted and ordered after all other floats.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// `true` iff the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Human-readable name of the value's runtime type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::Bool(_) => "boolean",
+        }
+    }
+
+    /// Borrow the string payload, if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the value: integers and floats promote to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Render the value the way the CSV writer and the report printers do.
+    ///
+    /// NULL renders as the empty string; text is rendered verbatim.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Text(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Rank used to order values of different runtime types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Text(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Mixed numerics compare numerically so that `Int(1)` and
+            // `Float(1.0)` land adjacently in sorted output, but remain
+            // distinct values (tie broken by type rank).
+            (Int(a), Float(b)) => (*a as f64)
+                .total_cmp(b)
+                .then(self.type_rank().cmp(&other.type_rank())),
+            (Float(a), Int(b)) => a
+                .total_cmp(&(*b as f64))
+                .then(self.type_rank().cmp(&other.type_rank())),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Text(s) => write!(f, "\"{s}\""),
+            other => write!(f, "{}", other.render()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn null_detection() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert!(!Value::Text(String::new()).is_null());
+    }
+
+    #[test]
+    fn ordering_is_total_across_types() {
+        let mut values = [Value::Text("b".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Text("a".into())];
+        values.sort();
+        assert_eq!(values[0], Value::Null);
+        assert_eq!(values[values.len() - 1], Value::Text("b".into()));
+    }
+
+    #[test]
+    fn float_nan_orders_consistently() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(1.0);
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_floats() {
+        let mut set = HashSet::new();
+        set.insert(Value::Float(1.5));
+        assert!(set.contains(&Value::Float(1.5)));
+        assert!(!set.contains(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn mixed_numerics_compare_numerically_but_stay_distinct() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+    }
+
+    #[test]
+    fn render_round_trips_simple_values() {
+        assert_eq!(Value::Int(42).render(), "42");
+        assert_eq!(Value::Text("x".into()).render(), "x");
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Bool(false).render(), "false");
+    }
+
+    #[test]
+    fn from_option_maps_none_to_null() {
+        let v: Value = Option::<i64>::None.into();
+        assert!(v.is_null());
+        let v: Value = Some(7i64).into();
+        assert_eq!(v, Value::Int(7));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the relational substrate.
+
+use efes_relational::csv;
+use efes_relational::{DataType, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 :,\\.\"-]{0,20}".prop_map(Value::Text),
+    ]
+}
+
+proptest! {
+    /// Value ordering is a total order: antisymmetric and transitive on
+    /// random triples.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    /// Equal values hash equally (HashMap soundness).
+    #[test]
+    fn value_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// Casting to text always succeeds for any value.
+    #[test]
+    fn cast_to_text_total(v in arb_value()) {
+        prop_assert!(DataType::Text.try_cast(&v).is_some());
+    }
+
+    /// A successful cast yields a value admitted by the target type.
+    #[test]
+    fn cast_result_is_admitted(v in arb_value()) {
+        for dt in DataType::ALL {
+            if let Some(out) = dt.try_cast(&v) {
+                prop_assert!(dt.admits(&out), "{dt} does not admit {out:?}");
+            }
+        }
+    }
+
+    /// Casting is idempotent: casting a cast result again is a no-op.
+    #[test]
+    fn cast_idempotent(v in arb_value()) {
+        for dt in DataType::ALL {
+            if let Some(once) = dt.try_cast(&v) {
+                // Floats may render with reduced precision via Text, so only
+                // require idempotence, not round-tripping.
+                let twice = dt.try_cast(&once);
+                prop_assert_eq!(twice, Some(once));
+            }
+        }
+    }
+
+    /// CSV escaping round-trips arbitrary text tables.
+    #[test]
+    fn csv_round_trip(rows in proptest::collection::vec(
+        proptest::collection::vec("[a-zA-Z0-9 :,\\.\"\\n-]{0,12}", 3), 1..8)) {
+        // Build a CSV by hand through the writer path: create a text table.
+        use efes_relational::DatabaseBuilder;
+        let mut b = DatabaseBuilder::new("p").table("t", |t| {
+            t.attr("a", DataType::Text)
+                .attr("b", DataType::Text)
+                .attr("c", DataType::Text)
+        });
+        let typed: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|r| r.iter().map(|s| Value::Text(s.clone())).collect())
+            .collect();
+        b = b.rows("t", typed.clone());
+        let db = b.build().unwrap();
+        let tid = db.schema.table_id("t").unwrap();
+        let text = csv::write_table(&db, tid);
+        let (header, records) = csv::parse(&text).unwrap();
+        prop_assert_eq!(header, vec!["a", "b", "c"]);
+        prop_assert_eq!(records.len(), rows.len());
+        for (rec, orig) in records.iter().zip(rows.iter()) {
+            prop_assert_eq!(rec, orig);
+        }
+    }
+
+    /// Type inference always produces a type admitting every input value.
+    #[test]
+    fn inferred_type_admits_all(vs in proptest::collection::vec(arb_value(), 0..20)) {
+        let dt = DataType::infer(vs.iter());
+        for v in &vs {
+            if !v.is_null() {
+                // Text admits only text: inference falls back to Text for
+                // heterogeneous input, where casting (not admitting) applies.
+                if dt == DataType::Text {
+                    prop_assert!(dt.try_cast(v).is_some());
+                } else {
+                    prop_assert!(dt.admits(v) || dt.try_cast(v).is_some());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The Amalgam bibliographic case study (paper §6.1).
+//!
+//! *"The first is the well-known Amalgam dataset from the bibliographic
+//! domain, which comprises four schemas with between 5 and 27 relations,
+//! each with 3 to 16 attributes."* The original dataset (University of
+//! Toronto) is not redistributable here; [`schemas`] rebuilds four
+//! structurally faithful bibliographic schemas at four normalisation
+//! levels and [`scenarios`] assembles the paper's four evaluation
+//! scenarios — `s1-s2`, `s1-s3`, `s3-s4` and the identical-schema
+//! `s4-s4` — with seeded data and a recorded problem inventory.
+//!
+//! In this domain, value heterogeneity dominates the integration effort
+//! (paper §6.2: the baseline *"has no concept of heterogeneity between
+//! values in the datasets, but it is one of the main complexity drivers
+//! in these integration scenarios"*).
+
+pub mod schemas;
+pub mod scenarios;
+
+pub use scenarios::{amalgam_scenarios, AmalgamConfig};

@@ -1,0 +1,448 @@
+//! The four bibliographic evaluation scenarios: s1-s2, s1-s3, s3-s4,
+//! s4-s4 — *"Within each domain, we included a data integration scenario
+//! with identical source and target schema and three other, randomly
+//! selected scenarios with different schemas."* (§6.1)
+
+use super::schemas::{build_s1, build_s2, build_s3, build_s4, BibSizes};
+use crate::ground_truth::{ConnectionWork, ConversionWork, GroundTruth, OracleCostModel, ProblemInventory};
+use efes::modules::MappingModule;
+use efes_relational::{CorrespondenceBuilder, Database, IntegrationScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the bibliographic case study.
+#[derive(Debug, Clone)]
+pub struct AmalgamConfig {
+    /// Instance sizes / injected problem counts.
+    pub sizes: BibSizes,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AmalgamConfig {
+    fn default() -> Self {
+        AmalgamConfig {
+            sizes: BibSizes::default_sizes(),
+            seed: 0xB1B,
+        }
+    }
+}
+
+impl AmalgamConfig {
+    /// Small sizes for fast tests.
+    pub fn small() -> Self {
+        AmalgamConfig {
+            sizes: BibSizes::small(),
+            seed: 0xB1B,
+        }
+    }
+}
+
+/// Count `(values, distinct)` of a named source column — exact
+/// conversion-work parameters for the ground-truth inventory.
+fn column_counts(db: &Database, table: &str, attr: &str) -> (u64, u64) {
+    let (t, a) = db.schema.resolve(table, attr).expect("known column");
+    let values = db
+        .instance
+        .table(t)
+        .column(a)
+        .filter(|v| !v.is_null())
+        .count() as u64;
+    let distinct = db.instance.distinct_values(t, a).len() as u64;
+    (values, distinct)
+}
+
+/// Mapping connections as ground truth: these are structural facts of
+/// the scenario (which tables feed which), counted the same way a
+/// practitioner would enumerate the queries to write.
+fn connection_work(scenario: &IntegrationScenario) -> Vec<ConnectionWork> {
+    MappingModule::connections(scenario)
+        .into_iter()
+        .map(|c| ConnectionWork {
+            target_table: scenario.target.schema.table(c.target_table).name.clone(),
+            tables: c.source_tables.len() as u64,
+            attributes: c.attributes as u64,
+            primary_key: c.primary_key,
+            foreign_keys: c.foreign_keys as u64,
+        })
+        .collect()
+}
+
+/// s1 → s2: normalising-to-flat. Multi-author papers collide with the
+/// single `author_names` field, detached persons need publication
+/// tuples, NULL years violate the target's NOT NULL, and venue/pages
+/// formats need conversion.
+fn s1_s2(cfg: &AmalgamConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_s1(sizes, &mut StdRng::seed_from_u64(cfg.seed));
+    let target = build_s2(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0xFF));
+    let correspondences = CorrespondenceBuilder::new(&source, &target)
+        .table("papers", "publications")
+        .unwrap()
+        .attr("papers", "title", "publications", "title")
+        .unwrap()
+        .attr("papers", "year", "publications", "year")
+        .unwrap()
+        .attr("persons", "name", "publications", "author_names")
+        .unwrap()
+        .attr("venues", "acronym", "publications", "venue")
+        .unwrap()
+        .attr("publications", "pages", "publications", "pages")
+        .unwrap()
+        .table("persons", "people")
+        .unwrap()
+        .attr("persons", "name", "people", "full_name")
+        .unwrap()
+        .finish();
+    let (venue_values, venue_distinct) = column_counts(&source, "venues", "acronym");
+    let (pages_values, pages_distinct) = column_counts(&source, "publications", "pages");
+    let scenario =
+        IntegrationScenario::single_source("s1-s2", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        multi_value_conflicts: vec![(
+            "publications.author_names".into(),
+            sizes.multi_author_papers as u64,
+        )],
+        detached_values: vec![(
+            "publications.author_names".into(),
+            sizes.detached_persons as u64,
+        )],
+        missing_values: vec![
+            ("publications.year".into(), sizes.missing_years as u64),
+            // Filling the tuples created for detached authors.
+            (
+                "publications.title (new tuples)".into(),
+                sizes.detached_persons as u64,
+            ),
+            (
+                "publications.year (new tuples)".into(),
+                sizes.detached_persons as u64,
+            ),
+        ],
+        dangling_refs: vec![],
+        conversions: vec![
+            ConversionWork {
+                location: "venues.acronym → publications.venue".into(),
+                values: venue_values,
+                distinct: venue_distinct,
+                critical: false,
+            },
+            ConversionWork {
+                location: "publications.pages → publications.pages".into(),
+                values: pages_values,
+                distinct: pages_distinct,
+                critical: false,
+            },
+        ],
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// s1 → s3: normalised-to-normalised. No structural conflicts (s3 keeps
+/// the M:N authorship), but name formats diverge and the textual page
+/// ranges cannot be cast into s3's integer page columns (critical).
+fn s1_s3(cfg: &AmalgamConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_s1(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x13));
+    let target = build_s3(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x31));
+    let correspondences = CorrespondenceBuilder::new(&source, &target)
+        .table("papers", "pubs")
+        .unwrap()
+        .attr("papers", "title", "pubs", "title")
+        .unwrap()
+        .attr("papers", "year", "pubs", "year")
+        .unwrap()
+        .attr("publications", "pages", "pubs", "pages_from")
+        .unwrap()
+        .table("persons", "authors")
+        .unwrap()
+        .attr("persons", "name", "authors", "name")
+        .unwrap()
+        .table("writes", "authorship")
+        .unwrap()
+        .attr("venues", "full_name", "venues3", "name")
+        .unwrap()
+        .table("venues", "venues3")
+        .unwrap()
+        .finish();
+    let (name_values, name_distinct) = column_counts(&source, "persons", "name");
+    let (pages_values, pages_distinct) = column_counts(&source, "publications", "pages");
+    let scenario =
+        IntegrationScenario::single_source("s1-s3", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        multi_value_conflicts: vec![],
+        detached_values: vec![],
+        missing_values: vec![],
+        dangling_refs: vec![],
+        conversions: vec![
+            ConversionWork {
+                location: "persons.name → authors.name".into(),
+                values: name_values,
+                distinct: name_distinct,
+                critical: false,
+            },
+            ConversionWork {
+                location: "publications.pages → pubs.pages_from".into(),
+                values: pages_values,
+                distinct: pages_distinct,
+                critical: true,
+            },
+        ],
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// s3 → s4: mid-to-mid. Name and page formats diverge, venue names must
+/// shrink to acronyms, and s3's NULL years hit s4's NOT NULL.
+fn s3_s4(cfg: &AmalgamConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_s3(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x34));
+    let target = build_s4(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x43));
+    let correspondences = CorrespondenceBuilder::new(&source, &target)
+        .table("pubs", "publications4")
+        .unwrap()
+        .attr("pubs", "title", "publications4", "title")
+        .unwrap()
+        .attr("pubs", "year", "publications4", "year")
+        .unwrap()
+        .attr("pubs", "pages_from", "publications4", "pages")
+        .unwrap()
+        .table("authors", "researchers")
+        .unwrap()
+        .attr("authors", "name", "researchers", "name")
+        .unwrap()
+        .table("authorship", "author_of")
+        .unwrap()
+        .table("venues3", "venues4")
+        .unwrap()
+        .attr("venues3", "name", "venues4", "acronym")
+        .unwrap()
+        .finish();
+    let (name_values, name_distinct) = column_counts(&source, "authors", "name");
+    let (pages_values, pages_distinct) = column_counts(&source, "pubs", "pages_from");
+    let (venue_values, venue_distinct) = column_counts(&source, "venues3", "name");
+    let scenario =
+        IntegrationScenario::single_source("s3-s4", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        multi_value_conflicts: vec![],
+        detached_values: vec![],
+        missing_values: vec![(
+            "publications4.year".into(),
+            sizes.missing_years as u64,
+        )],
+        dangling_refs: vec![],
+        conversions: vec![
+            ConversionWork {
+                location: "authors.name → researchers.name".into(),
+                values: name_values,
+                distinct: name_distinct,
+                critical: false,
+            },
+            ConversionWork {
+                location: "pubs.pages_from → publications4.pages".into(),
+                values: pages_values,
+                distinct: pages_distinct,
+                critical: false,
+            },
+            ConversionWork {
+                location: "venues3.name → venues4.acronym".into(),
+                values: venue_values,
+                distinct: venue_distinct,
+                critical: false,
+            },
+        ],
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// s4 → s4: identical schemas, clean compatible data — the control
+/// scenario where EFES must predict (and the ground truth measures)
+/// essentially pure mapping effort.
+fn s4_s4(cfg: &AmalgamConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_s4(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x44));
+    let mut target = build_s4(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x45));
+    target.schema.name = "s4'".into();
+    let mut cb = CorrespondenceBuilder::new(&source, &target);
+    for table in ["researchers", "publications4", "author_of", "venues4", "affil4", "projects", "pub_projects", "keywords4"] {
+        cb = cb.table(table, table).unwrap();
+    }
+    for (table, attr) in [
+        ("researchers", "name"),
+        ("publications4", "title"),
+        ("publications4", "year"),
+        ("publications4", "pages"),
+        ("venues4", "acronym"),
+        ("venues4", "name"),
+        ("affil4", "institute"),
+        ("projects", "name"),
+        ("keywords4", "word"),
+    ] {
+        cb = cb.attr(table, attr, table, attr).unwrap();
+    }
+    let correspondences = cb.finish();
+    let scenario =
+        IntegrationScenario::single_source("s4-s4", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        ..ProblemInventory::default()
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// All four bibliographic scenarios, in the paper's order.
+pub fn amalgam_scenarios(cfg: &AmalgamConfig) -> Vec<(IntegrationScenario, GroundTruth)> {
+    vec![s1_s2(cfg), s1_s3(cfg), s3_s4(cfg), s4_s4(cfg)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes::framework::EstimationModule;
+    use efes::modules::{StructureModule, ValueModule};
+    use efes::prelude::*;
+    use efes::settings::Quality;
+
+    fn scenarios() -> Vec<(IntegrationScenario, GroundTruth)> {
+        amalgam_scenarios(&AmalgamConfig::small())
+    }
+
+    #[test]
+    fn all_scenarios_have_valid_sources() {
+        for (s, _) in scenarios() {
+            for (_, db) in s.iter_sources() {
+                db.assert_valid();
+            }
+            s.target.assert_valid();
+        }
+    }
+
+    #[test]
+    fn s1_s2_structure_conflicts_match_injection() {
+        let (s, gt) = &scenarios()[0];
+        let m = StructureModule::default();
+        let report = m.assess(s).unwrap();
+        let sizes = BibSizes::small();
+        let multi = report
+            .findings
+            .iter()
+            .find(|f| f.text("conflict-kind") == Some("Multiple attribute values"))
+            .expect("multi-author conflict");
+        assert_eq!(multi.int("too-many"), Some(sizes.multi_author_papers as u64));
+        let detached = report
+            .findings
+            .iter()
+            .find(|f| f.text("conflict-kind") == Some("Value w/o enclosing tuple"))
+            .expect("detached persons");
+        assert_eq!(
+            detached.int("violations"),
+            Some(sizes.detached_persons as u64)
+        );
+        assert!(!gt.inventory.is_clean());
+    }
+
+    #[test]
+    fn s1_s2_detects_format_conversions() {
+        let (s, _) = &scenarios()[0];
+        let m = ValueModule::default();
+        let report = m.assess(s).unwrap();
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.location.contains("pages")),
+            "pages format mismatch must be flagged: {report:?}"
+        );
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.location.contains("venue")));
+    }
+
+    #[test]
+    fn s1_s3_flags_critical_pages_conversion() {
+        let (s, gt) = &scenarios()[1];
+        let m = ValueModule::default();
+        let report = m.assess(s).unwrap();
+        let critical = report
+            .findings
+            .iter()
+            .find(|f| f.text("heterogeneity") == Some("different-critical"))
+            .expect("text pages cannot become integers");
+        assert!(critical.location.contains("pages_from"));
+        assert!(gt.inventory.conversions.iter().any(|c| c.critical));
+        // Name-format mismatch is uncritical but present.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.location.contains("authors.name")));
+    }
+
+    #[test]
+    fn s4_s4_is_clean() {
+        let (s, gt) = &scenarios()[3];
+        assert!(gt.inventory.is_clean());
+        let est = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        let e = est.estimate(s).unwrap();
+        assert_eq!(
+            e.cleaning_minutes(),
+            0.0,
+            "identical schemas must need no cleaning: {:#?}",
+            e.tasks
+        );
+        assert!(e.mapping_minutes() > 0.0);
+    }
+
+    #[test]
+    fn measured_effort_varies_across_scenarios() {
+        // At evaluation sizes the dirty flattening scenario costs more
+        // than the identical-schema control (at toy sizes the control's
+        // larger mapping surface can dominate, so this uses defaults).
+        let all = amalgam_scenarios(&AmalgamConfig::default());
+        let totals: Vec<f64> = all
+            .iter()
+            .map(|(_, gt)| gt.measured_total(Quality::HighQuality))
+            .collect();
+        assert!(totals[0] > totals[3], "{totals:?}");
+        // And cleaning is zero only for the control.
+        use efes::task::TaskCategory;
+        let cleaning = |gt: &GroundTruth| {
+            gt.measured(Quality::HighQuality)
+                .iter()
+                .filter(|(c, _)| **c != TaskCategory::Mapping)
+                .map(|(_, v)| *v)
+                .sum::<f64>()
+        };
+        assert!(cleaning(&all[0].1) > 0.0);
+        assert_eq!(cleaning(&all[3].1), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! The Music discographic case study (paper §6.1).
+//!
+//! *"The second is a new case study we created with a set of three
+//! datasets with discographic data. In those datasets, there are three
+//! schemas with between 2 and 56 relations and between 2 and 19
+//! attributes each."* The original FreeDB/Discogs/MusicBrainz-derived
+//! dumps are not redistributable; [`schemas`] provides three structurally
+//! faithful stand-ins — **f** (flat, 2 relations), **m** (medium) and
+//! **d** (deeply normalised) — and [`scenarios`] assembles the paper's
+//! four evaluation scenarios `f1-m2`, `m1-d2`, `m1-f2` and the
+//! identical-schema `d1-d2`.
+//!
+//! In this domain, mapping dominates (paper §6.2: *"there are fewer
+//! problems at the data level and the effort is dominated by the
+//! mapping, which strongly depends on the schema"*).
+
+pub mod schemas;
+pub mod scenarios;
+
+pub use scenarios::{discography_scenarios, DiscographyConfig};

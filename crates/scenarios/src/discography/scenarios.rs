@@ -1,0 +1,428 @@
+//! The four music evaluation scenarios: f1-m2, m1-d2, m1-f2, d1-d2.
+
+use super::schemas::{build_d, build_f, build_m, MusicSizes};
+use crate::ground_truth::{ConnectionWork, ConversionWork, GroundTruth, OracleCostModel, ProblemInventory};
+use efes::modules::MappingModule;
+use efes_relational::{CorrespondenceBuilder, Database, IntegrationScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the music case study.
+#[derive(Debug, Clone)]
+pub struct DiscographyConfig {
+    /// Instance sizes / injected problem counts.
+    pub sizes: MusicSizes,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiscographyConfig {
+    fn default() -> Self {
+        DiscographyConfig {
+            sizes: MusicSizes::default_sizes(),
+            seed: 0xD15C,
+        }
+    }
+}
+
+impl DiscographyConfig {
+    /// Small sizes for fast tests.
+    pub fn small() -> Self {
+        DiscographyConfig {
+            sizes: MusicSizes::small(),
+            seed: 0xD15C,
+        }
+    }
+}
+
+fn column_counts(db: &Database, table: &str, attr: &str) -> (u64, u64) {
+    let (t, a) = db.schema.resolve(table, attr).expect("known column");
+    let values = db
+        .instance
+        .table(t)
+        .column(a)
+        .filter(|v| !v.is_null())
+        .count() as u64;
+    let distinct = db.instance.distinct_values(t, a).len() as u64;
+    (values, distinct)
+}
+
+fn connection_work(scenario: &IntegrationScenario) -> Vec<ConnectionWork> {
+    MappingModule::connections(scenario)
+        .into_iter()
+        .map(|c| ConnectionWork {
+            target_table: scenario.target.schema.table(c.target_table).name.clone(),
+            tables: c.source_tables.len() as u64,
+            attributes: c.attributes as u64,
+            primary_key: c.primary_key,
+            foreign_keys: c.foreign_keys as u64,
+        })
+        .collect()
+}
+
+/// f1 → m2: flat dump into the medium schema. Second-based track lengths
+/// must become milliseconds; NULL disc genres violate the target's NOT
+/// NULL genre.
+fn f1_m2(cfg: &DiscographyConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_f(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0xF1));
+    let target = build_m(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x2A));
+    let correspondences = CorrespondenceBuilder::new(&source, &target)
+        .table("discs", "releases")
+        .unwrap()
+        .attr("discs", "title", "releases", "title")
+        .unwrap()
+        .attr("discs", "year", "releases", "year")
+        .unwrap()
+        .attr("discs", "artist", "artists_m", "name")
+        .unwrap()
+        .table("discs", "release_genres")
+        .unwrap()
+        .attr("discs", "genre", "release_genres", "genre")
+        .unwrap()
+        .table("disc_tracks", "tracks_m")
+        .unwrap()
+        .attr("disc_tracks", "title", "tracks_m", "title")
+        .unwrap()
+        .attr("disc_tracks", "seq", "tracks_m", "position")
+        .unwrap()
+        .attr("disc_tracks", "seconds", "tracks_m", "length_ms")
+        .unwrap()
+        .finish();
+    let (sec_values, sec_distinct) = column_counts(&source, "disc_tracks", "seconds");
+    let scenario =
+        IntegrationScenario::single_source("f1-m2", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        multi_value_conflicts: vec![],
+        detached_values: vec![],
+        missing_values: vec![(
+            "release_genres.genre".into(),
+            sizes.missing_genres as u64,
+        )],
+        dangling_refs: vec![],
+        conversions: vec![ConversionWork {
+            location: "disc_tracks.seconds → tracks_m.length_ms".into(),
+            values: sec_values,
+            distinct: sec_distinct,
+            critical: false,
+        }],
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// m1 → d2: medium into the deep schema — the mapping-dominated
+/// scenario: seven connections, key generation nearly everywhere, and a
+/// single small value problem (lower-case vs capitalised genre names).
+fn m1_d2(cfg: &DiscographyConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_m(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x1D));
+    let target = build_d(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0xD2));
+    let correspondences = CorrespondenceBuilder::new(&source, &target)
+        .table("artists_m", "artists_d")
+        .unwrap()
+        .attr("artists_m", "name", "artists_d", "name")
+        .unwrap()
+        .table("releases", "releases_d")
+        .unwrap()
+        .attr("releases", "title", "releases_d", "title")
+        .unwrap()
+        .attr("releases", "year", "releases_d", "year")
+        .unwrap()
+        .table("releases", "release_groups")
+        .unwrap()
+        .attr("releases", "title", "release_groups", "title")
+        .unwrap()
+        .table("tracks_m", "tracks_d")
+        .unwrap()
+        .attr("tracks_m", "title", "tracks_d", "title")
+        .unwrap()
+        .attr("tracks_m", "position", "tracks_d", "position")
+        .unwrap()
+        .table("tracks_m", "recordings")
+        .unwrap()
+        .attr("tracks_m", "length_ms", "recordings", "length_ms")
+        .unwrap()
+        .table("labels", "labels_d")
+        .unwrap()
+        .attr("labels", "name", "labels_d", "name")
+        .unwrap()
+        .table("release_genres", "genres_d")
+        .unwrap()
+        .attr("release_genres", "genre", "genres_d", "name")
+        .unwrap()
+        .finish();
+    let (genre_values, genre_distinct) = column_counts(&source, "release_genres", "genre");
+    let scenario =
+        IntegrationScenario::single_source("m1-d2", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        conversions: vec![ConversionWork {
+            location: "release_genres.genre → genres_d.name".into(),
+            values: genre_values,
+            distinct: genre_distinct,
+            critical: false,
+        }],
+        ..ProblemInventory::default()
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// m1 → f2: denormalising into the flat schema. Multi-genre releases
+/// collide with the single `genre` column, detached artists need disc
+/// tuples, and millisecond lengths must become seconds.
+fn m1_f2(cfg: &DiscographyConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_m(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0x1F));
+    let target = build_f(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0xF2));
+    let correspondences = CorrespondenceBuilder::new(&source, &target)
+        .table("releases", "discs")
+        .unwrap()
+        .attr("releases", "title", "discs", "title")
+        .unwrap()
+        .attr("releases", "year", "discs", "year")
+        .unwrap()
+        .attr("artists_m", "name", "discs", "artist")
+        .unwrap()
+        .attr("release_genres", "genre", "discs", "genre")
+        .unwrap()
+        .table("tracks_m", "disc_tracks")
+        .unwrap()
+        .attr("tracks_m", "title", "disc_tracks", "title")
+        .unwrap()
+        .attr("tracks_m", "position", "disc_tracks", "seq")
+        .unwrap()
+        .attr("tracks_m", "length_ms", "disc_tracks", "seconds")
+        .unwrap()
+        .finish();
+    let (ms_values, ms_distinct) = column_counts(&source, "tracks_m", "length_ms");
+    let scenario =
+        IntegrationScenario::single_source("m1-f2", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        multi_value_conflicts: vec![(
+            "discs.genre".into(),
+            sizes.multi_genre_releases as u64,
+        )],
+        detached_values: vec![("discs.artist".into(), sizes.detached_artists as u64)],
+        missing_values: vec![(
+            "discs.title (new tuples)".into(),
+            sizes.detached_artists as u64,
+        )],
+        dangling_refs: vec![],
+        conversions: vec![ConversionWork {
+            location: "tracks_m.length_ms → disc_tracks.seconds".into(),
+            values: ms_values,
+            distinct: ms_distinct,
+            critical: false,
+        }],
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// d1 → d2: identical deep schemas — the music control scenario. With 16
+/// relations the mapping alone is sizeable, which is exactly where the
+/// attribute-counting baseline is strongest (paper §6.2).
+fn d1_d2(cfg: &DiscographyConfig) -> (IntegrationScenario, GroundTruth) {
+    let sizes = &cfg.sizes;
+    let source = build_d(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0xD1));
+    let mut target = build_d(sizes, &mut StdRng::seed_from_u64(cfg.seed ^ 0xDD));
+    target.schema.name = "d'".into();
+    let tables = [
+        "artists_d", "artist_aliases", "artist_credits_d", "credit_names", "release_groups",
+        "releases_d", "mediums", "tracks_d", "recordings", "labels_d", "release_labels",
+        "genres_d", "release_group_genres", "works", "work_recordings", "areas",
+    ];
+    let mut cb = CorrespondenceBuilder::new(&source, &target);
+    for t in tables {
+        cb = cb.table(t, t).unwrap();
+    }
+    for (t, a) in [
+        ("artists_d", "name"),
+        ("artists_d", "sort_name"),
+        ("artists_d", "begin_year"),
+        ("artist_aliases", "alias"),
+        ("release_groups", "title"),
+        ("releases_d", "title"),
+        ("releases_d", "year"),
+        ("releases_d", "status"),
+        ("mediums", "format"),
+        ("tracks_d", "title"),
+        ("tracks_d", "position"),
+        ("recordings", "title"),
+        ("recordings", "length_ms"),
+        ("labels_d", "name"),
+        ("labels_d", "country"),
+        ("release_labels", "catalog"),
+        ("genres_d", "name"),
+        ("works", "title"),
+        ("areas", "name"),
+    ] {
+        cb = cb.attr(t, a, t, a).unwrap();
+    }
+    let correspondences = cb.finish();
+    let scenario =
+        IntegrationScenario::single_source("d1-d2", source, target, correspondences).unwrap();
+    let inventory = ProblemInventory {
+        connections: connection_work(&scenario),
+        ..ProblemInventory::default()
+    };
+    (
+        scenario,
+        GroundTruth {
+            inventory,
+            oracle: OracleCostModel::default(),
+        },
+    )
+}
+
+/// All four music scenarios, in the paper's order.
+pub fn discography_scenarios(cfg: &DiscographyConfig) -> Vec<(IntegrationScenario, GroundTruth)> {
+    vec![f1_m2(cfg), m1_d2(cfg), m1_f2(cfg), d1_d2(cfg)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes::framework::EstimationModule;
+    use efes::modules::{StructureModule, ValueModule};
+    use efes::prelude::*;
+    use efes::settings::Quality;
+    use efes::task::TaskCategory;
+
+    fn scenarios() -> Vec<(IntegrationScenario, GroundTruth)> {
+        discography_scenarios(&DiscographyConfig::small())
+    }
+
+    #[test]
+    fn all_scenarios_have_valid_sources() {
+        for (s, _) in scenarios() {
+            for (_, db) in s.iter_sources() {
+                db.assert_valid();
+            }
+            s.target.assert_valid();
+        }
+    }
+
+    #[test]
+    fn f1_m2_detects_unit_mismatch_and_missing_genres() {
+        let (s, _) = &scenarios()[0];
+        let v = ValueModule::default();
+        let report = v.assess(s).unwrap();
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.location.contains("seconds")),
+            "seconds→length_ms must be flagged: {report:?}"
+        );
+        let st = StructureModule::default();
+        let report = st.assess(s).unwrap();
+        let sizes = MusicSizes::small();
+        let missing = report
+            .findings
+            .iter()
+            .find(|f| f.text("conflict-kind") == Some("Not null violated"))
+            .expect("missing genres");
+        assert_eq!(missing.int("violations"), Some(sizes.missing_genres as u64));
+    }
+
+    #[test]
+    fn m1_f2_detects_multi_genre_and_detached_artists() {
+        let (s, _) = &scenarios()[2];
+        let st = StructureModule::default();
+        let report = st.assess(s).unwrap();
+        let sizes = MusicSizes::small();
+        let multi = report
+            .findings
+            .iter()
+            .find(|f| f.text("conflict-kind") == Some("Multiple attribute values"))
+            .expect("multi-genre conflict");
+        assert_eq!(
+            multi.int("too-many"),
+            Some(sizes.multi_genre_releases as u64)
+        );
+        let detached = report
+            .findings
+            .iter()
+            .find(|f| f.text("conflict-kind") == Some("Value w/o enclosing tuple"))
+            .expect("detached artists");
+        assert_eq!(
+            detached.int("violations"),
+            Some(sizes.detached_artists as u64)
+        );
+    }
+
+    #[test]
+    fn m1_d2_is_mapping_dominated() {
+        let (s, _) = &scenarios()[1];
+        let est = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        let e = est.estimate(s).unwrap();
+        let mapping = e.mapping_minutes();
+        let cleaning = e.cleaning_minutes();
+        assert!(
+            mapping > cleaning,
+            "m1-d2 must be mapping-dominated: mapping {mapping} vs cleaning {cleaning}"
+        );
+        // Many connections: at least six target tables are fed.
+        let by_cat = e.by_category();
+        assert!(by_cat[&TaskCategory::Mapping] > 0.0);
+        let connections = e
+            .tasks
+            .iter()
+            .filter(|t| t.task.category == TaskCategory::Mapping)
+            .count();
+        assert!(connections >= 6, "{connections}");
+    }
+
+    #[test]
+    fn d1_d2_is_clean() {
+        let (s, gt) = &scenarios()[3];
+        assert!(gt.inventory.is_clean());
+        let est = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        let e = est.estimate(s).unwrap();
+        assert_eq!(
+            e.cleaning_minutes(),
+            0.0,
+            "identical deep schemas must be clean: {:#?}",
+            e.tasks
+        );
+        assert!(e.mapping_minutes() > 0.0);
+    }
+
+    #[test]
+    fn genre_case_conversion_detected_in_m1_d2() {
+        let (s, _) = &scenarios()[1];
+        let v = ValueModule::default();
+        let report = v.assess(s).unwrap();
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.location.contains("genre")),
+            "lower-case vs capitalised genres must be flagged: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,568 @@
+//! The three discographic schemas with seeded data generators.
+//!
+//! * **f** — FreeDB-style flat dump: 2 relations (`discs`,
+//!   `disc_tracks`), track lengths in **seconds**;
+//! * **m** — a medium normalisation: artists/releases/tracks/labels +
+//!   genre link table, track lengths in **milliseconds**;
+//! * **d** — MusicBrainz-style deep normalisation: 16 relations with
+//!   artist credits, release groups, mediums, recordings, works.
+
+use crate::names;
+use efes_relational::{DataType, Database, DatabaseBuilder, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Data sizes and injected problem counts for the music domain.
+#[derive(Debug, Clone, Copy)]
+pub struct MusicSizes {
+    /// Releases/discs in the instance.
+    pub releases: usize,
+    /// Tracks per release.
+    pub tracks_per_release: usize,
+    /// Artists in the instance.
+    pub artists: usize,
+    /// Releases carrying two or more genres (m only; conflicts when
+    /// flattened into f).
+    pub multi_genre_releases: usize,
+    /// Artists without any release (m only; detached when flattened).
+    pub detached_artists: usize,
+    /// Discs/releases with a NULL genre (f: nullable genre; violates m's
+    /// NOT NULL genre on integration).
+    pub missing_genres: usize,
+}
+
+impl MusicSizes {
+    /// Default evaluation sizes.
+    pub fn default_sizes() -> Self {
+        MusicSizes {
+            releases: 180,
+            tracks_per_release: 7,
+            artists: 90,
+            multi_genre_releases: 38,
+            detached_artists: 17,
+            missing_genres: 26,
+        }
+    }
+
+    /// Small sizes for fast tests.
+    pub fn small() -> Self {
+        MusicSizes {
+            releases: 24,
+            tracks_per_release: 4,
+            artists: 14,
+            multi_genre_releases: 6,
+            detached_artists: 3,
+            missing_genres: 4,
+        }
+    }
+}
+
+/// f — the flat FreeDB-style schema (2 relations). Track lengths are in
+/// seconds; `genre` is nullable and missing for `missing_genres` discs.
+pub fn build_f(sizes: &MusicSizes, rng: &mut StdRng) -> Database {
+    let mut db = DatabaseBuilder::new("f")
+        .table("discs", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("artist", DataType::Text)
+                .attr("title", DataType::Text)
+                .attr("genre", DataType::Text)
+                .attr("year", DataType::Integer)
+                .primary_key(&["id"])
+                .not_null("artist")
+                .not_null("title")
+        })
+        .table("disc_tracks", |t| {
+            t.attr("disc", DataType::Integer)
+                .attr("seq", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("seconds", DataType::Integer)
+                .not_null("disc")
+                .not_null("title")
+                .foreign_key(&["disc"], "discs", &["id"])
+        })
+        .build()
+        .unwrap();
+
+    for d in 0..sizes.releases {
+        let (f, l) = names::full_name(rng);
+        let genre: Value = if d < sizes.missing_genres {
+            Value::Null
+        } else {
+            names::genre(rng).into()
+        };
+        db.insert_by_name(
+            "discs",
+            vec![
+                (d as i64).into(),
+                format!("{f} {l}").into(),
+                names::title(rng).into(),
+                genre,
+                rng.gen_range(1965..2015i64).into(),
+            ],
+        )
+        .unwrap();
+        for seq in 0..sizes.tracks_per_release {
+            db.insert_by_name(
+                "disc_tracks",
+                vec![
+                    (d as i64).into(),
+                    (seq as i64).into(),
+                    names::title(rng).into(),
+                    (names::length_millis(rng) / 1000).into(),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+/// m — the medium schema (6 relations). Track lengths in milliseconds;
+/// `release_genres` links releases to a NOT NULL genre; the last
+/// `detached_artists` artists have no releases; the first
+/// `multi_genre_releases` releases carry two genres.
+pub fn build_m(sizes: &MusicSizes, rng: &mut StdRng) -> Database {
+    let mut db = DatabaseBuilder::new("m")
+        .table("artists_m", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .primary_key(&["id"])
+                .not_null("name")
+        })
+        .table("releases", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("artist", DataType::Integer)
+                .attr("year", DataType::Integer)
+                .attr("label", DataType::Integer)
+                .primary_key(&["id"])
+                .not_null("title")
+                .not_null("artist")
+                .foreign_key(&["artist"], "artists_m", &["id"])
+                .foreign_key(&["label"], "labels", &["id"])
+        })
+        .table("tracks_m", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("release", DataType::Integer)
+                .attr("position", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("length_ms", DataType::Integer)
+                .primary_key(&["id"])
+                .not_null("release")
+                .not_null("title")
+                .foreign_key(&["release"], "releases", &["id"])
+        })
+        .table("labels", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .primary_key(&["id"])
+                .not_null("name")
+        })
+        .table("release_genres", |t| {
+            t.attr("release", DataType::Integer)
+                .attr("genre", DataType::Text)
+                .not_null("release")
+                .not_null("genre")
+                .foreign_key(&["release"], "releases", &["id"])
+        })
+        .table("reviews_m", |t| {
+            t.attr("release", DataType::Integer)
+                .attr("rating", DataType::Integer)
+                .foreign_key(&["release"], "releases", &["id"])
+        })
+        .build()
+        .unwrap();
+
+    for a in 0..sizes.artists {
+        let (f, l) = names::full_name(rng);
+        db.insert_by_name(
+            "artists_m",
+            vec![(a as i64).into(), format!("{f} {l}").into()],
+        )
+        .unwrap();
+    }
+    for l in 0..names::LABELS.len() {
+        db.insert_by_name(
+            "labels",
+            vec![(l as i64).into(), names::LABELS[l].into()],
+        )
+        .unwrap();
+    }
+    let attached = sizes.artists - sizes.detached_artists;
+    let mut track_id = 0i64;
+    for r in 0..sizes.releases {
+        db.insert_by_name(
+            "releases",
+            vec![
+                (r as i64).into(),
+                names::title(rng).into(),
+                ((r % attached) as i64).into(),
+                rng.gen_range(1965..2015i64).into(),
+                ((r % names::LABELS.len()) as i64).into(),
+            ],
+        )
+        .unwrap();
+        // One genre for everyone; a second distinct genre for the first
+        // `multi_genre_releases` releases.
+        let g1 = names::GENRES[r % names::GENRES.len()];
+        db.insert_by_name("release_genres", vec![(r as i64).into(), g1.into()])
+            .unwrap();
+        if r < sizes.multi_genre_releases {
+            let g2 = names::GENRES[(r + 1) % names::GENRES.len()];
+            db.insert_by_name("release_genres", vec![(r as i64).into(), g2.into()])
+                .unwrap();
+        }
+        if r % 3 == 0 {
+            db.insert_by_name(
+                "reviews_m",
+                vec![(r as i64).into(), rng.gen_range(1..=10i64).into()],
+            )
+            .unwrap();
+        }
+        for pos in 0..sizes.tracks_per_release {
+            db.insert_by_name(
+                "tracks_m",
+                vec![
+                    track_id.into(),
+                    (r as i64).into(),
+                    (pos as i64).into(),
+                    names::title(rng).into(),
+                    names::length_millis(rng).into(),
+                ],
+            )
+            .unwrap();
+            track_id += 1;
+        }
+    }
+    db
+}
+
+/// d — the deep MusicBrainz-style schema (16 relations).
+pub fn build_d(sizes: &MusicSizes, rng: &mut StdRng) -> Database {
+    let mut db = DatabaseBuilder::new("d")
+        .table("artists_d", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .attr("sort_name", DataType::Text)
+                .attr("begin_year", DataType::Integer)
+                .primary_key(&["id"])
+                .not_null("name")
+        })
+        .table("artist_aliases", |t| {
+            t.attr("artist", DataType::Integer)
+                .attr("alias", DataType::Text)
+                .foreign_key(&["artist"], "artists_d", &["id"])
+        })
+        .table("artist_credits_d", |t| {
+            t.attr("id", DataType::Integer).primary_key(&["id"])
+        })
+        .table("credit_names", |t| {
+            t.attr("credit", DataType::Integer)
+                .attr("position", DataType::Integer)
+                .attr("artist", DataType::Integer)
+                .not_null("credit")
+                .not_null("artist")
+                .foreign_key(&["credit"], "artist_credits_d", &["id"])
+                .foreign_key(&["artist"], "artists_d", &["id"])
+        })
+        .table("release_groups", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("credit", DataType::Integer)
+                .primary_key(&["id"])
+                .not_null("title")
+                .foreign_key(&["credit"], "artist_credits_d", &["id"])
+        })
+        .table("releases_d", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("grp", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("year", DataType::Integer)
+                .attr("status", DataType::Text)
+                .primary_key(&["id"])
+                .not_null("title")
+                .foreign_key(&["grp"], "release_groups", &["id"])
+        })
+        .table("mediums", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("release", DataType::Integer)
+                .attr("position", DataType::Integer)
+                .attr("format", DataType::Text)
+                .primary_key(&["id"])
+                .foreign_key(&["release"], "releases_d", &["id"])
+        })
+        .table("tracks_d", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("medium", DataType::Integer)
+                .attr("position", DataType::Integer)
+                .attr("recording", DataType::Integer)
+                .attr("title", DataType::Text)
+                .primary_key(&["id"])
+                .not_null("title")
+                .foreign_key(&["medium"], "mediums", &["id"])
+                .foreign_key(&["recording"], "recordings", &["id"])
+        })
+        .table("recordings", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("length_ms", DataType::Integer)
+                .primary_key(&["id"])
+                .not_null("title")
+        })
+        .table("labels_d", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .attr("country", DataType::Text)
+                .primary_key(&["id"])
+                .not_null("name")
+        })
+        .table("release_labels", |t| {
+            t.attr("release", DataType::Integer)
+                .attr("label", DataType::Integer)
+                .attr("catalog", DataType::Text)
+                .foreign_key(&["release"], "releases_d", &["id"])
+                .foreign_key(&["label"], "labels_d", &["id"])
+        })
+        .table("genres_d", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .primary_key(&["id"])
+                .not_null("name")
+        })
+        .table("release_group_genres", |t| {
+            t.attr("grp", DataType::Integer)
+                .attr("genre", DataType::Integer)
+                .foreign_key(&["grp"], "release_groups", &["id"])
+                .foreign_key(&["genre"], "genres_d", &["id"])
+        })
+        .table("works", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("title", DataType::Text)
+                .primary_key(&["id"])
+        })
+        .table("work_recordings", |t| {
+            t.attr("work", DataType::Integer)
+                .attr("recording", DataType::Integer)
+                .foreign_key(&["work"], "works", &["id"])
+                .foreign_key(&["recording"], "recordings", &["id"])
+        })
+        .table("areas", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .primary_key(&["id"])
+        })
+        .build()
+        .unwrap();
+
+    for a in 0..sizes.artists {
+        let (f, l) = names::full_name(rng);
+        db.insert_by_name(
+            "artists_d",
+            vec![
+                (a as i64).into(),
+                format!("{f} {l}").into(),
+                format!("{l}, {f}").into(),
+                rng.gen_range(1940..1995i64).into(),
+            ],
+        )
+        .unwrap();
+        if a % 4 == 0 {
+            db.insert_by_name(
+                "artist_aliases",
+                vec![(a as i64).into(), format!("{l} Band").into()],
+            )
+            .unwrap();
+        }
+    }
+    for (g, name) in names::GENRES.iter().enumerate() {
+        // d capitalises genre names ("Rock" vs m's "rock").
+        let mut cap = name.to_string();
+        if let Some(first) = cap.get_mut(0..1) {
+            first.make_ascii_uppercase();
+        }
+        db.insert_by_name("genres_d", vec![(g as i64).into(), cap.into()])
+            .unwrap();
+    }
+    for l in 0..names::LABELS.len() {
+        db.insert_by_name(
+            "labels_d",
+            vec![(l as i64).into(), names::LABELS[l].into(), "N/A".into()],
+        )
+        .unwrap();
+    }
+    for ar in 0..3i64 {
+        db.insert_by_name("areas", vec![ar.into(), names::title(rng).into()])
+            .unwrap();
+    }
+    let mut track_id = 0i64;
+    let mut recording_id = 0i64;
+    for r in 0..sizes.releases {
+        let r = r as i64;
+        db.insert_by_name("artist_credits_d", vec![r.into()]).unwrap();
+        db.insert_by_name(
+            "credit_names",
+            vec![
+                r.into(),
+                0.into(),
+                (r % sizes.artists as i64).into(),
+            ],
+        )
+        .unwrap();
+        db.insert_by_name(
+            "release_groups",
+            vec![r.into(), names::title(rng).into(), r.into()],
+        )
+        .unwrap();
+        db.insert_by_name(
+            "releases_d",
+            vec![
+                r.into(),
+                r.into(),
+                names::title(rng).into(),
+                rng.gen_range(1965..2015i64).into(),
+                "official".into(),
+            ],
+        )
+        .unwrap();
+        db.insert_by_name(
+            "mediums",
+            vec![r.into(), r.into(), 0.into(), "CD".into()],
+        )
+        .unwrap();
+        db.insert_by_name(
+            "release_labels",
+            vec![
+                r.into(),
+                (r % names::LABELS.len() as i64).into(),
+                format!("CAT-{r:04}").into(),
+            ],
+        )
+        .unwrap();
+        db.insert_by_name(
+            "release_group_genres",
+            vec![r.into(), (r % names::GENRES.len() as i64).into()],
+        )
+        .unwrap();
+        for pos in 0..sizes.tracks_per_release {
+            db.insert_by_name(
+                "recordings",
+                vec![
+                    recording_id.into(),
+                    names::title(rng).into(),
+                    names::length_millis(rng).into(),
+                ],
+            )
+            .unwrap();
+            db.insert_by_name(
+                "tracks_d",
+                vec![
+                    track_id.into(),
+                    r.into(),
+                    (pos as i64).into(),
+                    recording_id.into(),
+                    names::title(rng).into(),
+                ],
+            )
+            .unwrap();
+            if track_id % 5 == 0 {
+                db.insert_by_name("works", vec![track_id.into(), names::title(rng).into()])
+                    .unwrap();
+                db.insert_by_name(
+                    "work_recordings",
+                    vec![track_id.into(), recording_id.into()],
+                )
+                .unwrap();
+            }
+            track_id += 1;
+            recording_id += 1;
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn all_schemas_are_locally_valid() {
+        let sizes = MusicSizes::small();
+        build_f(&sizes, &mut rng()).assert_valid();
+        build_m(&sizes, &mut rng()).assert_valid();
+        build_d(&sizes, &mut rng()).assert_valid();
+    }
+
+    #[test]
+    fn schema_sizes_match_paper_ranges() {
+        // "three schemas with between 2 and 56 relations and between 2
+        // and 19 attributes each".
+        let sizes = MusicSizes::small();
+        let f = build_f(&sizes, &mut rng());
+        let m = build_m(&sizes, &mut rng());
+        let d = build_d(&sizes, &mut rng());
+        assert_eq!(f.schema.table_count(), 2);
+        assert!(m.schema.table_count() > f.schema.table_count());
+        assert!(d.schema.table_count() > m.schema.table_count());
+        assert!(d.schema.table_count() <= 56);
+        for db in [&f, &m, &d] {
+            for t in db.schema.tables() {
+                assert!((1..=19).contains(&t.arity()));
+            }
+        }
+    }
+
+    #[test]
+    fn f_has_missing_genres_and_second_based_lengths() {
+        let sizes = MusicSizes::small();
+        let f = build_f(&sizes, &mut rng());
+        let (t, g) = f.schema.resolve("discs", "genre").unwrap();
+        let nulls = f.instance.table(t).column(g).filter(|v| v.is_null()).count();
+        assert_eq!(nulls, sizes.missing_genres);
+        let (t, s) = f.schema.resolve("disc_tracks", "seconds").unwrap();
+        for v in f.instance.table(t).column(s) {
+            let secs = v.as_int().unwrap();
+            assert!((120..480).contains(&secs), "{secs}");
+        }
+    }
+
+    #[test]
+    fn m_injects_multi_genres_and_detached_artists() {
+        let sizes = MusicSizes::small();
+        let m = build_m(&sizes, &mut rng());
+        let (t, r) = m.schema.resolve("release_genres", "release").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for v in m.instance.table(t).column(r) {
+            *counts.entry(v.clone()).or_insert(0usize) += 1;
+        }
+        let multi = counts.values().filter(|c| **c >= 2).count();
+        assert_eq!(multi, sizes.multi_genre_releases);
+        // Detached artists never appear in releases.artist.
+        let (t, a) = m.schema.resolve("releases", "artist").unwrap();
+        let used: std::collections::HashSet<i64> = m
+            .instance
+            .table(t)
+            .column(a)
+            .filter_map(|v| v.as_int())
+            .collect();
+        let attached = sizes.artists - sizes.detached_artists;
+        for art in attached..sizes.artists {
+            assert!(!used.contains(&(art as i64)));
+        }
+    }
+
+    #[test]
+    fn d_capitalises_genres() {
+        let sizes = MusicSizes::small();
+        let d = build_d(&sizes, &mut rng());
+        let (t, n) = d.schema.resolve("genres_d", "name").unwrap();
+        for v in d.instance.table(t).column(n) {
+            let s = v.render();
+            assert!(s.chars().next().unwrap().is_uppercase(), "{s}");
+        }
+    }
+}

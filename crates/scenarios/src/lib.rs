@@ -1,0 +1,39 @@
+//! # efes-scenarios
+//!
+//! Case-study scenarios and ground truth for the EFES reproduction.
+//!
+//! The paper evaluates on two real-world case studies: the **Amalgam**
+//! bibliographic dataset (four schemas) and a **Music** discographic
+//! case study (three schemas derived from FreeDB/Discogs/MusicBrainz-
+//! style datasets). Neither is redistributable in this repository, so
+//! this crate generates faithful synthetic stand-ins (seeded,
+//! deterministic) that reproduce the published schema shapes and the
+//! *classes* of integration problems the paper reports, and an **oracle
+//! integrator** that plays the role of the paper's human ground truth:
+//! it knows exactly which problems the generators injected and prices
+//! the required operations with a cost model *independent* of EFES's
+//! effort functions (see DESIGN.md §4 for the substitution argument).
+//!
+//! * [`names`] — deterministic name/title/word pools;
+//! * [`music_example`] — the running example of Figure 2, parameterised
+//!   to reproduce Tables 2, 3, 5, 6 and 8 exactly;
+//! * [`amalgam`] — four bibliographic schemas (s1…s4) + generators;
+//! * [`discography`] — three music schemas (f: flat, m: medium, d: deep)
+//!   + generators;
+//! * [`ground_truth`] — the injected-problem inventory and the oracle
+//!   cost model;
+//! * [`evaluation`] — the eight evaluation scenarios, cross-validated
+//!   calibration, and the Figure 6/7 series.
+
+#![warn(missing_docs)]
+
+pub mod amalgam;
+pub mod discography;
+pub mod evaluation;
+pub mod ground_truth;
+pub mod music_example;
+pub mod names;
+
+pub use evaluation::{evaluate_domain, DomainEvaluation, ScenarioResult};
+pub use ground_truth::{GroundTruth, OracleCostModel, ProblemInventory};
+pub use music_example::{music_example_scenario, MusicExampleConfig};

@@ -1,0 +1,137 @@
+//! Deterministic name pools for the synthetic case studies.
+//!
+//! All generators draw from these pools through a seeded RNG, so every
+//! run of the reproduction produces byte-identical scenarios.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// First names for authors/artists.
+pub const FIRST_NAMES: &[&str] = &[
+    "Alice", "Benjamin", "Carla", "Dmitri", "Elena", "Farid", "Grace", "Henrik", "Ingrid",
+    "Jorge", "Katarina", "Liam", "Mireille", "Nikolai", "Oluwaseun", "Priya", "Quentin", "Rosa",
+    "Stefan", "Tomoko", "Ulrich", "Valentina", "Wei", "Ximena", "Yusuf", "Zofia",
+];
+
+/// Family names.
+pub const LAST_NAMES: &[&str] = &[
+    "Abramov", "Bergström", "Chen", "Dubois", "Eriksen", "Fischer", "García", "Hoffmann",
+    "Ivanova", "Jansen", "Kowalski", "Lindqvist", "Moreau", "Nakamura", "Okafor", "Petrov",
+    "Quiroga", "Rossi", "Schneider", "Takahashi", "Ueda", "Vasquez", "Weber", "Xu", "Yamamoto",
+    "Zhang",
+];
+
+/// Words used to assemble titles (papers, albums, songs).
+pub const TITLE_WORDS: &[&str] = &[
+    "adaptive", "broken", "crystal", "distant", "electric", "fading", "golden", "hollow",
+    "infinite", "jagged", "kindred", "luminous", "midnight", "northern", "obsidian", "parallel",
+    "quiet", "restless", "silver", "tangled", "uncharted", "velvet", "wandering", "crimson",
+    "yearning", "zephyr", "echoes", "fragments", "horizons", "reflections", "shadows", "rivers",
+    "gardens", "machines", "queries", "indices", "schemas", "streams", "graphs", "lattices",
+];
+
+/// Music genres — a small controlled vocabulary (domain-restricted).
+pub const GENRES: &[&str] = &[
+    "rock", "pop", "jazz", "blues", "classical", "electronic", "folk", "hip-hop", "metal",
+    "reggae", "soul", "country",
+];
+
+/// Conference/venue names for the bibliographic domain.
+pub const VENUES: &[(&str, &str)] = &[
+    ("VLDB", "International Conference on Very Large Data Bases"),
+    ("SIGMOD", "ACM SIGMOD International Conference on Management of Data"),
+    ("ICDE", "IEEE International Conference on Data Engineering"),
+    ("EDBT", "International Conference on Extending Database Technology"),
+    ("CIKM", "Conference on Information and Knowledge Management"),
+    ("PODS", "Symposium on Principles of Database Systems"),
+    ("ICDT", "International Conference on Database Theory"),
+    ("WWW", "The Web Conference"),
+];
+
+/// Record label names for the discographic domain.
+pub const LABELS: &[&str] = &[
+    "Bluebird Records", "Cascade Sound", "Driftwood Music", "Ember Audio", "Foxglove Records",
+    "Granite Groove", "Harbor Lane", "Ivory Tower Records",
+];
+
+/// Draw a full name `First Last`.
+pub fn full_name(rng: &mut StdRng) -> (String, String) {
+    let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+    (first.to_owned(), last.to_owned())
+}
+
+/// Capitalise the first letter of a word.
+fn capitalise(w: &str) -> String {
+    let mut c = w.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Draw a 1–5 word Title-Case title.
+pub fn title(rng: &mut StdRng) -> String {
+    let words = rng.gen_range(1..=5);
+    (0..words)
+        .map(|_| capitalise(TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Draw a genre.
+pub fn genre(rng: &mut StdRng) -> String {
+    GENRES[rng.gen_range(0..GENRES.len())].to_owned()
+}
+
+/// Draw a song length in milliseconds (2–8 minutes).
+pub fn length_millis(rng: &mut StdRng) -> i64 {
+    rng.gen_range(120_000..480_000)
+}
+
+/// Format milliseconds as the target's `m:ss` duration string.
+pub fn millis_to_mss(ms: i64) -> String {
+    let total_secs = ms / 1000;
+    format!("{}:{:02}", total_secs / 60, total_secs % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(title(&mut a), title(&mut b));
+        assert_eq!(full_name(&mut a), full_name(&mut b));
+        assert_eq!(length_millis(&mut a), length_millis(&mut b));
+    }
+
+    #[test]
+    fn titles_are_title_case() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = title(&mut rng);
+            assert!(t.chars().next().unwrap().is_uppercase(), "{t}");
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn millis_format_matches_paper() {
+        assert_eq!(millis_to_mss(283_000), "4:43");
+        assert_eq!(millis_to_mss(415_000), "6:55");
+        assert_eq!(millis_to_mss(206_000), "3:26");
+    }
+
+    #[test]
+    fn lengths_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let l = length_millis(&mut rng);
+            assert!((120_000..480_000).contains(&l));
+        }
+    }
+}

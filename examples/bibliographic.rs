@@ -1,0 +1,53 @@
+//! The bibliographic case study in one run: estimate all four Amalgam
+//! scenarios at both quality levels, alongside the attribute-counting
+//! baseline and the oracle ground truth — a textual sibling of the
+//! paper's Figure 6 workflow.
+//!
+//! ```text
+//! cargo run --release --example bibliographic
+//! ```
+
+use efes::baseline::AttributeCountingEstimator;
+use efes::prelude::*;
+use efes::settings::Quality;
+use efes_scenarios::amalgam::{amalgam_scenarios, AmalgamConfig};
+
+fn main() {
+    let scenarios = amalgam_scenarios(&AmalgamConfig::default());
+    // An *uncalibrated* counting baseline for illustration (the full
+    // cross-validated comparison lives in `repro figure6`): Harden's raw
+    // 8.05 h per attribute, which demonstrates why calibration is
+    // indispensable for that model.
+    let raw_counting = AttributeCountingEstimator::uncalibrated();
+
+    println!(
+        "{:8} {:12} {:>12} {:>12} {:>10} {:>10} {:>14}",
+        "scenario", "quality", "EFES map", "EFES clean", "EFES tot", "measured", "counting (raw)"
+    );
+    for (scenario, gt) in &scenarios {
+        for quality in [Quality::LowEffort, Quality::HighQuality] {
+            let estimator =
+                Estimator::with_default_modules(EstimationConfig::for_quality(quality));
+            let estimate = estimator.estimate(scenario).expect("estimate");
+            let counting = raw_counting.estimate(scenario);
+            println!(
+                "{:8} {:12} {:>10.0} m {:>10.0} m {:>8.0} m {:>8.0} m {:>12.0} m",
+                scenario.name,
+                quality.to_string(),
+                estimate.mapping_minutes(),
+                estimate.cleaning_minutes(),
+                estimate.total_minutes(),
+                gt.measured_total(quality),
+                counting.total_minutes(),
+            );
+        }
+    }
+
+    println!("\nPer-task detail for the flattening scenario (s1-s2, high quality):");
+    let estimator =
+        Estimator::with_default_modules(EstimationConfig::for_quality(Quality::HighQuality));
+    let estimate = estimator.estimate(&scenarios[0].0).expect("estimate");
+    for t in &estimate.tasks {
+        println!("  {:55} {:>6.0} min", t.task.to_string(), t.minutes);
+    }
+}

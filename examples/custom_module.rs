@@ -1,0 +1,134 @@
+//! Extensibility: plug a user-defined estimation module into EFES.
+//!
+//! The paper requires that *"users must be able to extend the range of
+//! problems covered by the framework"* and cites CrowdER's back-of-the-
+//! envelope duplicate-comparison estimate (§2, \[25\]) as work that
+//! *"fits well into our effort model"*. This example implements exactly
+//! that: a module estimating the human effort of resolving duplicates
+//! between source and target, priced per candidate comparison.
+//!
+//! ```text
+//! cargo run --release --example custom_module
+//! ```
+
+use efes::framework::{EstimationModule, Finding, ModuleError, ModuleReport};
+use efes::prelude::*;
+use efes::settings::Quality;
+use efes::task::{TaskCategory, TaskParams, TaskType};
+use efes_profiling::TopK;
+use efes_relational::IntegrationScenario;
+use efes_scenarios::{music_example_scenario, MusicExampleConfig};
+
+/// Estimates duplicate-resolution effort: for each attribute
+/// correspondence whose two sides share values, candidate duplicate
+/// pairs must be reviewed (CrowdER-style pairwise comparisons after
+/// value-overlap blocking).
+struct DuplicateResolutionModule {
+    /// Comparisons a reviewer can decide per minute.
+    comparisons_per_minute: f64,
+}
+
+impl EstimationModule for DuplicateResolutionModule {
+    fn name(&self) -> &str {
+        "duplicate-resolution"
+    }
+
+    fn assess(&self, scenario: &IntegrationScenario) -> Result<ModuleReport, ModuleError> {
+        let mut report = ModuleReport::new(self.name());
+        for (sid, source) in scenario.iter_sources() {
+            for (sa, ta) in scenario.correspondences.attribute_correspondences(sid) {
+                // Blocking: only values occurring on *both* sides can
+                // collide; each shared value spawns candidate pairs.
+                let src_vals = source.instance.distinct_values(sa.table, sa.attr);
+                let tgt_vals: std::collections::HashSet<_> = scenario
+                    .target
+                    .instance
+                    .distinct_values(ta.table, ta.attr)
+                    .into_iter()
+                    .collect();
+                let shared = src_vals.iter().filter(|v| tgt_vals.contains(v)).count();
+                if shared == 0 {
+                    continue;
+                }
+                report.push(
+                    Finding::new(
+                        "duplicate-candidates",
+                        format!(
+                            "{} ∩ {}",
+                            source.schema.qualified(sa.table, sa.attr),
+                            scenario.target.schema.qualified(ta.table, ta.attr)
+                        ),
+                        "shared values indicate potential duplicates across the integration",
+                    )
+                    .with_int("shared-values", shared as u64),
+                );
+            }
+        }
+        Ok(report)
+    }
+
+    fn plan(
+        &self,
+        _scenario: &IntegrationScenario,
+        report: &ModuleReport,
+        config: &EstimationConfig,
+    ) -> Result<Vec<Task>, ModuleError> {
+        // Low effort: keep duplicates (no task). High quality: review
+        // every candidate pair.
+        if config.quality == Quality::LowEffort {
+            return Ok(Vec::new());
+        }
+        Ok(report
+            .of_kind("duplicate-candidates")
+            .map(|f| {
+                Task::new(
+                    TaskType::Custom("review-duplicate-candidates".into()),
+                    config.quality,
+                    TaskParams::repeated(f.int("shared-values").unwrap_or(0)),
+                    f.location.clone(),
+                    self.name(),
+                )
+                .with_category(TaskCategory::CleaningOther)
+            })
+            .collect())
+    }
+}
+
+fn main() {
+    let (scenario, _) = music_example_scenario(&MusicExampleConfig::scaled_down());
+
+    let module = DuplicateResolutionModule {
+        comparisons_per_minute: 4.0,
+    };
+    // Register the custom task's effort function — the pluggable
+    // counterpart of a Table 9 row.
+    let mut config = EstimationConfig::for_quality(Quality::HighQuality);
+    config.effort_model.set(
+        TaskType::Custom("review-duplicate-candidates".into()),
+        EffortFunction::PerRepetition(1.0 / module.comparisons_per_minute),
+    );
+
+    let mut estimator = Estimator::with_default_modules(config);
+    estimator.register(Box::new(module));
+
+    let estimate = estimator.estimate(&scenario).expect("estimate");
+    println!("Estimate with the plugged duplicate-resolution module:\n");
+    for t in &estimate.tasks {
+        println!("  [{:20}] {:50} {:>7.1} min", t.task.module, t.task.to_string(), t.minutes);
+    }
+    println!(
+        "\ntotal: {:.0} min (of which duplicate review: {:.1} min)",
+        estimate.total_minutes(),
+        estimate.category_minutes(TaskCategory::CleaningOther)
+    );
+
+    // For contrast: the shared-vocabulary check found in the top-k
+    // statistics of the genre column.
+    let (t, a) = scenario.target.schema.resolve("records", "genre").unwrap();
+    let column: Vec<_> = scenario.target.instance.table(t).column(a).collect();
+    let topk = TopK::compute(column, 5);
+    println!(
+        "\n(FYI: the target's genre vocabulary, from the profiling substrate: {:?})",
+        topk.values.iter().map(|(v, c)| format!("{v}×{c}")).collect::<Vec<_>>()
+    );
+}

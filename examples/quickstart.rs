@@ -1,0 +1,74 @@
+//! Quickstart: estimate the effort of the paper's running example
+//! (Figure 2 — integrating a discographic source into a music-records
+//! target) end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use efes::prelude::*;
+use efes::report::{render_estimate, render_report};
+use efes::settings::Quality;
+use efes_scenarios::{music_example_scenario, MusicExampleConfig};
+
+fn main() {
+    // 1. Build (or load) an integration scenario: source database(s), a
+    //    target database, and correspondences. Here: the paper's running
+    //    example at 1/100 scale.
+    let (scenario, ground_truth) = music_example_scenario(&MusicExampleConfig::scaled_down());
+    println!("{}\n", scenario.describe());
+
+    // 2. Phase 1 — complexity assessment: objective, context-free
+    //    findings from the three built-in modules (mapping, structural
+    //    conflicts, value heterogeneities).
+    let estimator = Estimator::with_default_modules(EstimationConfig::default());
+    let reports = estimator.assess(&scenario).expect("assessment");
+    for report in &reports {
+        println!("{}", render_report(report));
+    }
+
+    // 3. Phase 2 — effort estimation, at both expected result qualities.
+    for quality in [Quality::LowEffort, Quality::HighQuality] {
+        let estimator = Estimator::with_default_modules(EstimationConfig::for_quality(quality));
+        let estimate = estimator.estimate(&scenario).expect("estimate");
+        println!("--- expected quality: {quality} ---");
+        println!("{}", render_estimate(&estimate));
+        println!(
+            "breakdown: mapping {:.0} min, cleaning {:.0} min\n",
+            estimate.mapping_minutes(),
+            estimate.cleaning_minutes()
+        );
+    }
+
+    // 4. The schema-difficulty map (§1's visualization application):
+    //    which parts of the schemas are hard to integrate.
+    println!(
+        "{}",
+        efes::report::render_difficulty_map(&reports)
+    );
+
+    // 5. The cost-benefit curve (§7's outlook): more effort buys a
+    //    higher-quality — more data-retaining — result.
+    let curve = efes::cost_benefit_curve(&scenario, |q| {
+        Estimator::with_default_modules(EstimationConfig::for_quality(q))
+    })
+    .expect("curve");
+    println!("cost-benefit curve:");
+    for p in &curve {
+        println!(
+            "  {:12} {:>7.0} min → {:.1}% of source items retained ({} discarded)",
+            p.quality.to_string(),
+            p.effort_minutes,
+            p.retained_fraction * 100.0,
+            p.discarded_items
+        );
+    }
+
+    // 6. Compare against the oracle ground truth (what performing the
+    //    integration actually costs in this reproduction).
+    println!(
+        "\noracle-measured effort: low {:.0} min, high {:.0} min",
+        ground_truth.measured_total(Quality::LowEffort),
+        ground_truth.measured_total(Quality::HighQuality),
+    );
+}

@@ -1,0 +1,112 @@
+//! Source selection (paper §1): *"knowledge of how well and how easy a
+//! data source fits into a given data ecosystem improves source
+//! selection. [...] given a set of integration candidates, find the
+//! source with the best 'fit'."*
+//!
+//! We hold the target fixed (the medium music schema) and rank three
+//! candidate sources by their estimated integration effort: a clean flat
+//! dump, a dirty flat dump (missing genres, unit-mismatched lengths),
+//! and an already-conforming sibling database.
+//!
+//! ```text
+//! cargo run --release --example source_selection
+//! ```
+
+use efes::prelude::*;
+use efes::settings::Quality;
+use efes_scenarios::discography::schemas::{build_f, build_m, MusicSizes};
+use efes_relational::{CorrespondenceBuilder, IntegrationScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let sizes = MusicSizes::default_sizes();
+    let clean_sizes = MusicSizes {
+        missing_genres: 0,
+        ..sizes
+    };
+
+    // The fixed target ecosystem.
+    let target = build_m(&sizes, &mut StdRng::seed_from_u64(0xEC0));
+
+    // Candidate A: a flat dump with no missing genres (still needs the
+    // seconds → milliseconds conversion).
+    let cand_a = build_f(&clean_sizes, &mut StdRng::seed_from_u64(1));
+    // Candidate B: the same shape, but with NULL genres to repair.
+    let cand_b = build_f(&sizes, &mut StdRng::seed_from_u64(2));
+    // Candidate C: another instance of the target schema itself.
+    let mut cand_c = build_m(&sizes, &mut StdRng::seed_from_u64(3));
+    cand_c.schema.name = "m-sibling".into();
+
+    let mut ranking: Vec<(String, f64)> = Vec::new();
+    for (name, source) in [
+        ("flat dump (clean)", cand_a),
+        ("flat dump (missing genres)", cand_b),
+        ("conforming sibling", cand_c),
+    ] {
+        let scenario = make_scenario(name, source, target.clone());
+        let estimator = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        let estimate = estimator.estimate(&scenario).expect("estimate");
+        ranking.push((name.to_owned(), estimate.total_minutes()));
+    }
+    ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    println!("Candidate sources ranked by estimated integration effort");
+    println!("(fixed target: the medium music schema, high-quality result)\n");
+    for (rank, (name, minutes)) in ranking.iter().enumerate() {
+        println!("  {}. {:28} {:>6.0} min", rank + 1, name, minutes);
+    }
+    println!("\nThe conforming sibling wins: same schema, compatible data.");
+}
+
+fn make_scenario(
+    name: &str,
+    source: efes_relational::Database,
+    target: efes_relational::Database,
+) -> IntegrationScenario {
+    let correspondences = if source.schema.table_id("discs").is_some() {
+        // Flat candidates.
+        CorrespondenceBuilder::new(&source, &target)
+            .table("discs", "releases")
+            .unwrap()
+            .attr("discs", "title", "releases", "title")
+            .unwrap()
+            .attr("discs", "year", "releases", "year")
+            .unwrap()
+            .attr("discs", "artist", "artists_m", "name")
+            .unwrap()
+            .table("discs", "release_genres")
+            .unwrap()
+            .attr("discs", "genre", "release_genres", "genre")
+            .unwrap()
+            .table("disc_tracks", "tracks_m")
+            .unwrap()
+            .attr("disc_tracks", "title", "tracks_m", "title")
+            .unwrap()
+            .attr("disc_tracks", "seconds", "tracks_m", "length_ms")
+            .unwrap()
+            .finish()
+    } else {
+        // The sibling: identity correspondences.
+        let mut cb = CorrespondenceBuilder::new(&source, &target);
+        for t in ["artists_m", "releases", "tracks_m", "labels", "release_genres"] {
+            cb = cb.table(t, t).unwrap();
+        }
+        for (t, a) in [
+            ("artists_m", "name"),
+            ("releases", "title"),
+            ("releases", "year"),
+            ("tracks_m", "title"),
+            ("tracks_m", "position"),
+            ("tracks_m", "length_ms"),
+            ("labels", "name"),
+            ("release_genres", "genre"),
+        ] {
+            cb = cb.attr(t, a, t, a).unwrap();
+        }
+        cb.finish()
+    };
+    IntegrationScenario::single_source(name, source, target, correspondences).unwrap()
+}

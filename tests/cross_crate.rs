@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: the substrates compose — CSV loading →
+//! constraint discovery → schema matching → estimation, with no manual
+//! schema or correspondence input at all (the fully-automatic pipeline
+//! the paper's §7 sketches).
+
+use efes::prelude::*;
+use efes_matching::{CombinedMatcher, MatcherConfig};
+use efes_profiling::{discover_constraints, DiscoveryOptions};
+use efes_relational::{csv, IntegrationScenario};
+
+const SOURCE_CSV: &str = "\
+album,name,length
+1,Sweet Home Alabama,283000
+1,I Need You,415000
+1,Don't Ask Me No Questions,206000
+2,Hands Up,215900
+2,Labor Day,238100
+2,Anxiety,218200
+3,Lose Yourself,326000
+3,Without Me,290000
+";
+
+const TARGET_CSV: &str = "\
+record,title,duration
+10,Smells Like Teen Spirit,5:01
+10,Come as You Are,3:39
+10,Lithium,4:17
+11,Gloria,5:57
+11,Redondo Beach,3:26
+11,Birdland,9:15
+";
+
+#[test]
+fn csv_to_estimate_without_manual_input() {
+    // 1. Load raw dumps (paper §3.1: "for some sources (e.g., data
+    //    dumps), a schema definition may be completely missing").
+    let mut source = csv::load_table("src-dump", "songs", SOURCE_CSV).unwrap();
+    let mut target = csv::load_table("tgt-dump", "tracks", TARGET_CSV).unwrap();
+
+    // 2. Reverse-engineer constraints from the data.
+    let opts = DiscoveryOptions::default();
+    let d_src = discover_constraints(&source, &opts);
+    d_src.merge_into(&mut source.constraints);
+    let d_tgt = discover_constraints(&target, &opts);
+    d_tgt.merge_into(&mut target.constraints);
+    assert!(!source.constraints.is_empty(), "discovery found constraints");
+
+    // 3. Match the schemas automatically.
+    let matcher = CombinedMatcher::new(MatcherConfig::default());
+    let correspondences = matcher.match_databases(&source, &target);
+    assert!(
+        correspondences.len() >= 3,
+        "matcher should find the table and ≥2 attribute correspondences: {correspondences:?}"
+    );
+
+    // 4. Estimate.
+    let scenario =
+        IntegrationScenario::single_source("csv-auto", source, target, correspondences).unwrap();
+    let estimator = Estimator::with_default_modules(EstimationConfig::default());
+    let estimate = estimator.estimate(&scenario).unwrap();
+    assert!(estimate.total_minutes() > 0.0);
+
+    // The millisecond-vs-m:ss mismatch must surface even on this fully
+    // automatic path.
+    let has_value_finding = estimate
+        .reports
+        .iter()
+        .flat_map(|r| r.findings.iter())
+        .any(|f| f.kind == "value-heterogeneity" && f.location.contains("length"));
+    assert!(has_value_finding, "{:#?}", estimate.reports);
+}
+
+#[test]
+fn discovered_constraints_feed_the_csg() {
+    // Constraint discovery output is consumed by the CSG conversion: a
+    // discovered unique column becomes a `1` value→tuple prescription.
+    let mut db = csv::load_table("d", "t", "id,name\n1,a\n2,b\n3,c\n4,d\n").unwrap();
+    let found = discover_constraints(&db, &DiscoveryOptions::default());
+    found.merge_into(&mut db.constraints);
+    let conv = efes_csg::database_to_csg(&db);
+    let (tid, aid) = db.schema.resolve("t", "id").unwrap();
+    let rel = conv.attr_rel(tid, aid);
+    assert_eq!(
+        conv.csg
+            .card_of(efes_csg::RelRef::bwd(rel))
+            .to_string(),
+        "1",
+        "discovered uniqueness must reach the CSG"
+    );
+}
+
+#[test]
+fn profiling_statistics_agree_with_matcher_decisions() {
+    // The instance matcher and the value-fit detector share the §5.1
+    // machinery: a pair the matcher scores low must also fail the 0.9
+    // fit threshold, keeping the substrates mutually consistent.
+    use efes_profiling::AttributeProfile;
+    use efes_relational::DataType;
+
+    let source = csv::load_table("s", "songs", SOURCE_CSV).unwrap();
+    let target = csv::load_table("t", "tracks", TARGET_CSV).unwrap();
+    let (st, sa) = source.schema.resolve("songs", "length").unwrap();
+    let (tt, ta) = target.schema.resolve("tracks", "duration").unwrap();
+
+    let p_src = AttributeProfile::of_attribute(&source, st, sa, DataType::Text);
+    let p_tgt = AttributeProfile::of_attribute(&target, tt, ta, DataType::Text);
+    let fit = AttributeProfile::fit_against(&p_src, &p_tgt);
+    assert!(fit.overall < 0.9, "fit {}", fit.overall);
+
+    let inst = efes_matching::instance_similarity(&source, (st, sa), &target, (tt, ta));
+    assert!(inst < 0.9, "instance similarity {inst}");
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests: the full two-phase pipeline on the
+//! running example, configuration round-trips, and the execution-settings
+//! levers of §3.4.
+
+use efes::prelude::*;
+use efes::settings::{ExecutionSettings, Quality, ToolSupport};
+use efes::task::TaskCategory;
+use efes_scenarios::{music_example_scenario, MusicExampleConfig};
+
+fn scenario() -> efes_relational::IntegrationScenario {
+    music_example_scenario(&MusicExampleConfig::scaled_down()).0
+}
+
+#[test]
+fn high_quality_estimates_exceed_low_effort() {
+    let s = scenario();
+    let low = Estimator::with_default_modules(EstimationConfig::for_quality(Quality::LowEffort))
+        .estimate(&s)
+        .unwrap();
+    let high =
+        Estimator::with_default_modules(EstimationConfig::for_quality(Quality::HighQuality))
+            .estimate(&s)
+            .unwrap();
+    assert!(high.total_minutes() > low.total_minutes());
+    // Low effort ignores the uncritical conversion entirely (Table 7).
+    assert_eq!(low.category_minutes(TaskCategory::CleaningValues), 0.0);
+    assert!(high.category_minutes(TaskCategory::CleaningValues) > 0.0);
+}
+
+#[test]
+fn estimates_are_deterministic() {
+    let s = scenario();
+    let estimator = Estimator::with_default_modules(EstimationConfig::default());
+    let a = estimator.estimate(&s).unwrap();
+    let b = estimator.estimate(&s).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mapping_tool_reduces_mapping_effort_only() {
+    let s = scenario();
+    let manual = Estimator::with_default_modules(EstimationConfig::default())
+        .estimate(&s)
+        .unwrap();
+    let mut cfg = EstimationConfig::default();
+    cfg.settings.tools = ToolSupport::MappingTool;
+    cfg.effort_model = EffortModel::for_settings(&cfg.settings);
+    let tooled = Estimator::with_default_modules(cfg).estimate(&s).unwrap();
+    assert!(tooled.mapping_minutes() < manual.mapping_minutes());
+    assert_eq!(tooled.cleaning_minutes(), manual.cleaning_minutes());
+}
+
+#[test]
+fn criticality_scales_every_task() {
+    let s = scenario();
+    let base = Estimator::with_default_modules(EstimationConfig::default())
+        .estimate(&s)
+        .unwrap();
+    let cfg = EstimationConfig {
+        settings: ExecutionSettings {
+            criticality_factor: 3.0,
+            ..ExecutionSettings::default()
+        },
+        ..EstimationConfig::default()
+    };
+    let critical = Estimator::with_default_modules(cfg).estimate(&s).unwrap();
+    assert!((critical.total_minutes() - 3.0 * base.total_minutes()).abs() < 1e-6);
+}
+
+#[test]
+fn config_round_trips_through_json() {
+    let mut cfg = EstimationConfig::for_quality(Quality::LowEffort);
+    cfg.effort_model
+        .set(TaskType::ConvertValues, EffortFunction::Constant(15.0));
+    cfg.settings.expertise_factor = 1.4;
+    let json = cfg.to_json();
+    let back = EstimationConfig::from_json(&json).unwrap();
+    // An estimator built from the round-tripped config produces the same
+    // numbers.
+    let s = scenario();
+    let a = Estimator::with_default_modules(cfg).estimate(&s).unwrap();
+    let b = Estimator::with_default_modules(back).estimate(&s).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn reports_expose_granular_findings() {
+    // The paper's granularity requirement: the user learns *which*
+    // attributes cause problems, not just a number.
+    let s = scenario();
+    let estimator = Estimator::with_default_modules(EstimationConfig::default());
+    let estimate = estimator.estimate(&s).unwrap();
+    let all_findings: Vec<_> = estimate
+        .reports
+        .iter()
+        .flat_map(|r| r.findings.iter())
+        .collect();
+    assert!(all_findings
+        .iter()
+        .any(|f| f.location.contains("records.artist")));
+    assert!(all_findings
+        .iter()
+        .any(|f| f.location.contains("length") && f.location.contains("duration")));
+    // Every finding carries at least one metric.
+    assert!(all_findings.iter().all(|f| !f.metrics.is_empty()));
+}
+
+#[test]
+fn full_scale_paper_configuration_completes_quickly() {
+    // §6.2: "EFES relies on simple SQL queries only for the analysis of
+    // the data and completes within seconds for databases with thousands
+    // of tuples." Our substrate analyses the 290k-row paper-scale
+    // instance within seconds too.
+    let start = std::time::Instant::now();
+    let (s, _) = music_example_scenario(&MusicExampleConfig::paper());
+    let estimator = Estimator::with_default_modules(EstimationConfig::default());
+    let estimate = estimator.estimate(&s).unwrap();
+    assert!(estimate.total_minutes() > 0.0);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn estimates_and_reports_serialize_to_json() {
+    // Complexity reports and estimates are part of the public surface
+    // (the paper's granularity requirement feeds downstream tools), so
+    // they must round-trip through serde.
+    let s = scenario();
+    let estimator = Estimator::with_default_modules(EstimationConfig::default());
+    let estimate = estimator.estimate(&s).unwrap();
+    let json = serde_json::to_string(&estimate).unwrap();
+    let back: EffortEstimate = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, estimate);
+    assert!(json.contains("value-heterogeneity"));
+    assert!(json.contains("structural-conflict"));
+}

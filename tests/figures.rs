@@ -1,0 +1,127 @@
+//! Integration tests asserting the *shape* of the paper's evaluation
+//! figures (6 and 7): who wins, by roughly what factor, and the
+//! qualitative behaviours §6.2 calls out.
+
+use efes::task::TaskCategory;
+use efes_scenarios::amalgam::AmalgamConfig;
+use efes_scenarios::discography::DiscographyConfig;
+use efes_scenarios::evaluation::full_evaluation;
+
+fn evaluation() -> (
+    efes_scenarios::DomainEvaluation,
+    efes_scenarios::DomainEvaluation,
+    f64,
+    f64,
+) {
+    full_evaluation(&AmalgamConfig::default(), &DiscographyConfig::default())
+}
+
+#[test]
+fn efes_beats_counting_in_both_domains_and_overall() {
+    let (fig6, fig7, overall_efes, overall_counting) = evaluation();
+    assert!(fig6.rmse_efes < fig6.rmse_counting);
+    assert!(fig7.rmse_efes < fig7.rmse_counting);
+    assert!(overall_efes < overall_counting);
+}
+
+#[test]
+fn bibliographic_gap_exceeds_music_gap() {
+    // Paper: factor ≈ 4 in the bibliographic domain (0.47 vs 1.90),
+    // smaller in the music domain (1.05 vs 1.64).
+    let (fig6, fig7, _, _) = evaluation();
+    let bib_ratio = fig6.rmse_counting / fig6.rmse_efes.max(1e-9);
+    let music_ratio = fig7.rmse_counting / fig7.rmse_efes.max(1e-9);
+    assert!(
+        bib_ratio > music_ratio,
+        "bibliographic ratio {bib_ratio:.2} must exceed music ratio {music_ratio:.2}"
+    );
+    assert!(bib_ratio >= 2.0, "{bib_ratio}");
+}
+
+#[test]
+fn music_domain_is_mapping_dominated() {
+    // Paper §6.2: "in this domain, there are fewer problems at the data
+    // level and the effort is dominated by the mapping".
+    let (_, fig7, _, _) = evaluation();
+    let mapping: f64 = fig7
+        .results
+        .iter()
+        .map(|r| r.measured.get(&TaskCategory::Mapping).copied().unwrap_or(0.0))
+        .sum();
+    let total: f64 = fig7.results.iter().map(|r| r.measured_total()).sum();
+    assert!(
+        mapping / total > 0.5,
+        "mapping share {:.2} should dominate",
+        mapping / total
+    );
+}
+
+#[test]
+fn bibliographic_cleaning_is_the_main_driver_at_high_quality() {
+    let (fig6, _, _, _) = evaluation();
+    let dirty_high = fig6
+        .results
+        .iter()
+        .find(|r| r.scenario == "s1-s2" && matches!(r.quality, efes::Quality::HighQuality));
+    let r = dirty_high.expect("s1-s2 high quality present");
+    let cleaning: f64 = r
+        .measured
+        .iter()
+        .filter(|(c, _)| **c != TaskCategory::Mapping)
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        cleaning > r.measured.get(&TaskCategory::Mapping).copied().unwrap_or(0.0),
+        "cleaning must dominate the flattening scenario"
+    );
+}
+
+#[test]
+fn identical_schema_scenarios_have_zero_efes_cleaning() {
+    let (fig6, fig7, _, _) = evaluation();
+    for (eval, name) in [(&fig6, "s4-s4"), (&fig7, "d1-d2")] {
+        for r in eval.results.iter().filter(|r| r.scenario == name) {
+            let efes_cleaning: f64 = r
+                .efes
+                .iter()
+                .filter(|(c, _)| **c != TaskCategory::Mapping)
+                .map(|(_, v)| v)
+                .sum();
+            assert_eq!(efes_cleaning, 0.0);
+            assert!(r.counting_cleaning > 0.0);
+        }
+    }
+}
+
+#[test]
+fn efes_tracks_the_quality_split_counting_cannot() {
+    // For every scenario, EFES's high-quality estimate is ≥ its
+    // low-effort estimate, mirroring the measured effort; counting
+    // produces the identical number for both.
+    let (fig6, fig7, _, _) = evaluation();
+    for eval in [&fig6, &fig7] {
+        for pair in eval.results.chunks(2) {
+            let (low, high) = (&pair[0], &pair[1]);
+            assert_eq!(low.scenario, high.scenario);
+            assert!(low.efes_total() <= high.efes_total() + 1e-9);
+            assert!(low.measured_total() <= high.measured_total() + 1e-9);
+            assert_eq!(low.counting_total(), high.counting_total());
+        }
+    }
+}
+
+#[test]
+fn rendered_figures_contain_all_bar_groups() {
+    let (fig6, fig7, summary) = efes_bench::figures6_and_7(
+        &AmalgamConfig::default(),
+        &DiscographyConfig::default(),
+    );
+    for name in ["s1-s2", "s1-s3", "s3-s4", "s4-s4"] {
+        assert!(fig6.contains(name), "{name} missing from figure 6");
+    }
+    for name in ["f1-m2", "m1-d2", "m1-f2", "d1-d2"] {
+        assert!(fig7.contains(name), "{name} missing from figure 7");
+    }
+    assert!(fig6.contains("rmse: EFES"));
+    assert!(summary.contains("Overall"));
+}

@@ -1,0 +1,172 @@
+//! Multi-source scenarios: the paper's framework takes *"a set of source
+//! databases"* (§3.1) — these tests integrate two sources into one target
+//! and check that findings, tasks and efforts attribute per source.
+
+use efes::framework::EstimationModule;
+use efes::modules::{MappingModule, StructureModule, ValueModule};
+use efes::prelude::*;
+use efes::settings::Quality;
+use efes_relational::{
+    Correspondence, CorrespondenceSet, DataType, Database, DatabaseBuilder, IntegrationScenario,
+    SourceId,
+};
+
+/// Source 0: m:ss duration strings (compatible with the target).
+fn source_a() -> Database {
+    DatabaseBuilder::new("src-a")
+        .table("songs", |t| {
+            t.attr("title", DataType::Text).attr("length", DataType::Text)
+        })
+        .rows(
+            "songs",
+            (0..25)
+                .map(|i| {
+                    vec![
+                        format!("Alpha Song {i} of the Western Sky").into(),
+                        format!("{}:{:02}", 3 + i % 4, (i * 7) % 60).into(),
+                    ]
+                })
+                .collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+/// Source 1: millisecond integers (heterogeneous).
+fn source_b() -> Database {
+    DatabaseBuilder::new("src-b")
+        .table("tunes", |t| {
+            t.attr("name", DataType::Text).attr("millis", DataType::Integer)
+        })
+        .rows(
+            "tunes",
+            (0..25)
+                .map(|i| {
+                    vec![
+                        format!("Beta Melody {i} from the Northern Coast").into(),
+                        (180_000 + i * 4321).into(),
+                    ]
+                })
+                .collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn target() -> Database {
+    DatabaseBuilder::new("tgt")
+        .table("tracks", |t| {
+            t.attr("title", DataType::Text).attr("duration", DataType::Text)
+        })
+        .rows(
+            "tracks",
+            (0..20)
+                .map(|i| {
+                    vec![
+                        format!("Gamma Tune {i} under the Southern Stars").into(),
+                        format!("{}:{:02}", 2 + i % 5, (i * 11) % 60).into(),
+                    ]
+                })
+                .collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn scenario() -> IntegrationScenario {
+    let a = source_a();
+    let b = source_b();
+    let t = target();
+    let mut corrs = CorrespondenceSet::new();
+    // Source 0 correspondences.
+    let (at, _) = a.schema.resolve("songs", "title").unwrap();
+    let tt = t.schema.table_id("tracks").unwrap();
+    corrs.push(Correspondence::Table {
+        source: SourceId(0),
+        source_table: at,
+        target_table: tt,
+    });
+    for (sa, ta) in [("title", "title"), ("length", "duration")] {
+        let (st, said) = a.schema.resolve("songs", sa).unwrap();
+        let (ttab, taid) = t.schema.resolve("tracks", ta).unwrap();
+        corrs.push(Correspondence::Attribute {
+            source: SourceId(0),
+            source_attr: efes_relational::AttrRef { table: st, attr: said },
+            target_attr: efes_relational::AttrRef { table: ttab, attr: taid },
+        });
+    }
+    // Source 1 correspondences.
+    let (bt, _) = b.schema.resolve("tunes", "name").unwrap();
+    corrs.push(Correspondence::Table {
+        source: SourceId(1),
+        source_table: bt,
+        target_table: tt,
+    });
+    for (sa, ta) in [("name", "title"), ("millis", "duration")] {
+        let (st, said) = b.schema.resolve("tunes", sa).unwrap();
+        let (ttab, taid) = t.schema.resolve("tracks", ta).unwrap();
+        corrs.push(Correspondence::Attribute {
+            source: SourceId(1),
+            source_attr: efes_relational::AttrRef { table: st, attr: said },
+            target_attr: efes_relational::AttrRef { table: ttab, attr: taid },
+        });
+    }
+    IntegrationScenario::multi_source("two-sources", vec![a, b], t, corrs).unwrap()
+}
+
+#[test]
+fn mapping_module_creates_one_connection_per_source() {
+    let s = scenario();
+    let conns = MappingModule::connections(&s);
+    assert_eq!(conns.len(), 2);
+    assert_eq!(conns[0].source, SourceId(0));
+    assert_eq!(conns[1].source, SourceId(1));
+}
+
+#[test]
+fn value_module_flags_only_the_heterogeneous_source() {
+    let s = scenario();
+    let report = ValueModule::default().assess(&s).unwrap();
+    // Source B's millisecond lengths clash with m:ss durations …
+    assert!(
+        report.findings.iter().any(|f| f.location.contains("millis")),
+        "{report:?}"
+    );
+    // … while source A's m:ss lengths fit.
+    assert!(
+        report.findings.iter().all(|f| !f.location.contains("songs.length")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn structure_module_handles_both_sources_independently() {
+    let s = scenario();
+    let report = StructureModule::default().assess(&s).unwrap();
+    // Neither source violates the (constraint-free) target structure.
+    assert!(report.findings.is_empty(), "{report:?}");
+}
+
+#[test]
+fn estimate_covers_both_sources() {
+    let s = scenario();
+    let estimator =
+        Estimator::with_default_modules(EstimationConfig::for_quality(Quality::HighQuality));
+    let estimate = estimator.estimate(&s).unwrap();
+    let mapping_tasks: Vec<&str> = estimate
+        .tasks
+        .iter()
+        .filter(|t| t.task.task_type == TaskType::WriteMapping)
+        .map(|t| t.task.location.as_str())
+        .collect();
+    assert_eq!(mapping_tasks.len(), 2);
+    assert!(mapping_tasks.iter().any(|l| l.contains("src-a")));
+    assert!(mapping_tasks.iter().any(|l| l.contains("src-b")));
+    // Exactly one conversion task: the millisecond source.
+    let conversions = estimate
+        .tasks
+        .iter()
+        .filter(|t| t.task.task_type == TaskType::ConvertValues)
+        .count();
+    assert_eq!(conversions, 1);
+}

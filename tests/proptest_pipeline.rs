@@ -1,0 +1,185 @@
+//! End-to-end fuzzing: randomly generated scenarios never panic the
+//! pipeline, estimates are finite and non-negative, and identity
+//! scenarios always come out clean.
+
+use efes::prelude::*;
+use efes::settings::Quality;
+use efes_relational::{
+    Correspondence, CorrespondenceSet, DataType, Database, DatabaseBuilder, IntegrationScenario,
+    SourceId, Value,
+};
+use proptest::prelude::*;
+
+/// A random value of a given type (with occasional NULLs).
+fn arb_value(dt: DataType) -> BoxedStrategy<Value> {
+    match dt {
+        DataType::Integer => prop_oneof![
+            9 => (-10_000i64..10_000).prop_map(Value::Int),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Float => prop_oneof![
+            9 => (-1.0e4..1.0e4).prop_map(Value::Float),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Text => prop_oneof![
+            9 => "[a-zA-Z0-9 :\\.-]{0,18}".prop_map(Value::Text),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Boolean => prop_oneof![
+            9 => any::<bool>().prop_map(Value::Bool),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+    }
+}
+
+fn arb_datatype() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Integer),
+        Just(DataType::Float),
+        Just(DataType::Text),
+        Just(DataType::Boolean),
+    ]
+}
+
+/// A random single-table database: 1–4 columns, 0–25 rows, random
+/// not-null/unique constraints on column 0.
+fn arb_database(name: &'static str) -> impl Strategy<Value = Database> {
+    (
+        proptest::collection::vec(arb_datatype(), 1..=4),
+        0usize..25,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_flat_map(move |(types, rows, constrain, seed)| {
+            let row_strategy: Vec<_> = types.iter().map(|dt| arb_value(*dt)).collect();
+            proptest::collection::vec(row_strategy, rows).prop_map(move |data| {
+                let types = types.clone();
+                let mut b = DatabaseBuilder::new(name).table("t", |mut t| {
+                    for (i, dt) in types.iter().enumerate() {
+                        t = t.attr(&format!("c{i}"), *dt);
+                    }
+                    if constrain && seed % 3 == 0 {
+                        t = t.not_null("c0");
+                    }
+                    t
+                });
+                // Filter rows that would violate a NOT NULL on c0.
+                let rows: Vec<Vec<Value>> = data
+                    .into_iter()
+                    .filter(|r| !(constrain && seed % 3 == 0 && r[0].is_null()))
+                    .collect();
+                b = b.rows("t", rows);
+                b.build().expect("generated database is well-formed")
+            })
+        })
+}
+
+fn identity_correspondences(source: &Database, target: &Database) -> CorrespondenceSet {
+    let mut cs = CorrespondenceSet::new();
+    let st = source.schema.table_id("t").unwrap();
+    let tt = target.schema.table_id("t").unwrap();
+    cs.push(Correspondence::Table {
+        source: SourceId(0),
+        source_table: st,
+        target_table: tt,
+    });
+    let shared = source
+        .schema
+        .table(st)
+        .arity()
+        .min(target.schema.table(tt).arity());
+    for i in 0..shared {
+        cs.push(Correspondence::Attribute {
+            source: SourceId(0),
+            source_attr: efes_relational::AttrRef {
+                table: st,
+                attr: efes_relational::AttrId(i),
+            },
+            target_attr: efes_relational::AttrRef {
+                table: tt,
+                attr: efes_relational::AttrId(i),
+            },
+        });
+    }
+    cs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random source/target pair with positional correspondences
+    /// estimates without panicking, at both qualities, with finite
+    /// non-negative minutes.
+    #[test]
+    fn random_scenarios_never_panic(
+        source in arb_database("src"),
+        target in arb_database("tgt"),
+    ) {
+        let corrs = identity_correspondences(&source, &target);
+        let scenario =
+            IntegrationScenario::single_source("fuzz", source, target, corrs).unwrap();
+        for quality in [Quality::LowEffort, Quality::HighQuality] {
+            let estimator =
+                Estimator::with_default_modules(EstimationConfig::for_quality(quality));
+            let estimate = estimator.estimate(&scenario).expect("pipeline must not fail");
+            prop_assert!(estimate.total_minutes().is_finite());
+            prop_assert!(estimate.total_minutes() >= 0.0);
+            for t in &estimate.tasks {
+                prop_assert!(t.minutes.is_finite() && t.minutes >= 0.0);
+            }
+        }
+    }
+
+    /// Integrating a database into an exact copy of itself is always
+    /// clean: mapping effort only.
+    #[test]
+    fn identity_scenarios_are_clean(source in arb_database("src")) {
+        let mut target = source.clone();
+        target.schema.name = "tgt".into();
+        let corrs = identity_correspondences(&source, &target);
+        let scenario =
+            IntegrationScenario::single_source("identity", source, target, corrs).unwrap();
+        let estimator = Estimator::with_default_modules(EstimationConfig::for_quality(
+            Quality::HighQuality,
+        ));
+        let estimate = estimator.estimate(&scenario).expect("pipeline");
+        prop_assert_eq!(
+            estimate.cleaning_minutes(),
+            0.0,
+            "identity copy must need no cleaning: {:#?}",
+            estimate.tasks
+        );
+    }
+
+    /// Value-cleaning effort is monotone in quality under the Table 9
+    /// functions (ignore ≤ drop ≤ convert). Structural effort is *not* —
+    /// with a single missing value, repairing it (2·1 = 2 min) undercuts
+    /// the constant 5-minute reject — so totals are only asserted when a
+    /// plan actually differs in the monotone category.
+    #[test]
+    fn value_cleaning_is_monotone_in_quality(
+        source in arb_database("src"),
+        target in arb_database("tgt"),
+    ) {
+        use efes::task::TaskCategory;
+        let corrs = identity_correspondences(&source, &target);
+        let scenario =
+            IntegrationScenario::single_source("mono", source, target, corrs).unwrap();
+        let low = Estimator::with_default_modules(EstimationConfig::for_quality(Quality::LowEffort))
+            .estimate(&scenario)
+            .expect("low");
+        let high = Estimator::with_default_modules(EstimationConfig::for_quality(Quality::HighQuality))
+            .estimate(&scenario)
+            .expect("high");
+        prop_assert!(
+            low.category_minutes(TaskCategory::CleaningValues)
+                <= high.category_minutes(TaskCategory::CleaningValues) + 1e-9
+        );
+        // Mapping is quality-independent.
+        prop_assert!((low.mapping_minutes() - high.mapping_minutes()).abs() < 1e-9);
+    }
+}
