@@ -38,6 +38,23 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| estimator.estimate(black_box(&disco[1].0)).unwrap())
     });
 
+    // Sequential vs parallel on the same scenario: the pair backs the
+    // speedup table (`repro -- speedup`). On a single-core runner both
+    // resolve to the same code path and should measure alike.
+    group.bench_function("music_example_sequential", |b| {
+        let estimator = Estimator::with_default_modules(
+            EstimationConfig::default().with_execution(ExecutionPolicy::Sequential),
+        );
+        b.iter(|| estimator.estimate(black_box(&music)).unwrap())
+    });
+    group.bench_function("music_example_parallel", |b| {
+        let estimator = Estimator::with_default_modules(
+            EstimationConfig::default()
+                .with_execution(ExecutionPolicy::Threads(efes_exec::available_threads())),
+        );
+        b.iter(|| estimator.estimate(black_box(&music)).unwrap())
+    });
+
     group.bench_function("full_evaluation_both_domains", |b| {
         b.iter(|| {
             full_evaluation(

@@ -4,6 +4,7 @@
 //! cargo run --release -p efes-bench --bin repro -- all
 //! cargo run --release -p efes-bench --bin repro -- table5
 //! cargo run --release -p efes-bench --bin repro -- figure6 --small
+//! cargo run --release -p efes-bench --bin repro -- speedup --small
 //! ```
 //!
 //! By default the running-example artifacts (Tables 2/3/5/6/8, Figures
@@ -30,6 +31,15 @@ fn main() {
     };
     let amalgam = AmalgamConfig::default();
     let disco = DiscographyConfig::default();
+
+    const KNOWN: [&str; 17] = [
+        "all", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+        "table9", "figure2", "figure4", "figure5", "figure6", "figure7", "ablation", "speedup",
+    ];
+    if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
+        eprintln!("unknown artifact `{bad}`; known artifacts: {}", KNOWN.join(" "));
+        std::process::exit(2);
+    }
 
     let all = targets.is_empty() || targets.contains(&"all");
     let want = |name: &str| all || targets.contains(&name);
@@ -81,6 +91,9 @@ fn main() {
              `Convert values` function makes the value module volatile across\n\
              domains — see EXPERIMENTS.md.)\n"
         );
+    }
+    if want("speedup") {
+        println!("{}\n", speedup_report(&cfg));
     }
     if want("figure6") || want("figure7") {
         let (fig6, fig7, summary) = figures6_and_7(&amalgam, &disco);

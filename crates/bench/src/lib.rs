@@ -10,6 +10,8 @@
 
 pub mod artifacts;
 pub mod figures;
+pub mod speedup;
 
 pub use artifacts::*;
 pub use figures::*;
+pub use speedup::*;

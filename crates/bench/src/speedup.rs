@@ -1,0 +1,88 @@
+//! The sequential-vs-parallel speedup report.
+//!
+//! Runs the full two-phase pipeline on the running example twice — once
+//! forced sequential, once with one worker per available core — and
+//! prints the per-stage wall-clock tables recorded in
+//! [`efes::PipelineTimings`] side by side with the resulting speedup
+//! factor. The estimates themselves are asserted identical, so the
+//! report doubles as a determinism check.
+
+use efes::prelude::*;
+use efes_scenarios::{music_example_scenario, MusicExampleConfig};
+
+/// Best-of-`runs` estimate timings under one execution policy.
+fn best_run(
+    scenario: &efes_relational::IntegrationScenario,
+    policy: ExecutionPolicy,
+    runs: usize,
+) -> EffortEstimate {
+    let estimator =
+        Estimator::with_default_modules(EstimationConfig::default().with_execution(policy));
+    let mut best: Option<EffortEstimate> = None;
+    for _ in 0..runs.max(1) {
+        let est = estimator.estimate(scenario).expect("estimation succeeds");
+        if best
+            .as_ref()
+            .is_none_or(|b| est.timings.total_millis < b.timings.total_millis)
+        {
+            best = Some(est);
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// Render the speedup report for the running example at the given scale.
+pub fn speedup_report(cfg: &MusicExampleConfig) -> String {
+    let (scenario, _) = music_example_scenario(cfg);
+    // Honour EFES_THREADS for the parallel leg; unset uses the cores.
+    let threads = ExecutionMode::from_env().threads();
+    let runs = 3;
+
+    let sequential = best_run(&scenario, ExecutionPolicy::Sequential, runs);
+    let parallel = best_run(&scenario, ExecutionPolicy::Threads(threads), runs);
+    assert_eq!(
+        sequential, parallel,
+        "parallel estimate must be identical to sequential"
+    );
+
+    let factor = sequential.timings.total_millis / parallel.timings.total_millis.max(1e-9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pipeline speedup — scenario `{}` (best of {runs} runs)\n\n",
+        scenario.name
+    ));
+    out.push_str(&format!("sequential (1 thread):\n{}", sequential.timings.table()));
+    out.push_str(&format!(
+        "\nparallel ({threads} thread{}):\n{}",
+        if threads == 1 { "" } else { "s" },
+        parallel.timings.table()
+    ));
+    out.push_str(&format!(
+        "\nspeedup: {factor:.2}x  (estimates identical: yes)\n"
+    ));
+    if threads == 1 {
+        out.push_str(
+            "\nNote: only one worker thread is available (single core, or\n\
+             EFES_THREADS <= 1), so the parallel run degenerates to the\n\
+             sequential code path; run on a multi-core machine (>= 4 cores)\n\
+             to observe the speedup.\n",
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_prints_both_tables_and_a_factor() {
+        let report = speedup_report(&MusicExampleConfig::scaled_down());
+        assert!(report.contains("sequential (1 thread):"));
+        assert!(report.contains("parallel ("));
+        assert!(report.contains("speedup: "));
+        assert!(report.contains("estimates identical: yes"));
+        // One "total" row per table.
+        assert_eq!(report.matches("total").count(), 2);
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::effort::EffortModel;
 use crate::settings::{ExecutionSettings, Quality};
+use efes_exec::ExecutionPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Everything the effort-estimation phase needs beyond the scenario.
@@ -19,6 +20,12 @@ pub struct EstimationConfig {
     pub effort_model: EffortModel,
     /// Iteration cap for the structure repair simulation.
     pub max_repair_iterations: usize,
+    /// How the pipeline executes independent units (modules,
+    /// correspondences, relationships). Deliberately not serialised: the
+    /// estimate must not depend on it, so it is machine-local state, not
+    /// part of a shareable configuration file.
+    #[serde(skip)]
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for EstimationConfig {
@@ -28,6 +35,7 @@ impl Default for EstimationConfig {
             settings: ExecutionSettings::default(),
             effort_model: EffortModel::table9(),
             max_repair_iterations: 1000,
+            execution: ExecutionPolicy::default(),
         }
     }
 }
@@ -39,6 +47,12 @@ impl EstimationConfig {
             quality,
             ..EstimationConfig::default()
         }
+    }
+
+    /// Builder-style override of the execution policy.
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Serialise to pretty JSON (the configuration-file format).
@@ -72,6 +86,14 @@ mod tests {
             back.effort_model.function(&TaskType::WriteMapping),
             Some(&EffortFunction::Constant(2.0))
         );
+    }
+
+    #[test]
+    fn execution_policy_is_not_serialised() {
+        let cfg = EstimationConfig::default().with_execution(ExecutionPolicy::Threads(7));
+        assert!(!cfg.to_json().contains("execution"));
+        let back = EstimationConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.execution, ExecutionPolicy::default());
     }
 
     #[test]

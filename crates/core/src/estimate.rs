@@ -2,9 +2,10 @@
 //! effort (paper Figure 3, bottom box).
 
 use crate::config::EstimationConfig;
-use crate::framework::{EstimationModule, ModuleError, ModuleReport};
+use crate::framework::{AssessContext, EstimationModule, ModuleError, ModuleReport};
 use crate::modules::{MappingModule, StructureModule, ValueModule};
 use crate::task::{Task, TaskCategory};
+use efes_exec::{parallel_map_ref, timed};
 use efes_relational::IntegrationScenario;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -18,9 +19,65 @@ pub struct EstimatedTask {
     pub minutes: f64,
 }
 
+/// Wall-clock time of one pipeline stage (one module's assess + plan +
+/// price pass).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTiming {
+    /// Stage name — the module name for per-module stages.
+    pub stage: String,
+    /// Elapsed wall-clock milliseconds.
+    pub millis: f64,
+}
+
+/// Per-run instrumentation of the estimation pipeline: how long each
+/// stage took, under what thread budget, and how the shared profile
+/// cache performed. Diagnostics only — never part of the estimate's
+/// identity, never serialised.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineTimings {
+    /// Per-module stage timings, in module registration order.
+    pub stages: Vec<StageTiming>,
+    /// End-to-end wall-clock milliseconds for the whole run.
+    pub total_millis: f64,
+    /// The worker-thread budget the run executed under.
+    pub threads: usize,
+    /// Profile-cache lookups served from memory.
+    pub cache_hits: u64,
+    /// Profile-cache lookups that computed a fresh profile.
+    pub cache_misses: u64,
+}
+
+impl PipelineTimings {
+    /// Render as a small aligned table, one row per stage plus a total
+    /// row — the format the repro binary's speedup report prints.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stages {
+            out.push_str(&format!("  {:<12} {:>9.2} ms\n", s.stage, s.millis));
+        }
+        out.push_str(&format!(
+            "  {:<12} {:>9.2} ms  ({} thread{}, cache {} hit{} / {} miss{})\n",
+            "total",
+            self.total_millis,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.cache_hits,
+            if self.cache_hits == 1 { "" } else { "s" },
+            self.cache_misses,
+            if self.cache_misses == 1 { "" } else { "es" },
+        ));
+        out
+    }
+}
+
 /// The final effort estimate: priced tasks plus the per-category
 /// breakdown the figures stack.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality (`PartialEq`) covers the estimate's *content* — scenario,
+/// tasks, reports — and deliberately ignores [`EffortEstimate::timings`]:
+/// two runs of the same scenario are the same estimate no matter how the
+/// pipeline was scheduled. The determinism tests rely on this.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EffortEstimate {
     /// The scenario name.
     pub scenario: String,
@@ -29,6 +86,18 @@ pub struct EffortEstimate {
     /// The complexity reports that produced them (phase-1 output,
     /// preserved for the user: granularity).
     pub reports: Vec<ModuleReport>,
+    /// Wall-clock instrumentation of the run that produced this
+    /// estimate. Excluded from equality and serialisation.
+    #[serde(skip)]
+    pub timings: PipelineTimings,
+}
+
+impl PartialEq for EffortEstimate {
+    fn eq(&self, other: &Self) -> bool {
+        self.scenario == other.scenario
+            && self.tasks == other.tasks
+            && self.reports == other.reports
+    }
 }
 
 impl EffortEstimate {
@@ -172,28 +241,68 @@ impl Estimator {
     }
 
     /// Phase 1 only: run every module's complexity detector.
+    ///
+    /// Modules run concurrently under the configured execution policy and
+    /// share one profile cache; reports come back in registration order
+    /// regardless of scheduling.
     pub fn assess(&self, scenario: &IntegrationScenario) -> Result<Vec<ModuleReport>, ModuleError> {
-        self.modules.iter().map(|m| m.assess(scenario)).collect()
+        let ctx = AssessContext::with_mode(self.config.execution.mode());
+        parallel_map_ref(ctx.mode, &self.modules, |m| m.assess_with(scenario, &ctx))
+            .into_iter()
+            .collect()
     }
 
     /// Both phases: assess, plan, price.
+    ///
+    /// Each module's full pass (assess → plan → price) is an independent
+    /// unit, fanned out under the configured execution policy; all
+    /// modules share one [`efes_profiling::ProfileCache`]. Results are
+    /// reassembled in registration order, so the estimate is
+    /// byte-identical to a sequential run. Per-module wall-clock times
+    /// land in [`EffortEstimate::timings`].
     pub fn estimate(&self, scenario: &IntegrationScenario) -> Result<EffortEstimate, ModuleError> {
+        let ctx = AssessContext::with_mode(self.config.execution.mode());
+        type StageOut = Result<(ModuleReport, Vec<EstimatedTask>, StageTiming), ModuleError>;
+        let (per_module, total_millis) = timed(|| {
+            parallel_map_ref(ctx.mode, &self.modules, |module| -> StageOut {
+                let (out, millis) = timed(|| -> Result<_, ModuleError> {
+                    let report = module.assess_with(scenario, &ctx)?;
+                    let tasks = module.plan(scenario, &report, &self.config)?;
+                    let priced = tasks
+                        .into_iter()
+                        .map(|task| {
+                            let minutes = self
+                                .config
+                                .effort_model
+                                .minutes_for(&task, &self.config.settings);
+                            EstimatedTask { task, minutes }
+                        })
+                        .collect();
+                    Ok((report, priced))
+                });
+                let (report, priced) = out?;
+                let timing = StageTiming {
+                    stage: module.name().to_owned(),
+                    millis,
+                };
+                Ok((report, priced, timing))
+            })
+        });
+
         let mut estimate = EffortEstimate {
             scenario: scenario.name.clone(),
             ..EffortEstimate::default()
         };
-        for module in &self.modules {
-            let report = module.assess(scenario)?;
-            let tasks = module.plan(scenario, &report, &self.config)?;
-            for task in tasks {
-                let minutes = self
-                    .config
-                    .effort_model
-                    .minutes_for(&task, &self.config.settings);
-                estimate.tasks.push(EstimatedTask { task, minutes });
-            }
+        for stage in per_module {
+            let (report, priced, timing) = stage?;
+            estimate.tasks.extend(priced);
             estimate.reports.push(report);
+            estimate.timings.stages.push(timing);
         }
+        estimate.timings.total_millis = total_millis;
+        estimate.timings.threads = ctx.mode.threads();
+        estimate.timings.cache_hits = ctx.cache.hits();
+        estimate.timings.cache_misses = ctx.cache.misses();
         Ok(estimate)
     }
 }

@@ -8,10 +8,13 @@
 
 use crate::config::EstimationConfig;
 use crate::task::Task;
+use efes_exec::ExecutionMode;
+use efes_profiling::ProfileCache;
 use efes_relational::IntegrationScenario;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A metric value inside a finding — keeps complexity reports structured
 /// and serialisable without fixing their shape (*"There is no formal
@@ -177,13 +180,50 @@ impl fmt::Display for ModuleError {
 
 impl std::error::Error for ModuleError {}
 
+/// Shared per-run state handed to modules during assessment: the column
+/// profile cache (so modules stop recomputing identical statistics) and
+/// the execution mode (so modules can fan their inner loops out over the
+/// same thread budget the estimator uses).
+#[derive(Debug, Clone)]
+pub struct AssessContext {
+    /// Memoized per-column [`efes_profiling::AttributeProfile`]s, shared
+    /// by every module of one estimation run.
+    pub cache: Arc<ProfileCache>,
+    /// How modules should execute their independent inner units.
+    pub mode: ExecutionMode,
+}
+
+impl AssessContext {
+    /// A standalone context: fresh cache, sequential execution. Used when
+    /// a module's `assess` is called directly rather than via the
+    /// estimator.
+    pub fn standalone() -> Self {
+        AssessContext {
+            cache: Arc::new(ProfileCache::new()),
+            mode: ExecutionMode::Sequential,
+        }
+    }
+
+    /// A context with a fresh cache under the given mode.
+    pub fn with_mode(mode: ExecutionMode) -> Self {
+        AssessContext {
+            cache: Arc::new(ProfileCache::new()),
+            mode,
+        }
+    }
+}
+
 /// An estimation module: a *data complexity detector* plus a *task
 /// planner* (Figure 3).
 ///
 /// Custom modules implement this trait and are registered with the
 /// [`crate::estimate::Estimator`]; the `examples/custom_module.rs`
 /// example plugs a duplicate-detection effort module this way.
-pub trait EstimationModule {
+///
+/// `Send + Sync` is required so the estimator can assess modules on
+/// worker threads; modules are stateless detectors in practice, so the
+/// bound costs implementors nothing.
+pub trait EstimationModule: Send + Sync {
     /// Stable module name, used in reports and task attribution.
     fn name(&self) -> &str;
 
@@ -191,6 +231,21 @@ pub trait EstimationModule {
     /// from the scenario. Must not depend on execution settings or
     /// expected quality (the paper keeps this phase objective).
     fn assess(&self, scenario: &IntegrationScenario) -> Result<ModuleReport, ModuleError>;
+
+    /// Phase 1, context-aware variant: like [`assess`](Self::assess) but
+    /// with access to the run's shared [`AssessContext`]. Modules that
+    /// profile columns or fan out inner loops override this; the default
+    /// ignores the context and delegates to `assess`, so existing custom
+    /// modules keep working unchanged. The report must not depend on
+    /// `ctx` — the context only changes *how fast* it is produced.
+    fn assess_with(
+        &self,
+        scenario: &IntegrationScenario,
+        ctx: &AssessContext,
+    ) -> Result<ModuleReport, ModuleError> {
+        let _ = ctx;
+        self.assess(scenario)
+    }
 
     /// Phase 2 — task planning: convert the module's own report into
     /// concrete tasks under the given configuration.

@@ -71,8 +71,11 @@ pub use benefit::{cost_benefit_curve, CostBenefitPoint};
 pub use calibration::{calibrate_scales, rmse, CalibratedScales, ScenarioOutcome};
 pub use config::EstimationConfig;
 pub use effort::{EffortFunction, EffortModel};
-pub use estimate::{EffortEstimate, EstimatedTask, Estimator, ModuleSelection};
-pub use framework::{EstimationModule, Finding, MetricValue, ModuleError, ModuleReport};
+pub use efes_exec::{ExecutionMode, ExecutionPolicy, THREADS_ENV_VAR};
+pub use estimate::{
+    EffortEstimate, EstimatedTask, Estimator, ModuleSelection, PipelineTimings, StageTiming,
+};
+pub use framework::{AssessContext, EstimationModule, Finding, MetricValue, ModuleError, ModuleReport};
 pub use settings::{ExecutionSettings, Quality, ToolSupport};
 pub use task::{Task, TaskCategory, TaskParams, TaskType};
 
@@ -80,8 +83,9 @@ pub use task::{Task, TaskCategory, TaskParams, TaskType};
 pub mod prelude {
     pub use crate::config::EstimationConfig;
     pub use crate::effort::{EffortFunction, EffortModel};
-    pub use crate::estimate::{EffortEstimate, Estimator, ModuleSelection};
-    pub use crate::framework::{EstimationModule, Finding, ModuleReport};
+    pub use efes_exec::{ExecutionMode, ExecutionPolicy};
+    pub use crate::estimate::{EffortEstimate, Estimator, ModuleSelection, PipelineTimings};
+    pub use crate::framework::{AssessContext, EstimationModule, Finding, ModuleReport};
     pub use crate::settings::{ExecutionSettings, Quality};
     pub use crate::task::{Task, TaskCategory, TaskParams, TaskType};
 }

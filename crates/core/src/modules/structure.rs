@@ -3,12 +3,14 @@
 //! into the framework interface.
 
 use crate::config::EstimationConfig;
-use crate::framework::{EstimationModule, Finding, ModuleError, ModuleReport};
+use crate::framework::{AssessContext, EstimationModule, Finding, ModuleError, ModuleReport};
 use crate::task::{Task, TaskParams, TaskType};
 use efes_csg::planner::{PlannedRepair, PlannerOptions, StructureTaskKind};
 use efes_csg::{
-    database_to_csg, detect_conflicts, match_relationships, plan_repairs, NodeCorrespondences,
+    database_to_csg, detect_conflicts, match_relationships_with, plan_repairs,
+    NodeCorrespondences,
 };
+use efes_exec::{parallel_map, ExecutionMode};
 use efes_relational::{IntegrationScenario, SourceId};
 
 /// The structure module.
@@ -46,16 +48,55 @@ impl StructureModule {
         source: SourceId,
         config: &EstimationConfig,
     ) -> Result<Vec<PlannedRepair>, ModuleError> {
+        let mode = config.execution.mode();
         let target_conv = database_to_csg(&scenario.target);
         let source_conv = database_to_csg(scenario.source(source));
         let corr =
             NodeCorrespondences::from_scenario(scenario, source, &target_conv, &source_conv);
-        let matches = match_relationships(&target_conv.csg, &source_conv.csg, &corr);
+        let matches = match_relationships_with(&target_conv.csg, &source_conv.csg, &corr, mode);
         let conflicts = detect_conflicts(&target_conv, &source_conv, &matches);
         let mut opts = self.planner_options.clone();
         opts.max_iterations = config.max_repair_iterations;
         plan_repairs(&target_conv, &matches, &conflicts, config.quality, &opts)
             .map_err(|e| ModuleError::PlanningFailed(e.to_string()))
+    }
+
+    /// Detect conflicts for one source, returning its findings in
+    /// deterministic order.
+    fn assess_source(
+        &self,
+        scenario: &IntegrationScenario,
+        sid: SourceId,
+        mode: ExecutionMode,
+    ) -> Vec<Finding> {
+        let source = scenario.source(sid);
+        let target_conv = database_to_csg(&scenario.target);
+        let source_conv = database_to_csg(source);
+        let corr = NodeCorrespondences::from_scenario(scenario, sid, &target_conv, &source_conv);
+        let matches = match_relationships_with(&target_conv.csg, &source_conv.csg, &corr, mode);
+        detect_conflicts(&target_conv, &source_conv, &matches)
+            .into_iter()
+            .map(|c| {
+                Finding::new(
+                    "structural-conflict",
+                    format!("{} [{}]", c.constraint_label, source.name()),
+                    format!(
+                        "{}: inferred source cardinality {} violates prescribed {}",
+                        c.kind.label(),
+                        c.inferred,
+                        c.prescribed
+                    ),
+                )
+                .with_int("violations", c.violation_count)
+                .with_int("too-few", c.too_few)
+                .with_int("too-many", c.too_many)
+                .with_int("source", sid.0 as u64)
+                .with_int("target-rel", c.target_rel as u64)
+                .with_text("prescribed", c.prescribed.to_string())
+                .with_text("inferred", c.inferred.to_string())
+                .with_text("conflict-kind", c.kind.label())
+            })
+            .collect()
     }
 }
 
@@ -65,35 +106,23 @@ impl EstimationModule for StructureModule {
     }
 
     fn assess(&self, scenario: &IntegrationScenario) -> Result<ModuleReport, ModuleError> {
+        self.assess_with(scenario, &AssessContext::standalone())
+    }
+
+    /// Sources are independent, so they fan out under `ctx.mode`; within
+    /// one source the relationship matching fans out as well. Findings
+    /// come back in source order, identical to a sequential pass.
+    fn assess_with(
+        &self,
+        scenario: &IntegrationScenario,
+        ctx: &AssessContext,
+    ) -> Result<ModuleReport, ModuleError> {
+        let sids: Vec<SourceId> = scenario.iter_sources().map(|(sid, _)| sid).collect();
         let mut report = ModuleReport::new(self.name());
-        let target_conv = database_to_csg(&scenario.target);
-        for (sid, source) in scenario.iter_sources() {
-            let source_conv = database_to_csg(source);
-            let corr =
-                NodeCorrespondences::from_scenario(scenario, sid, &target_conv, &source_conv);
-            let matches = match_relationships(&target_conv.csg, &source_conv.csg, &corr);
-            for c in detect_conflicts(&target_conv, &source_conv, &matches) {
-                report.push(
-                    Finding::new(
-                        "structural-conflict",
-                        format!("{} [{}]", c.constraint_label, source.name()),
-                        format!(
-                            "{}: inferred source cardinality {} violates prescribed {}",
-                            c.kind.label(),
-                            c.inferred,
-                            c.prescribed
-                        ),
-                    )
-                    .with_int("violations", c.violation_count)
-                    .with_int("too-few", c.too_few)
-                    .with_int("too-many", c.too_many)
-                    .with_int("source", sid.0 as u64)
-                    .with_int("target-rel", c.target_rel as u64)
-                    .with_text("prescribed", c.prescribed.to_string())
-                    .with_text("inferred", c.inferred.to_string())
-                    .with_text("conflict-kind", c.kind.label()),
-                );
-            }
+        for findings in parallel_map(ctx.mode, sids, |sid| {
+            self.assess_source(scenario, sid, ctx.mode)
+        }) {
+            report.findings.extend(findings);
         }
         Ok(report)
     }

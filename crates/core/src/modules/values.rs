@@ -3,10 +3,11 @@
 //! transformation planner** (Table 7).
 
 use crate::config::EstimationConfig;
-use crate::framework::{EstimationModule, Finding, ModuleError, ModuleReport};
+use crate::framework::{AssessContext, EstimationModule, Finding, ModuleError, ModuleReport};
 use crate::settings::Quality;
 use crate::task::{Task, TaskParams, TaskType};
-use efes_profiling::{AttributeProfile, FillStatus};
+use efes_exec::parallel_map;
+use efes_profiling::{AttributeProfile, DbTag, FillStatus, ProfileKey};
 use efes_relational::IntegrationScenario;
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +86,121 @@ impl Default for ValueModule {
     }
 }
 
+impl ValueModule {
+    /// Algorithm 1 for one attribute correspondence: profile both ends
+    /// (through the shared cache) and emit the heterogeneity findings.
+    fn assess_correspondence(
+        &self,
+        scenario: &IntegrationScenario,
+        ctx: &AssessContext,
+        sid: efes_relational::SourceId,
+        source: &efes_relational::Database,
+        sa: efes_relational::AttrRef,
+        ta: efes_relational::AttrRef,
+    ) -> Vec<Finding> {
+        let target_type = scenario
+            .target
+            .schema
+            .table(ta.table)
+            .attribute(ta.attr)
+            .datatype;
+        let source_profile = ctx.cache.of_attribute(
+            source,
+            ProfileKey {
+                db: DbTag::source(sid.0 as u32),
+                table: sa.table,
+                attr: sa.attr,
+                reference_type: target_type,
+            },
+        );
+        let target_profile = ctx.cache.of_attribute(
+            &scenario.target,
+            ProfileKey {
+                db: DbTag::TARGET,
+                table: ta.table,
+                attr: ta.attr,
+                reference_type: target_type,
+            },
+        );
+        let location = format!(
+            "{} → {}",
+            source.schema.qualified(sa.table, sa.attr),
+            scenario.target.schema.qualified(ta.table, ta.attr)
+        );
+        let source_values = source.instance.table(sa.table).len() as u64;
+        let distinct = source
+            .instance
+            .distinct_values(sa.table, sa.attr)
+            .len() as u64;
+
+        let mut heterogeneities: Vec<(HeterogeneityKind, f64)> = Vec::new();
+        // Rule 1: substantiallyFewerSourceValues.
+        if FillStatus::substantially_fewer(
+            &source_profile.fill,
+            &target_profile.fill,
+            self.fewer_values_margin,
+        ) {
+            heterogeneities.push((
+                HeterogeneityKind::TooFewSourceElements,
+                source_profile.fill.presence_ratio(),
+            ));
+        }
+        // Rule 2: hasIncompatibleValues.
+        if source_profile.fill.has_incompatible() {
+            heterogeneities.push((
+                HeterogeneityKind::DifferentRepresentationsCritical,
+                source_profile.fill.incompatible as f64,
+            ));
+        }
+        // Rules 3–5: domain granularity, then domain-specific
+        // differences. An empty target column cannot designate
+        // characteristics, so the fit rule only applies when the
+        // target carries data.
+        let target_has_data = target_profile.fill.total > 0;
+        let src_restricted = source_profile.domain_restricted();
+        let tgt_restricted = target_has_data && target_profile.domain_restricted();
+        // Granularity rules additionally require a real disparity
+        // in domain sizes (≥ 3×): a borderline restricted/open
+        // classification with similar distinct counts is a format
+        // question (rule 5), not a granularity one.
+        let src_distinct = source_profile.constancy.distinct.max(1);
+        let tgt_distinct = target_profile.constancy.distinct.max(1);
+        if target_has_data
+            && src_restricted
+            && !tgt_restricted
+            && tgt_distinct >= 3 * src_distinct
+        {
+            heterogeneities.push((HeterogeneityKind::TooCoarseGrained, 0.0));
+        } else if target_has_data
+            && !src_restricted
+            && tgt_restricted
+            && src_distinct >= 3 * tgt_distinct
+        {
+            heterogeneities.push((HeterogeneityKind::TooFineGrained, 0.0));
+        } else if target_has_data {
+            let fit = AttributeProfile::fit_against(&source_profile, &target_profile);
+            if fit.overall < self.fit_threshold {
+                heterogeneities.push((HeterogeneityKind::DifferentRepresentations, fit.overall));
+            }
+        }
+
+        heterogeneities
+            .into_iter()
+            .map(|(kind, score)| {
+                Finding::new(
+                    "value-heterogeneity",
+                    location.clone(),
+                    kind.label().to_owned(),
+                )
+                .with_text("heterogeneity", kind.as_key())
+                .with_int("source-values", source_values)
+                .with_int("distinct-source-values", distinct)
+                .with_float("score", score)
+            })
+            .collect()
+    }
+}
+
 impl EstimationModule for ValueModule {
     fn name(&self) -> &str {
         "values"
@@ -92,100 +208,31 @@ impl EstimationModule for ValueModule {
 
     /// Algorithm 1, per attribute correspondence.
     fn assess(&self, scenario: &IntegrationScenario) -> Result<ModuleReport, ModuleError> {
+        self.assess_with(scenario, &AssessContext::standalone())
+    }
+
+    /// Correspondences are independent of each other, so they fan out
+    /// under `ctx.mode`; findings are flattened back in correspondence
+    /// order, keeping the report identical to a sequential pass.
+    fn assess_with(
+        &self,
+        scenario: &IntegrationScenario,
+        ctx: &AssessContext,
+    ) -> Result<ModuleReport, ModuleError> {
+        let units: Vec<_> = scenario
+            .iter_sources()
+            .flat_map(|(sid, source)| {
+                scenario
+                    .correspondences
+                    .attribute_correspondences(sid)
+                    .map(move |(sa, ta)| (sid, source, sa, ta))
+            })
+            .collect();
         let mut report = ModuleReport::new(self.name());
-        for (sid, source) in scenario.iter_sources() {
-            for (sa, ta) in scenario.correspondences.attribute_correspondences(sid) {
-                let target_type = scenario
-                    .target
-                    .schema
-                    .table(ta.table)
-                    .attribute(ta.attr)
-                    .datatype;
-                let source_profile =
-                    AttributeProfile::of_attribute(source, sa.table, sa.attr, target_type);
-                let target_profile = AttributeProfile::of_attribute(
-                    &scenario.target,
-                    ta.table,
-                    ta.attr,
-                    target_type,
-                );
-                let location = format!(
-                    "{} → {}",
-                    source.schema.qualified(sa.table, sa.attr),
-                    scenario.target.schema.qualified(ta.table, ta.attr)
-                );
-                let source_values = source.instance.table(sa.table).len() as u64;
-                let distinct = source
-                    .instance
-                    .distinct_values(sa.table, sa.attr)
-                    .len() as u64;
-
-                let mut heterogeneities: Vec<(HeterogeneityKind, f64)> = Vec::new();
-                // Rule 1: substantiallyFewerSourceValues.
-                if FillStatus::substantially_fewer(
-                    &source_profile.fill,
-                    &target_profile.fill,
-                    self.fewer_values_margin,
-                ) {
-                    heterogeneities.push((
-                        HeterogeneityKind::TooFewSourceElements,
-                        source_profile.fill.presence_ratio(),
-                    ));
-                }
-                // Rule 2: hasIncompatibleValues.
-                if source_profile.fill.has_incompatible() {
-                    heterogeneities.push((
-                        HeterogeneityKind::DifferentRepresentationsCritical,
-                        source_profile.fill.incompatible as f64,
-                    ));
-                }
-                // Rules 3–5: domain granularity, then domain-specific
-                // differences. An empty target column cannot designate
-                // characteristics, so the fit rule only applies when the
-                // target carries data.
-                let target_has_data = target_profile.fill.total > 0;
-                let src_restricted = source_profile.domain_restricted();
-                let tgt_restricted = target_has_data && target_profile.domain_restricted();
-                // Granularity rules additionally require a real disparity
-                // in domain sizes (≥ 3×): a borderline restricted/open
-                // classification with similar distinct counts is a format
-                // question (rule 5), not a granularity one.
-                let src_distinct = source_profile.constancy.distinct.max(1);
-                let tgt_distinct = target_profile.constancy.distinct.max(1);
-                if target_has_data
-                    && src_restricted
-                    && !tgt_restricted
-                    && tgt_distinct >= 3 * src_distinct
-                {
-                    heterogeneities.push((HeterogeneityKind::TooCoarseGrained, 0.0));
-                } else if target_has_data
-                    && !src_restricted
-                    && tgt_restricted
-                    && src_distinct >= 3 * tgt_distinct
-                {
-                    heterogeneities.push((HeterogeneityKind::TooFineGrained, 0.0));
-                } else if target_has_data {
-                    let fit = AttributeProfile::fit_against(&source_profile, &target_profile);
-                    if fit.overall < self.fit_threshold {
-                        heterogeneities
-                            .push((HeterogeneityKind::DifferentRepresentations, fit.overall));
-                    }
-                }
-
-                for (kind, score) in heterogeneities {
-                    report.push(
-                        Finding::new(
-                            "value-heterogeneity",
-                            location.clone(),
-                            kind.label().to_owned(),
-                        )
-                        .with_text("heterogeneity", kind.as_key())
-                        .with_int("source-values", source_values)
-                        .with_int("distinct-source-values", distinct)
-                        .with_float("score", score),
-                    );
-                }
-            }
+        for findings in parallel_map(ctx.mode, units, |(sid, source, sa, ta)| {
+            self.assess_correspondence(scenario, ctx, sid, source, sa, ta)
+        }) {
+            report.findings.extend(findings);
         }
         Ok(report)
     }

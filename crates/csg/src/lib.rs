@@ -49,7 +49,9 @@ pub use convert::database_to_csg;
 pub use expr::RelExpr;
 pub use graph::{Csg, Direction, NodeId, NodeKind, RelId, RelKind, RelRef};
 pub use instance::CsgInstance;
-pub use matching::{match_relationships, NodeCorrespondences, RelationshipMatch};
+pub use matching::{
+    match_relationships, match_relationships_with, NodeCorrespondences, RelationshipMatch,
+};
 pub use nary::{composite_fk_violations, composite_unique_violations, fd_violations};
 pub use planner::{plan_repairs, PlannedRepair, PlannerError, Quality, StructureTaskKind};
 pub use violations::{detect_conflicts, ConflictKind, StructuralConflict};

@@ -13,6 +13,7 @@ use crate::cardinality::Cardinality;
 use crate::convert::CsgConversion;
 use crate::expr::RelExpr;
 use crate::graph::{Csg, NodeId, RelId, RelRef};
+use efes_exec::{parallel_map, ExecutionMode};
 use efes_relational::{CorrespondenceSet, IntegrationScenario, SourceId};
 use std::collections::HashMap;
 
@@ -252,10 +253,27 @@ pub fn match_relationships(
     source_csg: &Csg,
     corr: &NodeCorrespondences,
 ) -> Vec<RelationshipMatch> {
+    match_relationships_with(target_csg, source_csg, corr, ExecutionMode::from_env())
+}
+
+/// Like [`match_relationships`], under an explicit [`ExecutionMode`].
+/// Each target relationship is matched independently (the path search
+/// reads the graphs but shares no state), so the matches fan out over
+/// worker threads; results keep target-relationship order either way.
+pub fn match_relationships_with(
+    target_csg: &Csg,
+    source_csg: &Csg,
+    corr: &NodeCorrespondences,
+    mode: ExecutionMode,
+) -> Vec<RelationshipMatch> {
     let limits = SearchLimits::default();
-    (0..target_csg.relationships().len())
-        .filter_map(|i| match_one(target_csg, source_csg, corr, RelId(i), limits))
-        .collect()
+    let ids: Vec<usize> = (0..target_csg.relationships().len()).collect();
+    parallel_map(mode, ids, |i| {
+        match_one(target_csg, source_csg, corr, RelId(i), limits)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 //! assignment, and emission of correspondence sets consumable by the EFES
 //! pipeline.
 
-use crate::instance::instance_similarity;
+use crate::instance::instance_similarity_cached;
 use crate::name::name_similarity;
+use efes_exec::{parallel_map, ExecutionMode};
+use efes_profiling::{DbTag, ProfileCache};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::{
     Correspondence, CorrespondenceSet, Database, SourceId,
@@ -66,36 +68,67 @@ impl CombinedMatcher {
         source: &Database,
         target: &Database,
     ) -> Vec<ProposedMatch> {
-        let mut scored: Vec<ProposedMatch> = Vec::new();
-        for (st, sa, s_attr) in source.schema.iter_attributes() {
-            for (tt, ta, t_attr) in target.schema.iter_attributes() {
-                let s_table = &source.schema.table(st).name;
-                let t_table = &target.schema.table(tt).name;
-                // Attribute name similarity, boosted by table-context
-                // similarity so `albums.name` prefers `records.title`
-                // over `tracks.title`.
-                let attr_sim = name_similarity(&s_attr.name, &t_attr.name);
-                let table_sim = name_similarity(s_table, t_table);
-                let name_score = 0.8 * attr_sim + 0.2 * table_sim;
-                let score = if self.config.use_instances
-                    && !source.instance.table(st).is_empty()
-                    && !target.instance.table(tt).is_empty()
-                {
-                    let inst = instance_similarity(source, (st, sa), target, (tt, ta));
-                    self.config.name_weight * name_score
-                        + (1.0 - self.config.name_weight) * inst
-                } else {
-                    name_score
-                };
-                if score >= self.config.attr_threshold {
-                    scored.push(ProposedMatch {
-                        source: (st, sa),
-                        target: (tt, ta),
-                        score,
-                    });
-                }
+        self.propose_attribute_matches_with(
+            source,
+            target,
+            &ProfileCache::new(),
+            ExecutionMode::from_env(),
+        )
+    }
+
+    /// Like [`propose_attribute_matches`](Self::propose_attribute_matches)
+    /// with an explicit profile cache and execution mode. The pair grid is
+    /// O(source attrs × target attrs) and each pair profiles both columns
+    /// twice, so the cache collapses the profiling cost from quadratic to
+    /// linear in the attribute count; the pairs score concurrently under
+    /// `mode`. `cache` keys the source as `DbTag(0)` and the target as
+    /// [`DbTag::TARGET`].
+    pub fn propose_attribute_matches_with(
+        &self,
+        source: &Database,
+        target: &Database,
+        cache: &ProfileCache,
+        mode: ExecutionMode,
+    ) -> Vec<ProposedMatch> {
+        // (source attr, target attr, name score) per candidate pair.
+        type NameScoredPair = ((TableId, AttrId), (TableId, AttrId), f64);
+        let pairs: Vec<NameScoredPair> = source
+            .schema
+            .iter_attributes()
+            .flat_map(|(st, sa, s_attr)| {
+                target.schema.iter_attributes().map(move |(tt, ta, t_attr)| {
+                    let s_table = &source.schema.table(st).name;
+                    let t_table = &target.schema.table(tt).name;
+                    // Attribute name similarity, boosted by table-context
+                    // similarity so `albums.name` prefers `records.title`
+                    // over `tracks.title`.
+                    let attr_sim = name_similarity(&s_attr.name, &t_attr.name);
+                    let table_sim = name_similarity(s_table, t_table);
+                    let name_score = 0.8 * attr_sim + 0.2 * table_sim;
+                    ((st, sa), (tt, ta), name_score)
+                })
+            })
+            .collect();
+        let mut scored: Vec<ProposedMatch> = parallel_map(mode, pairs, |(s, t, name_score)| {
+            let score = if self.config.use_instances
+                && !source.instance.table(s.0).is_empty()
+                && !target.instance.table(t.0).is_empty()
+            {
+                let inst =
+                    instance_similarity_cached(source, DbTag(0), s, target, DbTag::TARGET, t, cache);
+                self.config.name_weight * name_score + (1.0 - self.config.name_weight) * inst
+            } else {
+                name_score
+            };
+            ProposedMatch {
+                source: s,
+                target: t,
+                score,
             }
-        }
+        })
+        .into_iter()
+        .filter(|m| m.score >= self.config.attr_threshold)
+        .collect();
         // Greedy 1:1: best scores first; deterministic tie-break by ids.
         scored.sort_by(|a, b| {
             b.score

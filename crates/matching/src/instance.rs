@@ -6,7 +6,7 @@
 //! `(fit(a→b) + fit(b→a)) / 2`, computed on profiles designated by each
 //! other's datatype.
 
-use efes_profiling::AttributeProfile;
+use efes_profiling::{AttributeProfile, DbTag, ProfileCache, ProfileKey};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::Database;
 
@@ -17,17 +17,50 @@ pub fn instance_similarity(
     db_b: &Database,
     b: (TableId, AttrId),
 ) -> f64 {
+    instance_similarity_cached(
+        db_a,
+        DbTag(0),
+        a,
+        db_b,
+        DbTag(1),
+        b,
+        &ProfileCache::new(),
+    )
+}
+
+/// Like [`instance_similarity`], profiling through a shared
+/// [`ProfileCache`]. The matcher scores every source×target attribute
+/// pair, so each column is profiled O(attributes-on-the-other-side)
+/// times; with a cache every (column, designating type) profile is
+/// computed once. `tag_a`/`tag_b` must consistently identify
+/// `db_a`/`db_b` across all lookups on `cache`.
+#[allow(clippy::too_many_arguments)]
+pub fn instance_similarity_cached(
+    db_a: &Database,
+    tag_a: DbTag,
+    a: (TableId, AttrId),
+    db_b: &Database,
+    tag_b: DbTag,
+    b: (TableId, AttrId),
+    cache: &ProfileCache,
+) -> f64 {
     let type_a = db_a.schema.table(a.0).attribute(a.1).datatype;
     let type_b = db_b.schema.table(b.0).attribute(b.1).datatype;
+    let key = |db, (table, attr), reference_type| ProfileKey {
+        db,
+        table,
+        attr,
+        reference_type,
+    };
 
     // Profile each column under the *other* side's datatype — the same
     // designation rule the value fit detector uses.
-    let pa_under_b = AttributeProfile::of_attribute(db_a, a.0, a.1, type_b);
-    let pb = AttributeProfile::of_attribute(db_b, b.0, b.1, type_b);
+    let pa_under_b = cache.of_attribute(db_a, key(tag_a, a, type_b));
+    let pb = cache.of_attribute(db_b, key(tag_b, b, type_b));
     let fit_ab = AttributeProfile::fit_against(&pa_under_b, &pb).overall;
 
-    let pb_under_a = AttributeProfile::of_attribute(db_b, b.0, b.1, type_a);
-    let pa = AttributeProfile::of_attribute(db_a, a.0, a.1, type_a);
+    let pb_under_a = cache.of_attribute(db_b, key(tag_b, b, type_a));
+    let pa = cache.of_attribute(db_a, key(tag_a, a, type_a));
     let fit_ba = AttributeProfile::fit_against(&pb_under_a, &pa).overall;
 
     // Penalise incompatible values: a column that cannot even be cast
@@ -91,6 +124,30 @@ mod tests {
             (TableId(0), AttrId(0)),
         );
         assert!(s < 0.6, "{s}");
+    }
+
+    #[test]
+    fn cached_matches_uncached_and_reuses_profiles() {
+        let a = db_with("a", "x", DataType::Integer, vec![1.into(), 2.into(), 3.into()]);
+        let b = db_with("b", "y", DataType::Integer, vec![2.into(), 3.into(), 4.into()]);
+        let cache = ProfileCache::new();
+        let plain = instance_similarity(&a, (TableId(0), AttrId(0)), &b, (TableId(0), AttrId(0)));
+        let cached = |cache: &ProfileCache| {
+            instance_similarity_cached(
+                &a,
+                DbTag(0),
+                (TableId(0), AttrId(0)),
+                &b,
+                DbTag(1),
+                (TableId(0), AttrId(0)),
+                cache,
+            )
+        };
+        assert_eq!(plain, cached(&cache));
+        // Same datatypes on both sides: only 2 distinct profiles exist.
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cached(&cache), plain);
+        assert_eq!(cache.misses(), 2, "second call must be all hits");
     }
 
     #[test]

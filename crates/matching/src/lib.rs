@@ -37,6 +37,6 @@ pub mod similarity;
 pub use accuracy::{match_accuracy, MatchDiff};
 pub use combined::{CombinedMatcher, MatcherConfig, ProposedMatch};
 pub use flooding::{similarity_flooding, FloodingConfig};
-pub use instance::instance_similarity;
+pub use instance::{instance_similarity, instance_similarity_cached};
 pub use name::name_similarity;
 pub use similarity::{jaro_winkler, levenshtein, tokenize, trigram_jaccard};

@@ -1,0 +1,235 @@
+//! A shared, thread-safe cache of per-column [`AttributeProfile`]s.
+//!
+//! The pipeline profiles the same column repeatedly: the value fit
+//! detector (Algorithm 1) profiles both ends of every attribute
+//! correspondence, instance-based matching profiles every column under
+//! every candidate partner's datatype, and a column that participates in
+//! several correspondences is profiled once per correspondence. A
+//! [`ProfileCache`] memoizes these computations behind an `Arc`-shared
+//! lookup keyed by (database tag, table, attribute, reference datatype),
+//! so each distinct profile is computed exactly once per estimation run
+//! — also under concurrent access from the parallel execution layer.
+
+use crate::profile::AttributeProfile;
+use efes_relational::schema::{AttrId, TableId};
+use efes_relational::{DataType, Database};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Caller-assigned identity of a database within one cache's scope.
+///
+/// The cache cannot key on the `Database` value itself (hashing an
+/// instance is as expensive as profiling it) and must not key on a
+/// pointer (an estimator outlives any one scenario, inviting ABA
+/// aliasing). Callers therefore assign a small tag per database —
+/// [`DbTag::TARGET`] for the integration target, [`DbTag::source`] for
+/// source databases — that is unambiguous within one estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DbTag(pub u32);
+
+impl DbTag {
+    /// Conventional tag for the integration target database.
+    pub const TARGET: DbTag = DbTag(u32::MAX);
+
+    /// Conventional tag for source database `i`.
+    pub fn source(i: u32) -> DbTag {
+        DbTag(i)
+    }
+}
+
+/// The full cache key: one column profiled under one reference datatype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    /// Which database the column belongs to.
+    pub db: DbTag,
+    /// The column's table.
+    pub table: TableId,
+    /// The column's attribute.
+    pub attr: AttrId,
+    /// The datatype designating the computed statistics (the *target*
+    /// side's type in Algorithm 1, either side's in instance matching).
+    pub reference_type: DataType,
+}
+
+type Cell = Arc<OnceLock<Arc<AttributeProfile>>>;
+
+const SHARDS: usize = 16;
+
+/// The memoization table. Cheap to share (`Arc<ProfileCache>`); interior
+/// mutability is sharded so concurrent lookups of different columns
+/// rarely contend, and per-key `OnceLock` cells guarantee each profile
+/// is computed exactly once even when several threads miss simultaneously.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    shards: [Mutex<HashMap<ProfileKey, Cell>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: &ProfileKey) -> &Mutex<HashMap<ProfileKey, Cell>> {
+        // Mix table/attr/db into a shard index; DataType only has four
+        // values, so it contributes via the multiplier below.
+        let h = key.table.0
+            .wrapping_mul(31)
+            .wrapping_add(key.attr.0)
+            .wrapping_mul(31)
+            .wrapping_add(key.db.0 as usize)
+            .wrapping_mul(31)
+            .wrapping_add(key.reference_type as usize);
+        &self.shards[h % SHARDS]
+    }
+
+    /// Look up the profile for `key`, computing it with `compute` on the
+    /// first request. Concurrent callers for the same key block until the
+    /// single computation finishes and then share its result.
+    pub fn get_or_compute(
+        &self,
+        key: ProfileKey,
+        compute: impl FnOnce() -> AttributeProfile,
+    ) -> Arc<AttributeProfile> {
+        let cell: Cell = {
+            let mut shard = self.shard(&key).lock().expect("profile cache shard poisoned");
+            shard.entry(key).or_default().clone()
+        };
+        let mut computed = false;
+        let profile = cell
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(compute())
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        profile
+    }
+
+    /// Profile a concrete attribute of `db` through the cache. `key.db`
+    /// must consistently identify `db` across all calls on this cache.
+    pub fn of_attribute(&self, db: &Database, key: ProfileKey) -> Arc<AttributeProfile> {
+        self.get_or_compute(key, || {
+            AttributeProfile::of_attribute(db, key.table, key.attr, key.reference_type)
+        })
+    }
+
+    /// Lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that computed a fresh profile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct profiles held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("profile cache shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` iff no profile has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes_relational::{DatabaseBuilder, Value};
+    use std::sync::atomic::AtomicUsize;
+
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new("d").table("t", |t| {
+            t.attr("a", DataType::Text).attr("b", DataType::Integer)
+        });
+        b = b.rows(
+            "t",
+            (0..30)
+                .map(|i| vec![Value::from(format!("v{i}")), Value::from(i as i64)])
+                .collect(),
+        );
+        b.build().unwrap()
+    }
+
+    fn key(attr: usize, dt: DataType) -> ProfileKey {
+        ProfileKey {
+            db: DbTag::source(0),
+            table: TableId(0),
+            attr: AttrId(attr),
+            reference_type: dt,
+        }
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let db = db();
+        let cache = ProfileCache::new();
+        let first = cache.of_attribute(&db, key(0, DataType::Text));
+        let second = cache.of_attribute(&db, key(0, DataType::Text));
+        assert_eq!(*first, *second);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_reference_types_are_distinct_entries() {
+        let db = db();
+        let cache = ProfileCache::new();
+        cache.of_attribute(&db, key(1, DataType::Integer));
+        cache.of_attribute(&db, key(1, DataType::Text));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_equals_fresh() {
+        let db = db();
+        let cache = ProfileCache::new();
+        for (attr, dt) in [(0, DataType::Text), (1, DataType::Integer), (1, DataType::Text)] {
+            let cached = cache.of_attribute(&db, key(attr, dt));
+            let fresh = AttributeProfile::of_attribute(&db, TableId(0), AttrId(attr), dt);
+            assert_eq!(*cached, fresh);
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_compute_exactly_once() {
+        let db = db();
+        let cache = ProfileCache::new();
+        let computations = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        cache.get_or_compute(key(0, DataType::Text), || {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            AttributeProfile::of_attribute(
+                                &db,
+                                TableId(0),
+                                AttrId(0),
+                                DataType::Text,
+                            )
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 8 * 50 - 1);
+    }
+}

@@ -8,6 +8,7 @@
 //! unique columns / composite key candidates, unary inclusion dependencies
 //! (foreign-key candidates) and single-LHS functional dependencies.
 
+use efes_exec::{parallel_map, ExecutionMode};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::{Constraint, ConstraintKind, ConstraintSet, Database, Value};
 use serde::{Deserialize, Serialize};
@@ -110,6 +111,18 @@ impl DiscoveryResult {
 
 /// Run constraint discovery over a database.
 pub fn discover_constraints(db: &Database, opts: &DiscoveryOptions) -> DiscoveryResult {
+    discover_constraints_with(db, opts, ExecutionMode::from_env())
+}
+
+/// Like [`discover_constraints`], under an explicit [`ExecutionMode`]:
+/// the per-column digests (null counts, distinct sets) dominate the cost
+/// and are independent per column, so they fan out over worker threads.
+/// The discovered constraint set is identical in either mode.
+pub fn discover_constraints_with(
+    db: &Database,
+    opts: &DiscoveryOptions,
+    mode: ExecutionMode,
+) -> DiscoveryResult {
     let mut out = DiscoveryResult::default();
 
     // Per-column digests reused by all detectors.
@@ -121,30 +134,34 @@ pub fn discover_constraints(db: &Database, opts: &DiscoveryOptions) -> Discovery
         distinct: HashSet<Value>,
         all_distinct: bool,
     }
-    let mut digests: Vec<ColumnDigest> = Vec::new();
-    for (tid, data) in db.instance.iter_tables() {
-        for ai in 0..db.schema.table(tid).arity() {
-            let attr = AttrId(ai);
-            let mut nulls = 0usize;
-            let mut distinct = HashSet::new();
-            let mut all_distinct = true;
-            for v in data.column(attr) {
-                if v.is_null() {
-                    nulls += 1;
-                } else if !distinct.insert(v.clone()) {
-                    all_distinct = false;
-                }
+    let columns: Vec<(TableId, AttrId)> = db
+        .instance
+        .iter_tables()
+        .flat_map(|(tid, _)| {
+            (0..db.schema.table(tid).arity()).map(move |ai| (tid, AttrId(ai)))
+        })
+        .collect();
+    let digests: Vec<ColumnDigest> = parallel_map(mode, columns, |(tid, attr)| {
+        let data = db.instance.table(tid);
+        let mut nulls = 0usize;
+        let mut distinct = HashSet::new();
+        let mut all_distinct = true;
+        for v in data.column(attr) {
+            if v.is_null() {
+                nulls += 1;
+            } else if !distinct.insert(v.clone()) {
+                all_distinct = false;
             }
-            digests.push(ColumnDigest {
-                table: tid,
-                attr,
-                rows: data.len(),
-                nulls,
-                distinct,
-                all_distinct,
-            });
         }
-    }
+        ColumnDigest {
+            table: tid,
+            attr,
+            rows: data.len(),
+            nulls,
+            distinct,
+            all_distinct,
+        }
+    });
 
     if opts.not_null {
         for d in &digests {

@@ -21,11 +21,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod discovery;
 pub mod profile;
 pub mod stats;
 
-pub use discovery::{discover_constraints, DiscoveryOptions, InclusionDependency};
+pub use cache::{DbTag, ProfileCache, ProfileKey};
+pub use discovery::{
+    discover_constraints, discover_constraints_with, DiscoveryOptions, InclusionDependency,
+};
 pub use profile::{AttributeProfile, FitBreakdown, FitComponent};
 pub use stats::{
     CharHistogram, Constancy, FillStatus, NumericHistogram, NumericMean, StringLength,

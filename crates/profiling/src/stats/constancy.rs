@@ -38,9 +38,15 @@ impl Constancy {
             1.0
         } else {
             let n = count as f64;
-            let entropy: f64 = counts
-                .values()
-                .map(|&c| {
+            // Sum the entropy terms in a deterministic order: float
+            // addition is not associative, and summing in HashMap
+            // iteration order makes the last bits of the result vary
+            // between two computations of the same column.
+            let mut freqs: Vec<usize> = counts.into_values().collect();
+            freqs.sort_unstable();
+            let entropy: f64 = freqs
+                .into_iter()
+                .map(|c| {
                     let p = c as f64 / n;
                     -p * p.log2()
                 })

@@ -5,8 +5,9 @@
 //! threshold (0.9), and fill ratios behave monotonically.
 
 use efes_profiling::stats::*;
-use efes_profiling::AttributeProfile;
-use efes_relational::{DataType, Value};
+use efes_profiling::{AttributeProfile, DbTag, ProfileCache, ProfileKey};
+use efes_relational::schema::{AttrId, TableId};
+use efes_relational::{DataType, DatabaseBuilder, Value};
 use proptest::prelude::*;
 
 fn arb_column() -> impl Strategy<Value = Vec<Value>> {
@@ -106,5 +107,40 @@ proptest! {
     fn range_self_fit(col in proptest::collection::vec((-1000i64..1000).prop_map(Value::Int), 1..50)) {
         let r = ValueRange::compute(col.iter());
         prop_assert_eq!(ValueRange::fit(&r, &r), 1.0);
+    }
+
+    /// A profile served by the cache is indistinguishable from one
+    /// computed fresh, for any column content and any designating
+    /// datatype — and repeat lookups are hits, not recomputations.
+    #[test]
+    fn cached_profile_equals_fresh(col in proptest::collection::vec(
+        prop_oneof![
+            1 => Just(Value::Null),
+            5 => "[a-z0-9:\\. -]{0,12}".prop_map(Value::Text),
+        ],
+        1..40,
+    )) {
+        let db = DatabaseBuilder::new("p")
+            .table("t", |t| t.attr("a", DataType::Text))
+            .rows("t", col.into_iter().map(|v| vec![v]).collect())
+            .build()
+            .unwrap();
+        let cache = ProfileCache::new();
+        for dt in [DataType::Text, DataType::Integer, DataType::Float, DataType::Boolean] {
+            let key = ProfileKey {
+                db: DbTag(0),
+                table: TableId(0),
+                attr: AttrId(0),
+                reference_type: dt,
+            };
+            let fresh = AttributeProfile::of_attribute(&db, TableId(0), AttrId(0), dt);
+            let cached = cache.of_attribute(&db, key);
+            prop_assert_eq!(&*cached, &fresh);
+            let again = cache.of_attribute(&db, key);
+            prop_assert_eq!(&*again, &fresh);
+        }
+        prop_assert_eq!(cache.misses(), 4);
+        prop_assert_eq!(cache.hits(), 4);
+        prop_assert_eq!(cache.len(), 4);
     }
 }

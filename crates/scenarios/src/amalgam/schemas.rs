@@ -72,8 +72,8 @@ fn person_name(rng: &mut StdRng) -> (String, String) {
 }
 
 fn pages(rng: &mut StdRng) -> (i64, i64) {
-    let from = rng.gen_range(1..1200);
-    (from, from + rng.gen_range(6..28))
+    let from = rng.gen_range(1i64..1200);
+    (from, from + rng.gen_range(6i64..28))
 }
 
 fn year(rng: &mut StdRng) -> i64 {

@@ -1,0 +1,106 @@
+//! Determinism of the parallel pipeline: running the estimator under any
+//! thread budget must produce byte-identical estimates to a forced
+//! sequential run. Parallelism and the shared profile cache may only
+//! change *how fast* the answer arrives, never the answer.
+
+use efes::prelude::*;
+use efes_scenarios::amalgam::scenarios::{amalgam_scenarios, AmalgamConfig};
+use efes_scenarios::{music_example_scenario, MusicExampleConfig};
+
+fn estimate_under(
+    scenario: &efes_relational::IntegrationScenario,
+    policy: ExecutionPolicy,
+) -> EffortEstimate {
+    let cfg = EstimationConfig::default().with_execution(policy);
+    Estimator::with_default_modules(cfg)
+        .estimate(scenario)
+        .unwrap()
+}
+
+#[test]
+fn music_scenario_parallel_equals_sequential() {
+    let (s, _) = music_example_scenario(&MusicExampleConfig::scaled_down());
+    let sequential = estimate_under(&s, ExecutionPolicy::Sequential);
+    for threads in [2, 4, 8] {
+        let parallel = estimate_under(&s, ExecutionPolicy::Threads(threads));
+        assert_eq!(sequential, parallel, "threads={threads}");
+        // Equality must hold down to the serialized bytes, not just the
+        // (timings-excluding) PartialEq.
+        assert_eq!(
+            serde_json::to_string(&sequential).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn bibliographic_scenarios_parallel_equals_sequential() {
+    for (s, _) in amalgam_scenarios(&AmalgamConfig::small()) {
+        let sequential = estimate_under(&s, ExecutionPolicy::Sequential);
+        let parallel = estimate_under(&s, ExecutionPolicy::Threads(4));
+        assert_eq!(sequential, parallel, "scenario {}", s.name);
+        assert_eq!(
+            serde_json::to_string(&sequential).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "scenario {}",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn assess_reports_are_mode_independent() {
+    let (s, _) = music_example_scenario(&MusicExampleConfig::scaled_down());
+    let seq = Estimator::with_default_modules(
+        EstimationConfig::default().with_execution(ExecutionPolicy::Sequential),
+    )
+    .assess(&s)
+    .unwrap();
+    let par = Estimator::with_default_modules(
+        EstimationConfig::default().with_execution(ExecutionPolicy::Threads(4)),
+    )
+    .assess(&s)
+    .unwrap();
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn timings_are_recorded_but_not_part_of_identity() {
+    let (s, _) = music_example_scenario(&MusicExampleConfig::scaled_down());
+    let est = estimate_under(&s, ExecutionPolicy::Threads(4));
+    // One stage per default module, in registration order.
+    let stages: Vec<&str> = est.timings.stages.iter().map(|t| t.stage.as_str()).collect();
+    assert_eq!(stages, ["mapping", "structure", "values"]);
+    assert!(est.timings.total_millis >= 0.0);
+    assert_eq!(est.timings.threads, 4);
+    // The values module profiles through the shared cache.
+    assert!(est.timings.cache_misses > 0);
+    // The timing table renders one row per stage plus a total.
+    let table = est.timings.table();
+    assert_eq!(table.lines().count(), est.timings.stages.len() + 1);
+    assert!(table.contains("total"));
+
+    // Identity excludes timings: a clone with wiped timings is equal and
+    // serialises identically (timings are #[serde(skip)]).
+    let mut wiped = est.clone();
+    wiped.timings = PipelineTimings::default();
+    assert_eq!(est, wiped);
+    assert_eq!(
+        serde_json::to_string(&est).unwrap(),
+        serde_json::to_string(&wiped).unwrap()
+    );
+    let json = serde_json::to_string(&est).unwrap();
+    assert!(!json.contains("total_millis"));
+}
+
+#[test]
+fn env_override_forces_sequential() {
+    // EFES_THREADS=1 collapses the FromEnv policy to Sequential. Set the
+    // variable for this whole test; the assertion reads the resolved
+    // mode, not the environment, so parallel tests cannot race with it.
+    std::env::set_var(efes::THREADS_ENV_VAR, "1");
+    let resolved = ExecutionPolicy::FromEnv.mode();
+    std::env::remove_var(efes::THREADS_ENV_VAR);
+    assert_eq!(resolved, efes::ExecutionMode::Sequential);
+}

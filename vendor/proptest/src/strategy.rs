@@ -1,0 +1,340 @@
+//! Strategies: deterministic value generators composable with
+//! `prop_map` / `prop_flat_map` / `boxed()` / unions, mirroring the
+//! subset of upstream proptest's `Strategy` trait that the workspace
+//! uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A weighted choice between strategies of one value type; built by
+/// `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Build a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof: all weights are zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut roll = rng.next_u64() % self.total_weight;
+        for (w, s) in &self.arms {
+            if roll < *w as u64 {
+                return s.generate(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// A fixed-length heterogeneous-element vector: element `i` of the
+/// output comes from strategy `i`. (Upstream proptest gives `Vec<S>`
+/// this "tuple of varying length" semantics; the workspace uses it for
+/// per-column row strategies.)
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+/// String strategies from a regex subset: a single character class with
+/// a repetition count, e.g. `"[a-zA-Z0-9 :\\.-]{0,18}"`. Supports
+/// ranges, the escapes `\. \" \n \t \\ \-`, and `{n}` / `{n,m}`
+/// repetitions — the full extent of what the workspace's patterns use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self);
+        let len = if min == max {
+            min
+        } else {
+            min + (rng.next_u64() as usize) % (max - min + 1)
+        };
+        (0..len)
+            .map(|_| alphabet[(rng.next_u64() as usize) % alphabet.len()])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    assert_eq!(
+        chars.next(),
+        Some('['),
+        "unsupported string strategy pattern {pattern:?}: expected `[class]{{n,m}}`"
+    );
+    let mut alphabet = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => unescape(chars.next(), pattern),
+            Some(c) => c,
+            None => panic!("unterminated character class in {pattern:?}"),
+        };
+        // A `-` between two members denotes a range unless it precedes `]`.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            if ahead.peek() != Some(&']') && ahead.peek().is_some() {
+                chars.next();
+                let hi = match chars.next() {
+                    Some('\\') => unescape(chars.next(), pattern),
+                    Some(h) => h,
+                    None => panic!("unterminated range in {pattern:?}"),
+                };
+                assert!(c <= hi, "inverted range {c}-{hi} in {pattern:?}");
+                for code in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(code) {
+                        alphabet.push(ch);
+                    }
+                }
+                continue;
+            }
+        }
+        alphabet.push(c);
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+
+    assert_eq!(
+        chars.next(),
+        Some('{'),
+        "pattern {pattern:?} must end with a {{n}} or {{n,m}} repetition"
+    );
+    let rest: String = chars.collect();
+    let body = rest
+        .strip_suffix('}')
+        .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("repetition minimum"),
+            hi.trim().parse().expect("repetition maximum"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    };
+    assert!(min <= max, "inverted repetition in {pattern:?}");
+    (alphabet, min, max)
+}
+
+fn unescape(c: Option<char>, pattern: &str) -> char {
+    match c {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some(c @ ('.' | '"' | '\\' | '-' | ']' | '[' | ' ')) => c,
+        other => panic!("unsupported escape \\{other:?} in {pattern:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        let mut rng = TestRng::from_seed(3);
+        let strategy = "[a-z0-9:\\. -]{0,15}";
+        for _ in 0..200 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.chars().count() <= 15);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || ":.- ".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_honours_weights() {
+        let u = Union::new(vec![(9, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        let mut rng = TestRng::from_seed(11);
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!((800..=980).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn vec_of_strategies_is_positional() {
+        let row: Vec<BoxedStrategy<i64>> = vec![(0i64..1).boxed(), (10i64..11).boxed()];
+        let mut rng = TestRng::from_seed(5);
+        assert_eq!(row.generate(&mut rng), vec![0, 10]);
+    }
+
+    #[test]
+    fn flat_map_chains_generation() {
+        let s = (1usize..4).prop_flat_map(|n| crate::collection::vec(Just(7u8), n));
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 7));
+        }
+    }
+}

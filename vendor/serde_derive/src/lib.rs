@@ -1,0 +1,435 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade.
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields (optionally `#[serde(skip)]` per field)
+//! - unit structs and tuple structs (newtype and wider)
+//! - enums with unit, newtype, tuple and struct variants
+//!
+//! No generics, lifetimes or other serde attributes — none of the
+//! workspace types need them. Parsing walks the raw proc-macro token
+//! trees (no syn/quote in the offline environment).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Consume one `#[...]` attribute starting at `i` (pointing at `#`).
+/// Returns whether it was `#[serde(skip)]`.
+fn eat_attribute(tokens: &[TokenTree], i: &mut usize) -> bool {
+    debug_assert!(matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#'));
+    *i += 1;
+    let mut is_skip = false;
+    if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+        if g.delimiter() == Delimiter::Bracket {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let body = args.stream().to_string();
+                        if body.split(',').any(|a| a.trim() == "skip") {
+                            is_skip = true;
+                        } else {
+                            panic!("vendored serde_derive: unsupported serde attribute #[serde({body})]");
+                        }
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    is_skip
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
+fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type expression: consume tokens until a `,` at angle-depth 0.
+fn eat_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse the fields of a brace-delimited body: `a: T, #[serde(skip)] b: U`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            skip |= eat_attribute(&tokens, &mut i);
+        }
+        eat_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("vendored serde_derive: expected field name, got {other}"),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("vendored serde_derive: expected `:` after field `{name}`"),
+        }
+        eat_type(&tokens, &mut i);
+        i += 1; // the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count the fields of a parenthesised tuple body at comma depth 0.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    saw_token_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            eat_attribute(&tokens, &mut i);
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("vendored serde_derive: expected variant name, got {other}"),
+            None => break,
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant `= expr` and the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            eat_attribute(&tokens, &mut i);
+            continue;
+        }
+        break;
+    }
+    eat_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("vendored serde_derive: expected `struct` or `enum`"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("vendored serde_derive: expected item name"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic types are not supported (derive on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            _ => Item::Struct {
+                name,
+                shape: Shape::Unit,
+            },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("vendored serde_derive: malformed enum `{name}`"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn gen_serialize_named(fields: &[Field], access: &str) -> String {
+    let mut body = String::from("let mut __m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "__m.push((::serde::Content::Str(\"{n}\".to_string()), ::serde::Serialize::to_content({access}{n})));\n",
+            n = f.name,
+        ));
+    }
+    body.push_str("::serde::Content::Map(__m)");
+    body
+}
+
+fn gen_deserialize_named(ty: &str, fields: &[Field], construct: &str) -> String {
+    let mut out = format!(
+        "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"map for `{ty}`\"))?;\n"
+    );
+    out.push_str(&format!("::std::result::Result::Ok({construct} {{\n"));
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: match ::serde::content_get(__m, \"{n}\") {{\n\
+                     Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                     None => return ::std::result::Result::Err(::serde::DeError::missing_field(\"{ty}\", \"{n}\")),\n\
+                 }},\n",
+                n = f.name,
+            ));
+        }
+    }
+    out.push_str("})");
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Content::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => gen_serialize_named(fields, "&self."),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),\n",
+                        v = v.name,
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Content::Map(vec![(::serde::Content::Str(\"{v}\".to_string()), ::serde::Serialize::to_content(__f0))]),\n",
+                        v = v.name,
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![(::serde::Content::Str(\"{v}\".to_string()), ::serde::Content::Seq(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = gen_serialize_named(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ let __inner = {{ {inner} }}; ::serde::Content::Map(vec![(::serde::Content::Str(\"{v}\".to_string()), __inner)]) }},\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence for `{name}`\"))?;\n\
+                         if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element sequence for `{name}`\")); }}\n\
+                         ::std::result::Result::Ok({name}({items}))",
+                        items = items.join(", "),
+                    )
+                }
+                Shape::Named(fields) => gen_deserialize_named(name, fields, name),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name,
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_content(__payload)?)),\n",
+                        v = v.name,
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __s = __payload.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence for `{name}::{v}`\"))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element sequence for `{name}::{v}`\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({items}))\n\
+                             }},\n",
+                            v = v.name,
+                            items = items.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inner = gen_deserialize_named(
+                            &format!("{name}::{v}", v = v.name),
+                            fields,
+                            &format!("{name}::{v}", v = v.name),
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ let __c = __payload; {inner} }},\n",
+                            v = v.name,
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                     }},\n\
+                     ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__k, __payload) = &__entries[0];\n\
+                         let __k = __k.as_str().ok_or_else(|| ::serde::DeError::expected(\"string variant key for `{name}`\"))?;\n\
+                         match __k {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-entry map for enum `{name}`\")),\n\
+                 }}"
+            );
+            (name.clone(), body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored serde_derive: generated Deserialize impl parses")
+}
