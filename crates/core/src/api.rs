@@ -1,0 +1,351 @@
+//! The serving API surface: a registry of named scenarios and the
+//! serializable request/response protocol spoken by `efes-serve`.
+//!
+//! The estimation pipeline is a natural request/response workload — a
+//! client names a scenario, picks estimator settings, and receives the
+//! priced estimate — but the library types were built for in-process
+//! use. This module adds the service-shaped layer: a
+//! [`ScenarioRegistry`] resolving names to lazily-built, shared
+//! [`IntegrationScenario`]s, and [`EstimateRequest`] /
+//! [`EstimateResponse`] as the JSON wire protocol. The registry lives
+//! here rather than in `efes-scenarios` so any crate (including user
+//! code with custom scenarios) can register entries without depending
+//! on the case-study generators.
+
+use crate::estimate::{EffortEstimate, EstimatedTask, ModuleSelection};
+use crate::settings::Quality;
+use efes_relational::IntegrationScenario;
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+type BuildFn = Box<dyn Fn() -> IntegrationScenario + Send + Sync>;
+
+struct RegistryEntry {
+    description: String,
+    build: BuildFn,
+    cached: OnceLock<Arc<IntegrationScenario>>,
+}
+
+/// A named scenario's listing entry — the `GET /scenarios` payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioInfo {
+    /// The registered name, as accepted by [`EstimateRequest::scenario`].
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+}
+
+/// A registry of named, lazily-constructed integration scenarios.
+///
+/// Construction runs at most once per entry (generators are seeded and
+/// deterministic, so the cached instance is *the* scenario); the result
+/// is shared as an `Arc` so concurrent estimation requests profile the
+/// same immutable databases.
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    entries: BTreeMap<String, RegistryEntry>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `build` under `name`, replacing any previous entry.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        build: impl Fn() -> IntegrationScenario + Send + Sync + 'static,
+    ) {
+        self.entries.insert(
+            name.into(),
+            RegistryEntry {
+                description: description.into(),
+                build: Box::new(build),
+                cached: OnceLock::new(),
+            },
+        );
+    }
+
+    /// Resolve a name, building (and caching) the scenario on first use.
+    pub fn get(&self, name: &str) -> Option<Arc<IntegrationScenario>> {
+        let entry = self.entries.get(name)?;
+        Some(Arc::clone(
+            entry.cached.get_or_init(|| Arc::new((entry.build)())),
+        ))
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Registered names, in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Listing entries for every registered scenario, in sorted order.
+    pub fn infos(&self) -> Vec<ScenarioInfo> {
+        self.entries
+            .iter()
+            .map(|(name, e)| ScenarioInfo {
+                name: name.clone(),
+                description: e.description.clone(),
+            })
+            .collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+// `RegistryEntry` holds a closure, so `#[derive(Debug)]` is unavailable;
+// render the registry as its name list instead.
+impl fmt::Debug for ScenarioRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// An estimation request: which scenario to price, under which settings.
+///
+/// Wire format is a JSON object; only `"scenario"` is required —
+/// `"quality"` (`"HighQuality"` / `"LowEffort"`), `"modules"`
+/// (`{"mapping":…,"structure":…,"values":…}`), `"deadline_ms"` and
+/// `"include_tasks"` are optional and default as documented on the
+/// fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateRequest {
+    /// Name of a registered scenario.
+    pub scenario: String,
+    /// Expected result quality. Default: [`Quality::HighQuality`].
+    pub quality: Quality,
+    /// Which estimation modules to run. Default: all three.
+    pub modules: ModuleSelection,
+    /// Per-request deadline in milliseconds; the server clamps it to its
+    /// configured maximum. Default: the server's default deadline.
+    pub deadline_ms: Option<u64>,
+    /// Whether to return the full priced task list (can be large).
+    /// Default: `false` — totals and per-category breakdown only.
+    pub include_tasks: bool,
+}
+
+impl EstimateRequest {
+    /// A request for `scenario` with default settings.
+    pub fn new(scenario: impl Into<String>) -> Self {
+        EstimateRequest {
+            scenario: scenario.into(),
+            quality: Quality::HighQuality,
+            modules: ModuleSelection::all(),
+            deadline_ms: None,
+            include_tasks: false,
+        }
+    }
+}
+
+impl Serialize for EstimateRequest {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                Content::Str("scenario".into()),
+                Content::Str(self.scenario.clone()),
+            ),
+            (Content::Str("quality".into()), self.quality.to_content()),
+            (Content::Str("modules".into()), self.modules.to_content()),
+            (
+                Content::Str("deadline_ms".into()),
+                self.deadline_ms.to_content(),
+            ),
+            (
+                Content::Str("include_tasks".into()),
+                self.include_tasks.to_content(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for EstimateRequest {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("JSON object for `EstimateRequest`"))?;
+        let scenario = match content_get(map, "scenario") {
+            Some(v) => String::from_content(v)?,
+            None => return Err(DeError::missing_field("EstimateRequest", "scenario")),
+        };
+        let mut request = EstimateRequest::new(scenario);
+        if let Some(v) = content_get(map, "quality") {
+            request.quality = Quality::from_content(v)?;
+        }
+        if let Some(v) = content_get(map, "modules") {
+            request.modules = ModuleSelection::from_content(v)?;
+        }
+        if let Some(v) = content_get(map, "deadline_ms") {
+            request.deadline_ms = Option::<u64>::from_content(v)?;
+        }
+        if let Some(v) = content_get(map, "include_tasks") {
+            request.include_tasks = bool::from_content(v)?;
+        }
+        Ok(request)
+    }
+}
+
+/// The estimation response: effort totals, the per-category breakdown,
+/// and (on request) the full priced task list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateResponse {
+    /// The scenario that was priced.
+    pub scenario: String,
+    /// The quality level the estimate was produced at.
+    pub quality: Quality,
+    /// Label of the modules that ran, e.g. `mapping+structure+values`.
+    pub modules: String,
+    /// Total estimated effort in minutes.
+    pub total_minutes: f64,
+    /// Mapping effort in minutes.
+    pub mapping_minutes: f64,
+    /// Cleaning effort (structure + values + other) in minutes.
+    pub cleaning_minutes: f64,
+    /// Per-category minutes, keyed by category label.
+    pub by_category: BTreeMap<String, f64>,
+    /// Number of planned tasks.
+    pub task_count: u64,
+    /// Number of complexity findings across all module reports.
+    pub finding_count: u64,
+    /// The priced tasks, when [`EstimateRequest::include_tasks`] was set.
+    pub tasks: Option<Vec<EstimatedTask>>,
+}
+
+impl EstimateResponse {
+    /// Build the response for `estimate`, produced under `request`.
+    pub fn from_estimate(estimate: &EffortEstimate, request: &EstimateRequest) -> Self {
+        EstimateResponse {
+            scenario: estimate.scenario.clone(),
+            quality: request.quality,
+            modules: request.modules.label(),
+            total_minutes: estimate.total_minutes(),
+            mapping_minutes: estimate.mapping_minutes(),
+            cleaning_minutes: estimate.cleaning_minutes(),
+            by_category: estimate
+                .by_category()
+                .into_iter()
+                .map(|(c, m)| (c.label().to_owned(), m))
+                .collect(),
+            task_count: estimate.tasks.len() as u64,
+            finding_count: estimate
+                .reports
+                .iter()
+                .map(|r| r.findings.len() as u64)
+                .sum(),
+            tasks: request
+                .include_tasks
+                .then(|| estimate.tasks.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes_relational::{CorrespondenceBuilder, DataType, DatabaseBuilder};
+
+    fn tiny_scenario() -> IntegrationScenario {
+        let source = DatabaseBuilder::new("s")
+            .table("albums", |t| t.attr("name", DataType::Text))
+            .rows("albums", vec![vec!["A".into()]])
+            .build()
+            .unwrap();
+        let target = DatabaseBuilder::new("t")
+            .table("records", |t| t.attr("title", DataType::Text))
+            .build()
+            .unwrap();
+        let corrs = CorrespondenceBuilder::new(&source, &target)
+            .table("albums", "records")
+            .unwrap()
+            .attr("albums", "name", "records", "title")
+            .unwrap()
+            .finish();
+        IntegrationScenario::single_source("tiny", source, target, corrs).unwrap()
+    }
+
+    #[test]
+    fn registry_builds_lazily_and_caches() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let mut reg = ScenarioRegistry::new();
+        reg.register("tiny", "a tiny scenario", || {
+            BUILDS.fetch_add(1, Ordering::SeqCst);
+            tiny_scenario()
+        });
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 0);
+        let a = reg.get("tiny").unwrap();
+        let b = reg.get("tiny").unwrap();
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.names(), vec!["tiny"]);
+        assert_eq!(reg.infos()[0].description, "a tiny scenario");
+    }
+
+    #[test]
+    fn request_defaults_apply_to_missing_fields() {
+        let req: EstimateRequest =
+            serde_json::from_str(r#"{"scenario":"music-example"}"#).unwrap();
+        assert_eq!(req.scenario, "music-example");
+        assert_eq!(req.quality, Quality::HighQuality);
+        assert_eq!(req.modules, ModuleSelection::all());
+        assert_eq!(req.deadline_ms, None);
+        assert!(!req.include_tasks);
+    }
+
+    #[test]
+    fn request_round_trips_with_overrides() {
+        let mut req = EstimateRequest::new("amalgam-s1-s2");
+        req.quality = Quality::LowEffort;
+        req.modules = ModuleSelection::mapping_only();
+        req.deadline_ms = Some(2500);
+        req.include_tasks = true;
+        let json = serde_json::to_string(&req).unwrap();
+        let back: EstimateRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_without_scenario_is_rejected() {
+        let err = serde_json::from_str::<EstimateRequest>(r#"{"quality":"LowEffort"}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("scenario"));
+    }
+
+    #[test]
+    fn response_matches_library_totals() {
+        use crate::config::EstimationConfig;
+        use crate::estimate::Estimator;
+        let scenario = tiny_scenario();
+        let estimate = Estimator::with_default_modules(EstimationConfig::default())
+            .estimate(&scenario)
+            .unwrap();
+        let resp = EstimateResponse::from_estimate(&estimate, &EstimateRequest::new("tiny"));
+        assert_eq!(resp.total_minutes, estimate.total_minutes());
+        assert_eq!(resp.mapping_minutes, estimate.mapping_minutes());
+        assert_eq!(resp.task_count as usize, estimate.tasks.len());
+        assert!(resp.tasks.is_none());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: EstimateResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+}

@@ -6,9 +6,11 @@ use crate::framework::{AssessContext, EstimationModule, ModuleError, ModuleRepor
 use crate::modules::{MappingModule, StructureModule, ValueModule};
 use crate::task::{Task, TaskCategory};
 use efes_exec::{parallel_map_ref, timed};
+use efes_profiling::ProfileCache;
 use efes_relational::IntegrationScenario;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One priced task inside an estimate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -261,7 +263,31 @@ impl Estimator {
     /// byte-identical to a sequential run. Per-module wall-clock times
     /// land in [`EffortEstimate::timings`].
     pub fn estimate(&self, scenario: &IntegrationScenario) -> Result<EffortEstimate, ModuleError> {
-        let ctx = AssessContext::with_mode(self.config.execution.mode());
+        self.estimate_with_cache(scenario, Arc::new(ProfileCache::new()))
+    }
+
+    /// Like [`estimate`](Self::estimate), but profiling goes through the
+    /// given cache instead of a fresh per-run one.
+    ///
+    /// This is the long-running-service entry point: a server keeps one
+    /// (optionally [bounded](ProfileCache::bounded)) cache per registered
+    /// scenario, so repeated requests against the same immutable scenario
+    /// skip all column profiling. The caller must not share one cache
+    /// across *different* scenarios — [`efes_profiling::DbTag`]s are only
+    /// unambiguous relative to a fixed scenario. The estimate itself is
+    /// byte-identical to the fresh-cache path (cached profiles equal
+    /// freshly computed ones); only
+    /// [`PipelineTimings::cache_hits`]/[`PipelineTimings::cache_misses`]
+    /// differ, reporting the shared cache's *cumulative* counters.
+    pub fn estimate_with_cache(
+        &self,
+        scenario: &IntegrationScenario,
+        cache: Arc<ProfileCache>,
+    ) -> Result<EffortEstimate, ModuleError> {
+        let ctx = AssessContext {
+            cache,
+            mode: self.config.execution.mode(),
+        };
         type StageOut = Result<(ModuleReport, Vec<EstimatedTask>, StageTiming), ModuleError>;
         let (per_module, total_millis) = timed(|| {
             parallel_map_ref(ctx.mode, &self.modules, |module| -> StageOut {

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod baseline;
 pub mod benefit;
 pub mod calibration;
@@ -66,6 +67,7 @@ pub mod report;
 pub mod settings;
 pub mod task;
 
+pub use api::{EstimateRequest, EstimateResponse, ScenarioInfo, ScenarioRegistry};
 pub use baseline::{AttributeCountingEstimator, HardenTask, HARDEN_TASKS};
 pub use benefit::{cost_benefit_curve, CostBenefitPoint};
 pub use calibration::{calibrate_scales, rmse, CalibratedScales, ScenarioOutcome};
@@ -81,6 +83,7 @@ pub use task::{Task, TaskCategory, TaskParams, TaskType};
 
 /// Common imports for downstream users.
 pub mod prelude {
+    pub use crate::api::{EstimateRequest, EstimateResponse, ScenarioRegistry};
     pub use crate::config::EstimationConfig;
     pub use crate::effort::{EffortFunction, EffortModel};
     pub use efes_exec::{ExecutionMode, ExecutionPolicy};

@@ -13,12 +13,18 @@
 //! module) and few, so chunking overhead dominates only below the
 //! parallelism threshold where we fall back to a plain loop anyway.
 
+use std::sync::Once;
 use std::thread;
 use std::time::Instant;
 
+pub mod pool;
+
+pub use pool::{CancellationToken, Job, SubmitError, WorkerPool};
+
 /// Environment variable forcing the thread budget: `1` means fully
-/// sequential, `N > 1` caps workers at `N`. Unset or unparsable falls
-/// back to the machine's available parallelism.
+/// sequential, `N > 1` caps workers at `N`. Unset falls back to the
+/// machine's available parallelism; an unparsable value does the same
+/// but emits a one-time warning on stderr.
 pub const THREADS_ENV_VAR: &str = "EFES_THREADS";
 
 /// How pipeline stages execute their independent units.
@@ -32,15 +38,31 @@ pub enum ExecutionMode {
 
 impl ExecutionMode {
     /// The mode selected by `EFES_THREADS`, defaulting to one worker per
-    /// available core.
+    /// available core. An unparsable value also falls back to all cores,
+    /// but warns once on stderr instead of degrading silently.
     pub fn from_env() -> Self {
-        match std::env::var(THREADS_ENV_VAR)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(0) | Some(1) => ExecutionMode::Sequential,
-            Some(n) => ExecutionMode::Parallel(n),
-            None => ExecutionMode::Parallel(available_threads()),
+        match std::env::var(THREADS_ENV_VAR) {
+            Err(_) => ExecutionMode::Parallel(available_threads()),
+            Ok(raw) => Self::parse_threads(&raw).unwrap_or_else(|| {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: {THREADS_ENV_VAR}={raw:?} is not a thread count; \
+                         falling back to all {} available cores",
+                        available_threads()
+                    );
+                });
+                ExecutionMode::Parallel(available_threads())
+            }),
+        }
+    }
+
+    /// Parse an `EFES_THREADS` value: `0`/`1` mean sequential, `N > 1`
+    /// caps workers at `N`, anything unparsable is `None`.
+    pub fn parse_threads(raw: &str) -> Option<Self> {
+        match raw.trim().parse::<usize>().ok()? {
+            0 | 1 => Some(ExecutionMode::Sequential),
+            n => Some(ExecutionMode::Parallel(n)),
         }
     }
 
@@ -223,6 +245,16 @@ mod tests {
         let items = vec!["alpha".to_string(), "beta".to_string()];
         let lens = parallel_map_ref(ExecutionMode::Parallel(2), &items, |s| s.len());
         assert_eq!(lens, vec![5, 4]);
+    }
+
+    #[test]
+    fn parse_threads_covers_the_env_grammar() {
+        assert_eq!(ExecutionMode::parse_threads("0"), Some(ExecutionMode::Sequential));
+        assert_eq!(ExecutionMode::parse_threads("1"), Some(ExecutionMode::Sequential));
+        assert_eq!(ExecutionMode::parse_threads(" 6 "), Some(ExecutionMode::Parallel(6)));
+        assert_eq!(ExecutionMode::parse_threads("lots"), None);
+        assert_eq!(ExecutionMode::parse_threads("-2"), None);
+        assert_eq!(ExecutionMode::parse_threads(""), None);
     }
 
     #[test]

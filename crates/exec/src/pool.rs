@@ -1,0 +1,321 @@
+//! A long-lived worker pool over a bounded job queue, plus a cooperative
+//! cancellation token.
+//!
+//! [`parallel_map`](crate::parallel_map) covers the pipeline's *internal*
+//! fan-out: a known batch of units, scoped threads, everything joined
+//! before returning. A long-running service has the opposite shape —
+//! jobs arrive one at a time from many producers, the backlog must stay
+//! **bounded** (load is shed at the edge instead of accumulating in
+//! memory), and jobs whose caller has given up should be skipped rather
+//! than executed into the void. [`WorkerPool`] provides exactly that:
+//! a fixed set of named worker threads draining a capacity-limited
+//! FIFO, [`SubmitError`] telling producers *why* a job was refused, and
+//! [`CancellationToken`] letting callers abandon a queued job
+//! cooperatively.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A boxed unit of work for a [`WorkerPool`].
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`WorkerPool::try_submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — shed load and retry later.
+    QueueFull,
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::ShuttingDown => write!(f, "worker pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A clonable flag for cooperative cancellation: the producer side calls
+/// [`cancel`](CancellationToken::cancel) when it no longer wants the
+/// result (deadline expired, client went away), and the job checks
+/// [`is_cancelled`](CancellationToken::is_cancelled) before doing
+/// expensive work.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signal cancellation to every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether any clone has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed or shutdown begins.
+    job_ready: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    executed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A fixed-size pool of worker threads draining a bounded FIFO queue.
+///
+/// Submission never blocks: when the queue is full the job is refused
+/// with [`SubmitError::QueueFull`], which is the backpressure signal a
+/// server turns into `429 Too Many Requests`. Shutdown is graceful —
+/// already-accepted jobs (queued and executing) are drained before the
+/// workers exit.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one) over a queue bounded at
+    /// `capacity` pending jobs (at least one).
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let worker_count = threads.max(1);
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("efes-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(workers),
+            worker_count,
+        }
+    }
+
+    /// Enqueue a job, refusing instead of blocking when the queue is at
+    /// capacity or the pool is shutting down.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        // Re-check under the lock so a submit racing shutdown cannot
+        // slip a job past the final drain.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if queue.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").len()
+    }
+
+    /// The queue's capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Jobs executed to completion since the pool started.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that panicked (the worker survives and keeps draining).
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting new jobs, drain everything already accepted, and
+    /// join the workers. Returns once the queue is empty and every
+    /// in-flight job has finished. Idempotent; callable through a
+    /// shared reference (e.g. an `Arc`-held pool), but must not be
+    /// called from a worker's own job, which would self-join.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        let mut workers = self.workers.lock().expect("pool workers poisoned");
+        for worker in workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.job_ready.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .job_ready
+                    .wait(queue)
+                    .expect("pool queue poisoned");
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if outcome.is_ok() {
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || tx.send(i).unwrap())).unwrap();
+        }
+        let mut got: Vec<i32> = (0..10).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_queue_refuses_instead_of_blocking() {
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        }))
+        .unwrap();
+        // Wait until the worker holds the first job, then fill the queue.
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.try_submit(Box::new(|| {})).unwrap();
+        assert_eq!(pool.try_submit(Box::new(|| {})), Err(SubmitError::QueueFull));
+        assert_eq!(pool.queue_depth(), 1);
+        assert_eq!(pool.in_flight(), 1);
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let pool = WorkerPool::new(1, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..5 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(i).unwrap();
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_jobs() {
+        let pool = WorkerPool::new(1, 4);
+        pool.begin_shutdown();
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 4);
+        pool.try_submit(Box::new(|| panic!("job panic"))).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(Box::new(move || tx.send(42).unwrap())).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        assert_eq!(pool.panicked(), 1);
+        // The counter increments after the job returns; give it a moment.
+        for _ in 0..500 {
+            if pool.executed() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(pool.executed() >= 1);
+    }
+
+    #[test]
+    fn cancellation_token_is_shared_across_clones() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

@@ -60,20 +60,68 @@ const SHARDS: usize = 16;
 /// mutability is sharded so concurrent lookups of different columns
 /// rarely contend, and per-key `OnceLock` cells guarantee each profile
 /// is computed exactly once even when several threads miss simultaneously.
+///
+/// A cache can optionally be [bounded](ProfileCache::bounded): once the
+/// entry count reaches the bound, inserting a fresh profile evicts an
+/// arbitrary existing one, so a long-running process (e.g. a server
+/// keeping caches across requests) cannot grow it without limit. The
+/// default is unbounded, preserving the one-shot pipeline behaviour
+/// where every profile of a run stays resident.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
     shards: [Mutex<HashMap<ProfileKey, Cell>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: Option<usize>,
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn shard(&self, key: &ProfileKey) -> &Mutex<HashMap<ProfileKey, Cell>> {
+    /// An empty cache bounded at `capacity` entries (at least one).
+    /// The bound is enforced by evicting an arbitrary resident entry
+    /// when a fresh insert would exceed it; eviction never affects
+    /// correctness, only the hit rate.
+    pub fn bounded(capacity: usize) -> Self {
+        ProfileCache {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The configured entry bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries evicted to enforce the bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Remove one resident entry other than `keep`, searching from
+    /// `keep`'s shard outward. Returns whether anything was evicted.
+    fn evict_one(&self, keep: &ProfileKey) -> bool {
+        let start = self.shard_index(keep);
+        for offset in 0..SHARDS {
+            let mut shard = self.shards[(start + offset) % SHARDS]
+                .lock()
+                .expect("profile cache shard poisoned");
+            let victim = shard.keys().find(|k| *k != keep).copied();
+            if let Some(victim) = victim {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn shard_index(&self, key: &ProfileKey) -> usize {
         // Mix table/attr/db into a shard index; DataType only has four
         // values, so it contributes via the multiplier below.
         let h = key.table.0
@@ -83,7 +131,11 @@ impl ProfileCache {
             .wrapping_add(key.db.0 as usize)
             .wrapping_mul(31)
             .wrapping_add(key.reference_type as usize);
-        &self.shards[h % SHARDS]
+        h % SHARDS
+    }
+
+    fn shard(&self, key: &ProfileKey) -> &Mutex<HashMap<ProfileKey, Cell>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Look up the profile for `key`, computing it with `compute` on the
@@ -94,10 +146,21 @@ impl ProfileCache {
         key: ProfileKey,
         compute: impl FnOnce() -> AttributeProfile,
     ) -> Arc<AttributeProfile> {
-        let cell: Cell = {
+        let (cell, inserted): (Cell, bool) = {
             let mut shard = self.shard(&key).lock().expect("profile cache shard poisoned");
-            shard.entry(key).or_default().clone()
+            let before = shard.len();
+            let cell = shard.entry(key).or_default().clone();
+            (cell, shard.len() > before)
         };
+        if inserted {
+            if let Some(cap) = self.capacity {
+                // `len()` walks all shards without holding this key's
+                // lock, so the bound is approximate under concurrency —
+                // good enough to keep a long-running cache from growing
+                // without limit.
+                while self.len() > cap && self.evict_one(&key) {}
+            }
+        }
         let mut computed = false;
         let profile = cell
             .get_or_init(|| {
@@ -204,6 +267,42 @@ mod tests {
             let fresh = AttributeProfile::of_attribute(&db, TableId(0), AttrId(attr), dt);
             assert_eq!(*cached, fresh);
         }
+    }
+
+    #[test]
+    fn bounded_cache_stays_within_capacity() {
+        let db = db();
+        let cache = ProfileCache::bounded(2);
+        assert_eq!(cache.capacity(), Some(2));
+        for dt in [DataType::Text, DataType::Integer, DataType::Float, DataType::Boolean] {
+            for attr in 0..2 {
+                cache.of_attribute(&db, key(attr, dt));
+            }
+        }
+        assert!(cache.len() <= 2, "len {} exceeds bound", cache.len());
+        assert_eq!(cache.evictions(), 8 - 2);
+        assert_eq!(cache.misses(), 8);
+    }
+
+    #[test]
+    fn bounded_cache_still_returns_correct_profiles() {
+        let db = db();
+        let cache = ProfileCache::bounded(1);
+        for _ in 0..3 {
+            for (attr, dt) in [(0, DataType::Text), (1, DataType::Integer)] {
+                let cached = cache.of_attribute(&db, key(attr, dt));
+                let fresh = AttributeProfile::of_attribute(&db, TableId(0), AttrId(attr), dt);
+                assert_eq!(*cached, fresh);
+            }
+        }
+        assert!(cache.len() <= 1);
+    }
+
+    #[test]
+    fn unbounded_cache_reports_no_capacity() {
+        let cache = ProfileCache::new();
+        assert_eq!(cache.capacity(), None);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

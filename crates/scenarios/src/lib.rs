@@ -23,7 +23,9 @@
 //! * [`ground_truth`] — the injected-problem inventory and the oracle
 //!   cost model;
 //! * [`evaluation`] — the eight evaluation scenarios, cross-validated
-//!   calibration, and the Figure 6/7 series.
+//!   calibration, and the Figure 6/7 series;
+//! * [`registry`] — every case-study scenario under a stable name, for
+//!   services that resolve scenarios by request (`efes-serve`).
 
 #![warn(missing_docs)]
 
@@ -33,7 +35,9 @@ pub mod evaluation;
 pub mod ground_truth;
 pub mod music_example;
 pub mod names;
+pub mod registry;
 
 pub use evaluation::{evaluate_domain, DomainEvaluation, ScenarioResult};
 pub use ground_truth::{GroundTruth, OracleCostModel, ProblemInventory};
 pub use music_example::{music_example_scenario, MusicExampleConfig};
+pub use registry::standard_registry;

@@ -1,0 +1,100 @@
+//! The standard named-scenario registry: every case-study scenario of
+//! the reproduction, registered under a stable name so services
+//! (`efes-serve`) and tools can resolve scenarios by request.
+//!
+//! Names follow `<domain>-<pair>`: the four bibliographic scenarios as
+//! `amalgam-s1-s2` … `amalgam-s4-s4`, the four discographic ones as
+//! `discography-f1-m2` … `discography-d1-d2`, plus the paper's running
+//! example as `music-example` (scaled-down sizes, fast) and
+//! `music-example-paper` (the exact Figure 2 sizes). Generators are
+//! seeded and deterministic, so a name always resolves to the same data.
+
+use crate::amalgam::{amalgam_scenarios, AmalgamConfig};
+use crate::discography::{discography_scenarios, DiscographyConfig};
+use crate::music_example::{music_example_scenario, MusicExampleConfig};
+use efes::api::ScenarioRegistry;
+
+/// Descriptions of the four bibliographic pairs, in build order.
+const AMALGAM: [(&str, &str); 4] = [
+    ("amalgam-s1-s2", "bibliographic: normalised s1 into flat s2"),
+    ("amalgam-s1-s3", "bibliographic: normalised s1 into partly-flat s3"),
+    ("amalgam-s3-s4", "bibliographic: partly-flat s3 into keyword-heavy s4"),
+    ("amalgam-s4-s4", "bibliographic: identical source and target schema"),
+];
+
+/// Descriptions of the four discographic pairs, in build order.
+const DISCOGRAPHY: [(&str, &str); 4] = [
+    ("discography-f1-m2", "music: flat f into medium-depth m"),
+    ("discography-m1-d2", "music: medium-depth m into deep d"),
+    ("discography-m1-f2", "music: medium-depth m into flat f"),
+    ("discography-d1-d2", "music: near-identical deep schemas"),
+];
+
+/// The standard registry with every case-study scenario under its
+/// conventional name. Case-study generators use their fast (small)
+/// sizes so a long-running service answers interactively; the
+/// `music-example-paper` entry keeps the paper's exact Figure 2 sizes.
+pub fn standard_registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry.register(
+        "music-example",
+        "the paper's running example (Figure 2), scaled-down sizes",
+        || music_example_scenario(&MusicExampleConfig::scaled_down()).0,
+    );
+    registry.register(
+        "music-example-paper",
+        "the paper's running example (Figure 2), exact paper sizes",
+        || music_example_scenario(&MusicExampleConfig::paper()).0,
+    );
+    for (index, (name, description)) in AMALGAM.into_iter().enumerate() {
+        registry.register(name, description, move || {
+            amalgam_scenarios(&AmalgamConfig::small())
+                .swap_remove(index)
+                .0
+        });
+    }
+    for (index, (name, description)) in DISCOGRAPHY.into_iter().enumerate() {
+        registry.register(name, description, move || {
+            discography_scenarios(&DiscographyConfig::small())
+                .swap_remove(index)
+                .0
+        });
+    }
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_standard_names() {
+        let reg = standard_registry();
+        assert_eq!(reg.len(), 10);
+        for (name, _) in AMALGAM.into_iter().chain(DISCOGRAPHY) {
+            assert!(reg.contains(name), "missing {name}");
+        }
+        assert!(reg.contains("music-example"));
+        assert!(reg.contains("music-example-paper"));
+    }
+
+    #[test]
+    fn names_resolve_to_the_matching_scenario() {
+        let reg = standard_registry();
+        assert_eq!(reg.get("amalgam-s1-s2").unwrap().name, "s1-s2");
+        assert_eq!(reg.get("amalgam-s4-s4").unwrap().name, "s4-s4");
+        assert_eq!(reg.get("discography-m1-d2").unwrap().name, "m1-d2");
+        assert_eq!(reg.get("music-example").unwrap().name, "music-example");
+    }
+
+    #[test]
+    fn resolved_scenarios_are_valid_and_estimable() {
+        use efes::prelude::*;
+        let reg = standard_registry();
+        let scenario = reg.get("amalgam-s1-s2").unwrap();
+        let estimate = Estimator::with_default_modules(EstimationConfig::default())
+            .estimate(&scenario)
+            .unwrap();
+        assert!(estimate.total_minutes() > 0.0);
+    }
+}

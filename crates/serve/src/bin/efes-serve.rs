@@ -1,0 +1,90 @@
+//! The `efes-serve` binary: serve the standard case-study scenarios
+//! over HTTP until asked to stop.
+//!
+//! ```text
+//! efes-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!            [--default-deadline-ms N] [--max-deadline-ms N]
+//!            [--cache-capacity N] [--allow-remote-shutdown]
+//! ```
+//!
+//! The worker count falls back to `EFES_THREADS` / available cores when
+//! `--workers` is absent. With `--allow-remote-shutdown`, `POST
+//! /shutdown` triggers a graceful drain — the supported way to stop the
+//! server from scripts, since a std-only binary has no signal handling.
+
+use efes::ExecutionPolicy;
+use efes_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: efes-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+         \x20                 [--default-deadline-ms N] [--max-deadline-ms N]\n\
+         \x20                 [--cache-capacity N] [--allow-remote-shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value {raw:?} for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse_value("--addr", args.next()),
+            "--workers" => {
+                config.workers = ExecutionPolicy::Threads(parse_value("--workers", args.next()))
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = parse_value("--queue-capacity", args.next())
+            }
+            "--default-deadline-ms" => {
+                config.default_deadline =
+                    Duration::from_millis(parse_value("--default-deadline-ms", args.next()))
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline =
+                    Duration::from_millis(parse_value("--max-deadline-ms", args.next()))
+            }
+            "--cache-capacity" => {
+                config.profile_cache_capacity =
+                    Some(parse_value("--cache-capacity", args.next()))
+            }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let registry = efes_scenarios::standard_registry();
+    let handle = match Server::start(config, registry) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: could not start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("efes-serve listening on {}", handle.addr());
+    handle.wait_for_shutdown_request();
+    println!("efes-serve draining and shutting down");
+    handle.shutdown();
+}

@@ -1,0 +1,524 @@
+//! A minimal, defensive HTTP/1.1 reader and writer over `std` I/O.
+//!
+//! This is not a general HTTP implementation — it reads exactly the
+//! request shapes the estimation service serves (a method, a path, a
+//! handful of headers, an optional `Content-Length` body) under hard
+//! size limits, and it must **never panic** on malformed input: every
+//! deviation maps to a [`ParseError`] that the server turns into a
+//! `400`, `413` or `408` response. Bodies are raw bytes — UTF-8 and
+//! JSON validity are the router's concern, not the transport's.
+
+use std::io::{self, BufRead, Write};
+
+/// Size limits enforced while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted request line (`GET /path HTTP/1.1`).
+    pub max_request_line: usize,
+    /// Longest accepted single header line.
+    pub max_header_line: usize,
+    /// Most accepted header lines.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length` body.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/estimate`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The bytes violate the protocol — answer `400 Bad Request`.
+    BadRequest(String),
+    /// A limit in [`Limits`] was exceeded — answer `413 Content Too Large`.
+    TooLarge(String),
+    /// The peer closed the connection before sending a full request.
+    ConnectionClosed,
+    /// The underlying socket failed (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ParseError::TooLarge(m) => write!(f, "too large: {m}"),
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes (strips the
+/// trailing `\r\n` or `\n`). Refuses longer lines without reading them
+/// to completion, so a hostile peer cannot make us buffer unbounded
+/// data.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    max: usize,
+    what: &str,
+) -> Result<String, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Err(ParseError::ConnectionClosed);
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if line.len() + take > max + 2 {
+            return Err(ParseError::TooLarge(format!("{what} exceeds {max} bytes")));
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map_err(|_| ParseError::BadRequest(format!("{what} is not valid UTF-8")))
+}
+
+/// Read and parse one request from `reader` under `limits`.
+pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Request, ParseError> {
+    let request_line = read_line_bounded(reader, limits.max_request_line, "request line")?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(ParseError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::BadRequest(format!("invalid method {method:?}")));
+    }
+    if !path.starts_with('/') {
+        return Err(ParseError::BadRequest(format!(
+            "request target {path:?} is not an absolute path"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_bounded(reader, limits.max_header_line, "header line")?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ParseError::TooLarge(format!(
+                "more than {} headers",
+                limits.max_headers
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::BadRequest(format!(
+                "header line {line:?} has no colon"
+            )));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadRequest(format!(
+                "invalid header name {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(raw) = request.header("content-length") {
+        let length: usize = raw.parse().map_err(|_| {
+            ParseError::BadRequest(format!("invalid content-length {raw:?}"))
+        })?;
+        if length > limits.max_body {
+            return Err(ParseError::TooLarge(format!(
+                "body of {length} bytes exceeds limit of {}",
+                limits.max_body
+            )));
+        }
+        let mut body = vec![0u8; length];
+        io::Read::read_exact(reader, &mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ParseError::ConnectionClosed
+            } else {
+                ParseError::Io(e)
+            }
+        })?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope `{"error": …}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        write_json_string(message, &mut body);
+        body.push('}');
+        Response::json(status, body.into_bytes())
+    }
+
+    /// Append a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name.to_owned(), value.into()));
+        self
+    }
+}
+
+/// Escape `s` into `out` as a JSON string literal (with quotes).
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise `response` to `writer` as an HTTP/1.1 response with
+/// `Connection: close` semantics (the server handles one request per
+/// connection).
+pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse(b"POST /estimate HTTP/1.1\r\ncontent-length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let r = parse(b"GET / HTTP/1.1\nhost: x\n\n").unwrap();
+        assert_eq!(r.path, "/");
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_bad_requests() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x SPDY/9\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ParseError::BadRequest(_))),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_requests_read_as_connection_closed() {
+        for raw in [&b""[..], b"GET /x HT", b"GET /x HTTP/1.1\r\nhost: x"] {
+            assert!(matches!(parse(raw), Err(ParseError::ConnectionClosed)));
+        }
+    }
+
+    #[test]
+    fn truncated_body_reads_as_connection_closed() {
+        let raw = b"POST /estimate HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort";
+        assert!(matches!(parse(raw), Err(ParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn invalid_content_length_is_a_bad_request() {
+        for cl in ["ten", "-5", "1e3", ""] {
+            let raw = format!("POST /e HTTP/1.1\r\ncontent-length: {cl}\r\n\r\n");
+            assert!(
+                matches!(parse(raw.as_bytes()), Err(ParseError::BadRequest(_))),
+                "content-length {cl:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_parts_are_too_large() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert!(matches!(
+            parse(long_line.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+
+        let long_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(9000));
+        assert!(matches!(
+            parse(long_header.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            many_headers.push_str(&format!("h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert!(matches!(
+            parse(many_headers.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+
+        let big_body = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            2 * 1024 * 1024
+        );
+        assert!(matches!(
+            parse(big_body.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_bytes_in_head_are_bad_requests() {
+        assert!(matches!(
+            parse(b"GET /\xff HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_body_is_accepted_at_the_transport() {
+        let mut raw = b"POST /e HTTP/1.1\r\ncontent-length: 3\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[0xff, 0xfe, 0x00]);
+        let r = parse(&raw).unwrap();
+        assert_eq!(r.body, vec![0xff, 0xfe, 0x00]);
+    }
+
+    #[test]
+    fn responses_serialise_with_length_and_close() {
+        let mut out = Vec::new();
+        let resp = Response::json(200, "{}".as_bytes().to_vec())
+            .with_header("retry-after", "1");
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_bodies_escape_json() {
+        let resp = Response::error(400, "bad \"quote\"\nline");
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            "{\"error\":\"bad \\\"quote\\\"\\nline\"}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    proptest! {
+        /// The cardinal transport property: arbitrary bytes never panic
+        /// the parser — every input maps to Ok or a typed error.
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = parse(&bytes);
+        }
+
+        /// Any strict prefix of a well-formed request reads as an error
+        /// (usually `ConnectionClosed`), never as a bogus request.
+        #[test]
+        fn truncated_requests_never_parse(
+            path in "[a-z/]{1,30}",
+            body in proptest::collection::vec(any::<u8>(), 0..200),
+            cut_seed in any::<usize>(),
+        ) {
+            let mut raw = format!(
+                "POST /{path} HTTP/1.1\r\nhost: efes\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            ).into_bytes();
+            raw.extend_from_slice(&body);
+            let cut = cut_seed % raw.len(); // strictly shorter than raw
+            prop_assert!(parse(&raw[..cut]).is_err());
+        }
+
+        /// Oversized header values are refused as `TooLarge` without
+        /// buffering the line.
+        #[test]
+        fn oversized_header_values_are_too_large(extra in 200usize..4000) {
+            let raw = format!(
+                "GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+                "v".repeat(8 * 1024 + extra)
+            );
+            prop_assert!(matches!(parse(raw.as_bytes()), Err(ParseError::TooLarge(_))));
+        }
+
+        /// Unparsable content-length values are `BadRequest`, not a
+        /// crash or a silently empty body.
+        #[test]
+        fn non_numeric_content_length_is_a_bad_request(cl in "[a-zA-Z.+-]{1,12}") {
+            let raw = format!("POST /e HTTP/1.1\r\ncontent-length: {cl}\r\n\r\n");
+            prop_assert!(matches!(parse(raw.as_bytes()), Err(ParseError::BadRequest(_))));
+        }
+
+        /// Bodies are transported verbatim — any byte sequence,
+        /// including invalid UTF-8, survives the read intact.
+        #[test]
+        fn bodies_round_trip_verbatim(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut raw = format!(
+                "POST /estimate HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            ).into_bytes();
+            raw.extend_from_slice(&body);
+            let request = parse(&raw).unwrap();
+            prop_assert_eq!(request.body, body);
+        }
+    }
+}

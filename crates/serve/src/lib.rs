@@ -1,0 +1,36 @@
+//! # efes-serve
+//!
+//! EFES as a long-running service: the estimation pipeline behind a
+//! minimal, dependency-free HTTP/1.1 server.
+//!
+//! The paper frames effort estimation as something you consult
+//! repeatedly while negotiating an integration project — which makes it
+//! a service workload, not a batch run. This crate serves the library
+//! pipeline over `std::net` only (no async runtime, no HTTP dependency;
+//! the vendored-workspace rule applies to the server too):
+//!
+//! * `POST /estimate` — price a registered scenario by name, with
+//!   per-request quality, module selection and deadline
+//!   ([`efes::EstimateRequest`] / [`efes::EstimateResponse`]);
+//! * `GET /scenarios` — list what the registry serves;
+//! * `GET /healthz` — liveness;
+//! * `GET /metrics` — Prometheus text: request counters, per-stage
+//!   latency histograms fed from the pipeline's own timings, profile-
+//!   cache hit/miss/eviction counters, queue depth;
+//! * `POST /shutdown` — graceful stop (opt-in, for CI and supervisors).
+//!
+//! Overload never queues unboundedly: the worker pool's queue is
+//! bounded (full → `429` + `Retry-After`), connections are capped
+//! (`503`), deadlines expire into `503` with the queued job cancelled
+//! cooperatively, and shutdown drains accepted work. Estimates returned
+//! over the wire are byte-identical to library calls — the server adds
+//! scheduling, never arithmetic.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use metrics::{Endpoint, Metrics, Sampled};
+pub use server::{Server, ServerConfig, ServerHandle};

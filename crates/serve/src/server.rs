@@ -1,0 +1,553 @@
+//! The estimation server: a `std`-only TCP acceptor in front of a
+//! bounded worker pool.
+//!
+//! The shape is deliberately boring: one acceptor thread, one handler
+//! thread per connection (capped), and a fixed [`WorkerPool`] executing
+//! the actual estimates. Every overload path is explicit — a full job
+//! queue sheds with `429` + `Retry-After`, a connection cap sheds with
+//! `503`, an expired per-request deadline answers `503` and cancels the
+//! queued job cooperatively, and shutdown drains everything already
+//! accepted before returning. All of it is observable at
+//! `GET /metrics` (see [`crate::metrics`]).
+
+use crate::http::{self, Limits, ParseError, Request, Response};
+use crate::metrics::{Endpoint, Metrics, Sampled};
+use efes::{
+    EstimateRequest, EstimateResponse, EstimationConfig, Estimator, ExecutionPolicy,
+    ModuleError, ScenarioRegistry,
+};
+use efes_exec::{CancellationToken, SubmitError, WorkerPool};
+use efes_profiling::ProfileCache;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables. [`ServerConfig::default`] is sized for tests and
+/// local use; the binary maps CLI flags onto these fields.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool sizing (the pool provides cross-request parallelism).
+    pub workers: ExecutionPolicy,
+    /// Bound on jobs *waiting* for a worker; beyond it requests shed
+    /// with `429`.
+    pub queue_capacity: usize,
+    /// Bound on concurrently handled connections; beyond it the
+    /// acceptor sheds with `503`.
+    pub max_connections: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Hard ceiling any requested deadline is clamped to.
+    pub max_deadline: Duration,
+    /// Socket read/write timeout per connection.
+    pub io_timeout: Duration,
+    /// Request parsing limits.
+    pub limits: Limits,
+    /// Execution policy *inside* one estimate. Defaults to sequential:
+    /// the pool already parallelises across requests, and per-request
+    /// sequential execution keeps worker threads from oversubscribing
+    /// the machine. The estimate itself is identical either way.
+    pub estimation: ExecutionPolicy,
+    /// Per-scenario [`ProfileCache`] bound (`None` = unbounded).
+    pub profile_cache_capacity: Option<usize>,
+    /// Whether `POST /shutdown` is honoured (off by default; meant for
+    /// CI and supervised deployments).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: ExecutionPolicy::FromEnv,
+            queue_capacity: 64,
+            max_connections: 128,
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(120),
+            io_timeout: Duration::from_secs(10),
+            limits: Limits::default(),
+            estimation: ExecutionPolicy::Sequential,
+            profile_cache_capacity: Some(4096),
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// What a finished estimation job left in its [`JobSlot`].
+enum JobOutcome {
+    Done(Box<Result<efes::EffortEstimate, ModuleError>>),
+    /// The worker saw the caller's cancellation and skipped the work.
+    Abandoned,
+}
+
+/// A one-shot rendezvous between the connection handler (waiting with a
+/// deadline) and the worker executing its job.
+struct JobSlot {
+    outcome: Mutex<Option<JobOutcome>>,
+    ready: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> Self {
+        JobSlot {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, outcome: JobOutcome) {
+        let mut slot = self.outcome.lock().expect("job slot poisoned");
+        *slot = Some(outcome);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Wait up to `deadline` for the outcome; `None` means the deadline
+    /// expired first.
+    fn wait(&self, deadline: Duration) -> Option<JobOutcome> {
+        let expires = Instant::now() + deadline;
+        let mut slot = self.outcome.lock().expect("job slot poisoned");
+        loop {
+            if slot.is_some() {
+                return slot.take();
+            }
+            let now = Instant::now();
+            if now >= expires {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(slot, expires - now)
+                .expect("job slot poisoned");
+            slot = guard;
+        }
+    }
+}
+
+struct ServerState {
+    config: ServerConfig,
+    registry: ScenarioRegistry,
+    metrics: Metrics,
+    pool: WorkerPool,
+    /// One profile cache per scenario name — never shared across
+    /// scenarios, because `DbTag`s are only unambiguous within one.
+    caches: Mutex<BTreeMap<String, Arc<ProfileCache>>>,
+    /// Set when shutdown starts: the acceptor exits and new estimates
+    /// answer `503`.
+    shutting_down: AtomicBool,
+    active_connections: AtomicUsize,
+    /// Set by `POST /shutdown` (when allowed) or
+    /// [`ServerHandle::request_shutdown`]; the binary blocks on it.
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+impl ServerState {
+    fn cache_for(&self, scenario: &str) -> Arc<ProfileCache> {
+        let mut caches = self.caches.lock().expect("cache map poisoned");
+        Arc::clone(caches.entry(scenario.to_owned()).or_insert_with(|| {
+            Arc::new(match self.config.profile_cache_capacity {
+                Some(cap) => ProfileCache::bounded(cap),
+                None => ProfileCache::new(),
+            })
+        }))
+    }
+
+    fn sample(&self) -> Sampled {
+        let caches = self.caches.lock().expect("cache map poisoned");
+        let mut sampled = Sampled {
+            queue_depth: self.pool.queue_depth(),
+            queue_capacity: self.pool.capacity(),
+            in_flight: self.pool.in_flight(),
+            workers: self.pool.workers(),
+            ..Sampled::default()
+        };
+        for cache in caches.values() {
+            sampled.cache_entries += cache.len();
+            sampled.cache_hits += cache.hits();
+            sampled.cache_misses += cache.misses();
+            sampled.cache_evictions += cache.evictions();
+        }
+        sampled
+    }
+
+    fn request_shutdown(&self) {
+        let mut requested = self.shutdown_requested.lock().expect("shutdown poisoned");
+        *requested = true;
+        drop(requested);
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// The server constructor. [`Server::start`] returns once the listener
+/// is bound and accepting.
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr`, spawn the acceptor and worker pool, and
+    /// return a handle for address discovery and shutdown.
+    pub fn start(config: ServerConfig, registry: ScenarioRegistry) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = match config.workers.mode() {
+            efes::ExecutionMode::Sequential => 1,
+            efes::ExecutionMode::Parallel(n) => n.max(1),
+        };
+        let state = Arc::new(ServerState {
+            pool: WorkerPool::new(workers, config.queue_capacity),
+            config,
+            registry,
+            metrics: Metrics::new(),
+            caches: Mutex::new(BTreeMap::new()),
+            shutting_down: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("efes-acceptor".to_owned())
+            .spawn(move || accept_loop(&listener, &acceptor_state))?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// A handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (for tests and in-process clients).
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
+    }
+
+    /// Render the metrics exposition text, exactly as `GET /metrics`
+    /// would.
+    pub fn scrape(&self) -> String {
+        self.state.metrics.render(&self.state.sample())
+    }
+
+    /// Ask for shutdown without performing it — wakes
+    /// [`wait_for_shutdown_request`](Self::wait_for_shutdown_request).
+    pub fn request_shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Block until someone requests shutdown (`POST /shutdown` when
+    /// enabled, or [`request_shutdown`](Self::request_shutdown)).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut requested = self
+            .state
+            .shutdown_requested
+            .lock()
+            .expect("shutdown poisoned");
+        while !*requested {
+            requested = self
+                .state
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown poisoned");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight connections and
+    /// their queued jobs drain, then join the workers. Returns when the
+    /// server is fully stopped.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.state.shutting_down.store(true, Ordering::Release);
+        self.state.request_shutdown();
+        // The acceptor blocks in accept(); poke it with a throwaway
+        // connection so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = acceptor.join();
+        // In-flight connections finish on their own: their jobs are
+        // already in the pool (still running) and every wait carries a
+        // deadline. Cap the drain defensively anyway.
+        let drain_cap = self.state.config.max_deadline
+            + self.state.config.io_timeout
+            + self.state.config.io_timeout
+            + Duration::from_secs(5);
+        let drain_start = Instant::now();
+        while self.state.active_connections.load(Ordering::Acquire) > 0
+            && drain_start.elapsed() < drain_cap
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.pool.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Decrements the connection gauge when a handler thread exits, however
+/// it exits.
+struct ConnectionGuard(Arc<ServerState>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient accept failure (e.g. fd exhaustion): back
+                // off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if state.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        let active = state.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
+        let guard = ConnectionGuard(Arc::clone(state));
+        if active > state.config.max_connections {
+            let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+            let mut stream = stream;
+            let _ = http::write_response(
+                &mut stream,
+                &Response::error(503, "too many connections").with_header("retry-after", "1"),
+            );
+            drop(guard);
+            continue;
+        }
+        let conn_state = Arc::clone(state);
+        let spawned = std::thread::Builder::new()
+            .name("efes-conn".to_owned())
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(&conn_state, stream);
+            });
+        if spawned.is_err() {
+            // Could not spawn — the guard travelled into the failed
+            // closure and already decremented; nothing else to do.
+            continue;
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let response = match http::read_request(&mut reader, &state.config.limits) {
+        Ok(request) => route(state, &request),
+        Err(ParseError::BadRequest(message)) => {
+            state.metrics.count_request(Endpoint::Other);
+            state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::error(400, &message)
+        }
+        Err(ParseError::TooLarge(message)) => {
+            state.metrics.count_request(Endpoint::Other);
+            state.metrics.too_large.fetch_add(1, Ordering::Relaxed);
+            Response::error(413, &message)
+        }
+        Err(ParseError::ConnectionClosed) => return,
+        Err(ParseError::Io(e)) => {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                state.metrics.count_request(Endpoint::Other);
+                Response::error(408, "timed out reading request")
+            } else {
+                return;
+            }
+        }
+    };
+    let _ = http::write_response(&mut stream, &response);
+}
+
+fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            state.metrics.count_request(Endpoint::Healthz);
+            Response::json(200, &b"{\"status\":\"ok\"}"[..])
+        }
+        ("GET", "/scenarios") => {
+            state.metrics.count_request(Endpoint::Scenarios);
+            match serde_json::to_string(&state.registry.infos()) {
+                Ok(body) => Response::json(200, body.into_bytes()),
+                Err(e) => {
+                    state.metrics.estimate_errors.fetch_add(1, Ordering::Relaxed);
+                    Response::error(500, &format!("serialising scenario list: {e}"))
+                }
+            }
+        }
+        ("GET", "/metrics") => {
+            state.metrics.count_request(Endpoint::Metrics);
+            Response::text(200, state.metrics.render(&state.sample()).into_bytes())
+        }
+        ("POST", "/estimate") => {
+            state.metrics.count_request(Endpoint::Estimate);
+            handle_estimate(state, request)
+        }
+        ("POST", "/shutdown") if state.config.allow_remote_shutdown => {
+            state.metrics.count_request(Endpoint::Other);
+            state.request_shutdown();
+            Response::json(200, &b"{\"status\":\"shutting down\"}"[..])
+        }
+        (_, "/healthz" | "/scenarios" | "/metrics" | "/estimate") => {
+            state.metrics.count_request(Endpoint::Other);
+            state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+            Response::error(405, &format!("{} not allowed on {}", request.method, request.path))
+        }
+        _ => {
+            state.metrics.count_request(Endpoint::Other);
+            state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+            Response::error(404, &format!("no such endpoint {:?}", request.path))
+        }
+    }
+}
+
+fn handle_estimate(state: &Arc<ServerState>, request: &Request) -> Response {
+    if state.shutting_down.load(Ordering::Acquire) {
+        return Response::error(503, "server is shutting down");
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    let estimate_request: EstimateRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, &format!("invalid estimate request: {e}"));
+        }
+    };
+    let Some(scenario) = state.registry.get(&estimate_request.scenario) else {
+        state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            404,
+            &format!("unknown scenario {:?}", estimate_request.scenario),
+        );
+    };
+    let deadline = estimate_request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(state.config.default_deadline)
+        .min(state.config.max_deadline);
+
+    let cache = state.cache_for(&estimate_request.scenario);
+    let slot = Arc::new(JobSlot::new());
+    let token = CancellationToken::new();
+    let started = Instant::now();
+
+    let job_state = Arc::clone(state);
+    let job_slot = Arc::clone(&slot);
+    let job_token = token.clone();
+    let job_request = estimate_request.clone();
+    let submitted = state.pool.try_submit(Box::new(move || {
+        if job_token.is_cancelled() {
+            job_state
+                .metrics
+                .jobs_abandoned
+                .fetch_add(1, Ordering::Relaxed);
+            job_slot.fill(JobOutcome::Abandoned);
+            return;
+        }
+        let mut config = EstimationConfig::for_quality(job_request.quality);
+        config.execution = job_state.config.estimation;
+        let estimator = Estimator::with_selected_modules(config, job_request.modules);
+        let result = estimator.estimate_with_cache(&scenario, cache);
+        if let Ok(estimate) = &result {
+            for stage in &estimate.timings.stages {
+                job_state.metrics.observe_stage(&stage.stage, stage.millis);
+            }
+        }
+        job_slot.fill(JobOutcome::Done(Box::new(result)));
+    }));
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::QueueFull) => {
+            state
+                .metrics
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::error(429, "estimation queue is full")
+                .with_header("retry-after", "1");
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return Response::error(503, "server is shutting down");
+        }
+    }
+
+    match slot.wait(deadline) {
+        None => {
+            token.cancel();
+            state
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            Response::error(
+                503,
+                &format!("deadline of {} ms expired", deadline.as_millis()),
+            )
+        }
+        Some(JobOutcome::Abandoned) => {
+            // Only reachable if the waiter timed out, which returns
+            // above — kept for exhaustiveness.
+            Response::error(503, "estimation was abandoned")
+        }
+        Some(JobOutcome::Done(result)) => match *result {
+            Ok(estimate) => {
+                state.metrics.estimates_ok.fetch_add(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .observe_request_latency(started.elapsed().as_secs_f64() * 1e3);
+                let response = EstimateResponse::from_estimate(&estimate, &estimate_request);
+                match serde_json::to_string(&response) {
+                    Ok(body) => Response::json(200, body.into_bytes()),
+                    Err(e) => {
+                        state.metrics.estimate_errors.fetch_add(1, Ordering::Relaxed);
+                        Response::error(500, &format!("serialising estimate: {e}"))
+                    }
+                }
+            }
+            Err(e) => {
+                state.metrics.estimate_errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(500, &format!("estimation failed: {e}"))
+            }
+        },
+    }
+}

@@ -1,0 +1,83 @@
+//! A loopback round-trip against an in-process `efes-serve` server.
+//!
+//! Starts the server on an ephemeral port, lists the scenarios, prices
+//! one over HTTP, scrapes the metrics, and shuts down gracefully —
+//! the whole service lifecycle in one process, no external tools.
+//!
+//! Run with: `cargo run --release -p efes-serve --example serve_client`
+
+use efes_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Send one request, return the raw response text (head + body).
+fn send(addr: SocketAddr, request: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+fn get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    send(addr, &format!("GET {path} HTTP/1.1\r\nhost: efes\r\n\r\n"))
+}
+
+fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<String> {
+    send(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: efes\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+}
+
+fn main() -> std::io::Result<()> {
+    let handle = Server::start(
+        ServerConfig::default(),
+        efes_scenarios::standard_registry(),
+    )?;
+    let addr = handle.addr();
+    println!("serving on {addr}\n");
+
+    println!("GET /scenarios =>");
+    println!("  {}\n", body_of(&get(addr, "/scenarios")?));
+
+    let request = r#"{"scenario":"music-example","quality":"HighQuality"}"#;
+    println!("POST /estimate {request} =>");
+    println!("  {}\n", body_of(&post_json(addr, "/estimate", request)?));
+
+    // A second estimate of the same scenario is served from the
+    // per-scenario profile cache — visible in the metrics below.
+    let _ = post_json(addr, "/estimate", request)?;
+
+    println!("GET /metrics (excerpt) =>");
+    let metrics = get(addr, "/metrics")?;
+    for line in body_of(&metrics)
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.starts_with("efes_requests_total")
+                || l.starts_with("efes_estimates_ok_total")
+                || l.starts_with("efes_profile_cache")
+                || l.starts_with("efes_queue_")
+        })
+    {
+        println!("  {line}");
+    }
+
+    handle.shutdown();
+    println!("\nserver drained and stopped");
+    Ok(())
+}

@@ -1,0 +1,345 @@
+//! End-to-end tests of `efes-serve` over real sockets: a full estimate
+//! round-trip that byte-matches the library path, load shedding under a
+//! saturated queue, deadline expiry, graceful drain, and the metrics
+//! endpoint.
+
+use efes::{
+    EstimateRequest, EstimateResponse, EstimationConfig, Estimator, ExecutionPolicy, Quality,
+    ScenarioRegistry,
+};
+use efes_relational::{
+    CorrespondenceBuilder, DataType, DatabaseBuilder, IntegrationScenario, Value,
+};
+use efes_serve::{Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A raw one-request HTTP client: returns (status, headers, body).
+fn send_raw(addr: SocketAddr, request: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(request).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, head.to_owned(), body.to_owned())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nhost: efes\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post_estimate(addr: SocketAddr, body: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!(
+            "POST /estimate HTTP/1.1\r\nhost: efes\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Poll the in-process metrics until `line` appears or `within` elapses.
+fn wait_for_metric(handle: &ServerHandle, line: &str, within: Duration) {
+    let start = Instant::now();
+    loop {
+        if handle.scrape().lines().any(|l| l == line) {
+            return;
+        }
+        assert!(
+            start.elapsed() < within,
+            "metric line {line:?} did not appear within {within:?}; scrape:\n{}",
+            handle.scrape()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A scenario that is deliberately expensive to estimate: enough rows
+/// that profiling dominates, so a single worker stays busy long enough
+/// for queueing and deadline behaviour to be observable.
+fn slow_scenario() -> IntegrationScenario {
+    const ROWS: usize = 6000;
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("name-{}", i * 7919 % 997)),
+                Value::Text(format!("place {} nr {}", i % 97, i)),
+                Value::Text(format!("note:{:04x}", i * 31 % 4096)),
+            ]
+        })
+        .collect();
+    let source = DatabaseBuilder::new("big_src")
+        .table("events", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .attr("place", DataType::Text)
+                .attr("note", DataType::Text)
+        })
+        .rows("events", rows)
+        .build()
+        .unwrap();
+    let target = DatabaseBuilder::new("big_tgt")
+        .table("records", |t| {
+            t.attr("nr", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("venue", DataType::Text)
+                .attr("remark", DataType::Text)
+        })
+        .build()
+        .unwrap();
+    let corrs = CorrespondenceBuilder::new(&source, &target)
+        .table("events", "records")
+        .unwrap()
+        .attr("events", "id", "records", "nr")
+        .unwrap()
+        .attr("events", "name", "records", "title")
+        .unwrap()
+        .attr("events", "place", "records", "venue")
+        .unwrap()
+        .attr("events", "note", "records", "remark")
+        .unwrap()
+        .finish();
+    IntegrationScenario::single_source("slow", source, target, corrs).unwrap()
+}
+
+/// One worker, one queue slot, and profile caching effectively disabled
+/// so repeated estimates of the slow scenario stay slow.
+fn slow_server() -> ServerHandle {
+    let mut registry = ScenarioRegistry::new();
+    registry.register("slow", "deliberately expensive scenario", slow_scenario);
+    Server::start(
+        ServerConfig {
+            workers: ExecutionPolicy::Threads(1),
+            queue_capacity: 1,
+            profile_cache_capacity: Some(1),
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("start server")
+}
+
+#[test]
+fn estimate_round_trip_byte_matches_the_library() {
+    let handle = Server::start(
+        ServerConfig {
+            workers: ExecutionPolicy::Threads(2),
+            ..ServerConfig::default()
+        },
+        efes_scenarios::standard_registry(),
+    )
+    .expect("start server");
+
+    let (status, _, body) = post_estimate(
+        handle.addr(),
+        r#"{"scenario":"music-example","include_tasks":true}"#,
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let served: EstimateResponse = serde_json::from_str(&body).expect("parse response");
+
+    // The same request through the library, bypassing the server.
+    let mut request = EstimateRequest::new("music-example");
+    request.include_tasks = true;
+    let scenario = efes_scenarios::standard_registry()
+        .get("music-example")
+        .unwrap();
+    let estimate = Estimator::with_default_modules(EstimationConfig::for_quality(
+        Quality::HighQuality,
+    ))
+    .estimate(&scenario)
+    .unwrap();
+    let expected = EstimateResponse::from_estimate(&estimate, &request);
+
+    assert_eq!(served, expected);
+    // Byte-for-byte: serialising both sides yields identical JSON.
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&expected).unwrap()
+    );
+    assert!(served.total_minutes > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn discovery_and_error_paths_answer_without_panicking() {
+    let handle = Server::start(ServerConfig::default(), efes_scenarios::standard_registry())
+        .expect("start server");
+    let addr = handle.addr();
+
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!((status, body.contains("ok")), (200, true));
+
+    let (status, _, body) = get(addr, "/scenarios");
+    assert_eq!(status, 200);
+    assert!(body.contains("music-example"), "body: {body}");
+    assert!(body.contains("amalgam-s1-s2"), "body: {body}");
+    assert!(body.contains("discography-f1-m2"), "body: {body}");
+
+    // Unknown path, wrong method, malformed JSON, unknown scenario,
+    // invalid UTF-8, protocol garbage, oversized body.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(
+        send_raw(addr, b"POST /healthz HTTP/1.1\r\n\r\n").0,
+        405
+    );
+    let (status, _, body) = post_estimate(addr, "{not json");
+    assert_eq!(status, 400, "body: {body}");
+    let (status, _, body) = post_estimate(addr, r#"{"quality":"LowEffort"}"#);
+    assert_eq!(status, 400, "body: {body}");
+    let (status, _, body) = post_estimate(addr, r#"{"scenario":"no-such-scenario"}"#);
+    assert_eq!(status, 404, "body: {body}");
+    let mut non_utf8 = b"POST /estimate HTTP/1.1\r\ncontent-length: 3\r\n\r\n".to_vec();
+    non_utf8.extend_from_slice(&[0xff, 0xfe, 0x00]);
+    assert_eq!(send_raw(addr, &non_utf8).0, 400);
+    assert_eq!(send_raw(addr, b"SPDY is not http\r\n\r\n").0, 400);
+    let huge = format!(
+        "POST /estimate HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        64 * 1024 * 1024
+    );
+    assert_eq!(send_raw(addr, huge.as_bytes()).0, 413);
+
+    let metrics = handle.scrape();
+    assert!(
+        metrics.contains("efes_bad_requests_total 4"),
+        "metrics:\n{metrics}"
+    );
+    assert!(metrics.contains("efes_too_large_total 1"), "metrics:\n{metrics}");
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_429_and_retry_after() {
+    let handle = slow_server();
+    let addr = handle.addr();
+    let body = r#"{"scenario":"slow","deadline_ms":120000}"#;
+
+    // Occupy the single worker…
+    let first = std::thread::spawn(move || post_estimate(addr, body));
+    wait_for_metric(&handle, "efes_jobs_in_flight 1", Duration::from_secs(30));
+    // …fill the single queue slot…
+    let second = std::thread::spawn(move || post_estimate(addr, body));
+    wait_for_metric(&handle, "efes_queue_depth 1", Duration::from_secs(30));
+    // …and the next request must be shed, not queued.
+    let (status, head, body_text) = post_estimate(addr, body);
+    assert_eq!(status, 429, "body: {body_text}");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after: 1"),
+        "head: {head}"
+    );
+
+    let (status, _, _) = first.join().unwrap();
+    assert_eq!(status, 200);
+    let (status, _, _) = second.join().unwrap();
+    assert_eq!(status, 200);
+
+    let metrics = handle.scrape();
+    assert!(metrics.contains("efes_rejected_total 1"), "metrics:\n{metrics}");
+    assert!(
+        metrics.contains("efes_estimates_ok_total 2"),
+        "metrics:\n{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadlines_answer_503_and_abandon_the_job() {
+    let handle = slow_server();
+    let addr = handle.addr();
+
+    // Keep the worker busy so the deadlined request can never start.
+    let blocker = std::thread::spawn(move || {
+        post_estimate(addr, r#"{"scenario":"slow","deadline_ms":120000}"#)
+    });
+    wait_for_metric(&handle, "efes_jobs_in_flight 1", Duration::from_secs(30));
+
+    let (status, _, body) = post_estimate(addr, r#"{"scenario":"slow","deadline_ms":25}"#);
+    assert_eq!(status, 503, "body: {body}");
+    assert!(body.contains("deadline"), "body: {body}");
+
+    let (status, _, _) = blocker.join().unwrap();
+    assert_eq!(status, 200);
+    // Once the worker reaches the abandoned job it skips it and says so.
+    wait_for_metric(&handle, "efes_jobs_abandoned_total 1", Duration::from_secs(30));
+    wait_for_metric(&handle, "efes_deadline_expired_total 1", Duration::from_secs(5));
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_estimates() {
+    let handle = slow_server();
+    let addr = handle.addr();
+
+    let client = std::thread::spawn(move || {
+        post_estimate(addr, r#"{"scenario":"slow","deadline_ms":120000}"#)
+    });
+    wait_for_metric(&handle, "efes_jobs_in_flight 1", Duration::from_secs(30));
+    handle.shutdown();
+
+    // The in-flight request still completed successfully.
+    let (status, _, body) = client.join().unwrap();
+    assert_eq!(status, 200, "body: {body}");
+    let parsed: EstimateResponse = serde_json::from_str(&body).expect("parse drained response");
+    assert_eq!(parsed.scenario, "slow");
+
+    // And the listener is gone.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_secs(1)).is_err());
+}
+
+#[test]
+fn metrics_expose_stage_latencies_and_cache_counters() {
+    let handle = Server::start(ServerConfig::default(), efes_scenarios::standard_registry())
+        .expect("start server");
+    let addr = handle.addr();
+    let body = r#"{"scenario":"music-example"}"#;
+    assert_eq!(post_estimate(addr, body).0, 200);
+    assert_eq!(post_estimate(addr, body).0, 200);
+
+    let (status, _, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("efes_requests_total{endpoint=\"estimate\"} 2"),
+        "metrics:\n{metrics}"
+    );
+    assert!(metrics.contains("efes_estimates_ok_total 2"), "metrics:\n{metrics}");
+    for stage in ["mapping", "structure", "values"] {
+        assert!(
+            metrics.contains(&format!("efes_stage_latency_ms_count{{stage=\"{stage}\"}} 2")),
+            "missing stage {stage}; metrics:\n{metrics}"
+        );
+    }
+    assert!(metrics.contains("efes_request_latency_ms_count 2"), "metrics:\n{metrics}");
+    assert!(metrics.contains("efes_queue_capacity 64"), "metrics:\n{metrics}");
+    assert!(metrics.contains("efes_workers"), "metrics:\n{metrics}");
+
+    // The second estimate of the same scenario was served from the
+    // per-scenario profile cache: hits > 0, and entries are resident.
+    let cache_line = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {name} in metrics:\n{metrics}"))
+    };
+    assert!(cache_line("efes_profile_cache_hits_total ") > 0);
+    assert!(cache_line("efes_profile_cache_misses_total ") > 0);
+    assert!(cache_line("efes_profile_cache_entries ") > 0);
+    handle.shutdown();
+}
