@@ -1,0 +1,180 @@
+//! `bench_smoke` — a fast, plain-wall-clock benchmark of the profiling
+//! hot path, for CI smoke runs and for recording the fused-kernel /
+//! columnar-store speedup next to the commit that produced it.
+//!
+//! ```text
+//! cargo run --release -p efes-bench --bin bench_smoke -- --quick
+//! cargo run --release -p efes-bench --bin bench_smoke -- --out BENCH_profiling.json
+//! ```
+//!
+//! Unlike the Criterion benches (`cargo bench -p efes-bench`), this
+//! finishes in seconds: per stage it takes the median of a handful of
+//! timed runs. Numbers are indicative, not statistically rigorous — the
+//! point is a recorded order-of-magnitude trend per commit. The process
+//! fails (non-zero exit) only on build/run errors, never on regressions.
+
+use efes_profiling::AttributeProfile;
+use efes_relational::{Column, DataType, Value};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Stage {
+    name: String,
+    rows: usize,
+    iters: usize,
+    median_ns: u64,
+    median_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Speedups {
+    text_fused: f64,
+    text_columnar: f64,
+    text_columnar_including_build: f64,
+    numeric_fused: f64,
+    numeric_columnar: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenario: String,
+    commit: String,
+    quick: bool,
+    stages: Vec<Stage>,
+    speedups_vs_multipass: Speedups,
+}
+
+/// Dictionary-friendly text column: `m:ss` durations, ~420 distinct
+/// values — the text-heavy shape the columnar kernel targets.
+fn text_column(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| Value::Text(format!("{}:{:02}", 2 + i % 7, (i * 13) % 60)))
+        .collect()
+}
+
+fn int_column(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::Int(120_000 + i as i64 * 37)).collect()
+}
+
+/// Median wall-clock nanoseconds of `iters` runs of `f` (after one
+/// warm-up run).
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_profiling.json".to_owned());
+
+    let (rows, iters) = if quick { (20_000usize, 5usize) } else { (100_000, 9) };
+
+    let texts = text_column(rows);
+    let ints = int_column(rows);
+    let text_rows: Vec<Vec<Value>> = texts.iter().map(|v| vec![v.clone()]).collect();
+    let int_rows: Vec<Vec<Value>> = ints.iter().map(|v| vec![v.clone()]).collect();
+
+    let mut stages = Vec::new();
+    let mut record = |name: &str, ns: u64| {
+        eprintln!("  {name:32} {:10.3} ms", ns as f64 / 1e6);
+        stages.push(Stage {
+            name: name.to_owned(),
+            rows,
+            iters,
+            median_ns: ns,
+            median_ms: ns as f64 / 1e6,
+        });
+        ns
+    };
+
+    eprintln!("bench_smoke: profiling hot path, {rows} rows × {iters} iters (median)");
+    let text_multi = record("text_profile_multipass", median_ns(iters, || {
+        std::hint::black_box(AttributeProfile::compute_multipass(texts.iter(), DataType::Text));
+    }));
+    let text_fused = record("text_profile_fused", median_ns(iters, || {
+        std::hint::black_box(AttributeProfile::compute(texts.iter(), DataType::Text));
+    }));
+    // Includes the one-off columnar build: the end-to-end cost a cold
+    // `of_attribute` pays.
+    let text_col_build = record("text_columnar_build_plus_profile", median_ns(iters, || {
+        let col = Column::build(&text_rows, 0);
+        std::hint::black_box(AttributeProfile::compute_columnar(&col, DataType::Text));
+    }));
+    let text_store = Column::build(&text_rows, 0);
+    let text_col = record("text_profile_columnar", median_ns(iters, || {
+        std::hint::black_box(AttributeProfile::compute_columnar(&text_store, DataType::Text));
+    }));
+
+    let num_multi = record("numeric_profile_multipass", median_ns(iters, || {
+        std::hint::black_box(AttributeProfile::compute_multipass(ints.iter(), DataType::Integer));
+    }));
+    let num_fused = record("numeric_profile_fused", median_ns(iters, || {
+        std::hint::black_box(AttributeProfile::compute(ints.iter(), DataType::Integer));
+    }));
+    let int_store = Column::build(&int_rows, 0);
+    let num_col = record("numeric_profile_columnar", median_ns(iters, || {
+        std::hint::black_box(AttributeProfile::compute_columnar(&int_store, DataType::Integer));
+    }));
+
+    let ratio = |base: u64, new: u64| {
+        if new == 0 {
+            0.0
+        } else {
+            base as f64 / new as f64
+        }
+    };
+    let report = Report {
+        scenario: "profiling-hot-path".to_owned(),
+        commit: commit(),
+        quick,
+        stages,
+        speedups_vs_multipass: Speedups {
+            text_fused: ratio(text_multi, text_fused),
+            text_columnar: ratio(text_multi, text_col),
+            text_columnar_including_build: ratio(text_multi, text_col_build),
+            numeric_fused: ratio(num_multi, num_fused),
+            numeric_columnar: ratio(num_multi, num_col),
+        },
+    };
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, pretty + "\n").expect("write report");
+    eprintln!(
+        "speedups vs multipass: text fused {:.2}x, text columnar {:.2}x, numeric fused {:.2}x, numeric columnar {:.2}x",
+        ratio(text_multi, text_fused),
+        ratio(text_multi, text_col),
+        ratio(num_multi, num_fused),
+        ratio(num_multi, num_col),
+    );
+    eprintln!("wrote {out_path}");
+}

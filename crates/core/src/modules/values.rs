@@ -128,10 +128,7 @@ impl ValueModule {
             scenario.target.schema.qualified(ta.table, ta.attr)
         );
         let source_values = source.instance.table(sa.table).len() as u64;
-        let distinct = source
-            .instance
-            .distinct_values(sa.table, sa.attr)
-            .len() as u64;
+        let distinct = source.instance.distinct_count(sa.table, sa.attr) as u64;
 
         let mut heterogeneities: Vec<(HeterogeneityKind, f64)> = Vec::new();
         // Rule 1: substantiallyFewerSourceValues.

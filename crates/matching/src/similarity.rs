@@ -1,43 +1,104 @@
 //! String similarity primitives and identifier tokenisation.
+//!
+//! The schema matcher calls these for every pair of attribute names, so
+//! the hot functions avoid per-call allocation: ASCII inputs (the
+//! overwhelming majority of identifiers) are compared byte-wise straight
+//! off the `&str` — for ASCII, byte equality and char equality coincide
+//! and byte length equals char length — and non-ASCII inputs decode into
+//! thread-local scratch buffers that are reused across calls, as are the
+//! Levenshtein DP rows and the Jaro match tables.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
 
-/// Levenshtein edit distance (insert/delete/substitute, unit costs).
-pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+/// Reusable per-thread buffers for the similarity kernels.
+#[derive(Default)]
+struct Scratch {
+    chars_a: Vec<char>,
+    chars_b: Vec<char>,
+    dp_prev: Vec<usize>,
+    dp_cur: Vec<usize>,
+    b_used: Vec<bool>,
+    match_idx: Vec<usize>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+fn fill_chars(s: &str, buf: &mut Vec<char>) {
+    buf.clear();
+    buf.extend(s.chars());
+}
+
+/// Two-row Levenshtein DP over unit slices, reusing the row buffers.
+fn levenshtein_impl<T: PartialEq>(
+    a: &[T],
+    b: &[T],
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> usize {
     if a.is_empty() {
         return b.len();
     }
     if b.is_empty() {
         return a.len();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
+    prev.clear();
+    prev.extend(0..=b.len());
+    cur.clear();
+    cur.resize(b.len() + 1, 0);
     for (i, ca) in a.iter().enumerate() {
         cur[0] = i + 1;
         for (j, cb) in b.iter().enumerate() {
             let cost = usize::from(ca != cb);
             cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     prev[b.len()]
 }
 
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    levenshtein_with_lens(a, b).0
+}
+
+/// Edit distance plus both unit lengths, computed in the same call so
+/// [`levenshtein_similarity`] does not re-walk either string.
+fn levenshtein_with_lens(a: &str, b: &str) -> (usize, usize, usize) {
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        if a.is_ascii() && b.is_ascii() {
+            let d = levenshtein_impl(a.as_bytes(), b.as_bytes(), &mut s.dp_prev, &mut s.dp_cur);
+            (d, a.len(), b.len())
+        } else {
+            fill_chars(a, &mut s.chars_a);
+            fill_chars(b, &mut s.chars_b);
+            let d = levenshtein_impl(&s.chars_a, &s.chars_b, &mut s.dp_prev, &mut s.dp_cur);
+            (d, s.chars_a.len(), s.chars_b.len())
+        }
+    })
+}
+
 /// Normalised Levenshtein similarity in `[0,1]`.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max = a.chars().count().max(b.chars().count());
+    let (dist, alen, blen) = levenshtein_with_lens(a, b);
+    let max = alen.max(blen);
     if max == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max as f64
+    1.0 - dist as f64 / max as f64
 }
 
-/// Jaro similarity.
-fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+/// Jaro similarity over unit slices. `b_used` and `match_idx` are
+/// caller-provided scratch (cleared here).
+fn jaro_impl<T: PartialEq + Copy>(
+    a: &[T],
+    b: &[T],
+    b_used: &mut Vec<bool>,
+    match_idx: &mut Vec<usize>,
+) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -45,37 +106,46 @@ fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
+    b_used.clear();
+    b_used.resize(b.len(), false);
+    match_idx.clear();
     for (i, ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_used[j] && b[j] == *ca {
-                b_used[j] = true;
-                matches_a.push(*ca);
+        for (j, used) in b_used.iter_mut().enumerate().take(hi).skip(lo) {
+            if !*used && b[j] == *ca {
+                *used = true;
+                match_idx.push(i);
                 break;
             }
         }
     }
-    let m = matches_a.len();
+    let m = match_idx.len();
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> = b
+    let transpositions = match_idx
         .iter()
-        .zip(b_used.iter())
-        .filter(|(_, used)| **used)
-        .map(|(c, _)| *c)
-        .collect();
-    let transpositions = matches_a
-        .iter()
-        .zip(matches_b.iter())
-        .filter(|(x, y)| x != y)
+        .zip((0..b.len()).filter(|&j| b_used[j]))
+        .filter(|&(&i, j)| a[i] != b[j])
         .count()
         / 2;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro similarity.
+fn jaro(a: &str, b: &str) -> f64 {
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        if a.is_ascii() && b.is_ascii() {
+            jaro_impl(a.as_bytes(), b.as_bytes(), &mut s.b_used, &mut s.match_idx)
+        } else {
+            fill_chars(a, &mut s.chars_a);
+            fill_chars(b, &mut s.chars_b);
+            jaro_impl(&s.chars_a, &s.chars_b, &mut s.b_used, &mut s.match_idx)
+        }
+    })
 }
 
 /// Jaro-Winkler similarity (prefix boost up to 4 chars, p = 0.1).
@@ -92,15 +162,18 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 
 /// Character-trigram Jaccard similarity (padded with `^`/`$`).
 pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
-    let grams = |s: &str| -> HashSet<String> {
-        let padded: Vec<char> = std::iter::once('^')
-            .chain(s.chars())
-            .chain(std::iter::once('$'))
-            .collect();
-        padded.windows(3).map(|w| w.iter().collect()).collect()
+    // Fixed-width `[char; 3]` grams: no per-gram String allocation.
+    let grams = |s: &str, buf: &mut Vec<char>| -> HashSet<[char; 3]> {
+        buf.clear();
+        buf.push('^');
+        buf.extend(s.chars());
+        buf.push('$');
+        buf.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
     };
-    let ga = grams(a);
-    let gb = grams(b);
+    let (ga, gb) = SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        (grams(a, &mut s.chars_a), grams(b, &mut s.chars_b))
+    });
     if ga.is_empty() && gb.is_empty() {
         return 1.0;
     }
@@ -184,6 +257,29 @@ mod tests {
     }
 
     #[test]
+    fn non_ascii_uses_char_semantics() {
+        // Multi-byte chars must count as one unit, not several bytes.
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert!((levenshtein_similarity("café", "café") - 1.0).abs() < 1e-12);
+        assert!((levenshtein_similarity("café", "cafe") - 0.75).abs() < 1e-12);
+        assert_eq!(jaro_winkler("über", "über"), 1.0);
+        assert!((trigram_jaccard("naïve", "naïve") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_and_char_paths_agree() {
+        // The byte fast path must report the same distance and lengths
+        // the char-counting definition would.
+        for (a, b) in [("artist", "artists"), ("kitten", "sitting"), ("", "x")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            let (d, alen, blen) = levenshtein_with_lens(a, b);
+            assert_eq!(alen, a.chars().count());
+            assert_eq!(blen, b.chars().count());
+            assert_eq!(d, levenshtein(a, b));
+        }
+    }
+
+    #[test]
     fn jaro_winkler_prefers_shared_prefixes() {
         let jw1 = jaro_winkler("artist", "artists");
         let jw2 = jaro_winkler("artist", "tsitra");
@@ -220,7 +316,7 @@ mod tests {
 
     #[test]
     fn similarities_are_symmetric() {
-        for (a, b) in [("title", "titel"), ("record", "records"), ("x", "")] {
+        for (a, b) in [("title", "titel"), ("record", "records"), ("x", ""), ("café", "cafe")] {
             assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
             assert!((trigram_jaccard(a, b) - trigram_jaccard(b, a)).abs() < 1e-12);
             assert_eq!(levenshtein(a, b), levenshtein(b, a));

@@ -149,7 +149,7 @@ pub fn discover_constraints_with(
         for v in data.column(attr) {
             if v.is_null() {
                 nulls += 1;
-            } else if !distinct.insert(v.clone()) {
+            } else if !distinct.insert(v.to_value()) {
                 all_distinct = false;
             }
         }

@@ -1,0 +1,581 @@
+//! The fused single-pass profiler kernel.
+//!
+//! [`AttributeProfile::compute`](crate::AttributeProfile::compute)
+//! historically walked its column once *per statistic* — up to eight full
+//! passes, each re-rendering every value. This module computes all nine
+//! §5.1 statistics in **one** loop over the column: a bank of accumulators
+//! (fill counters, a shared value-count map feeding both constancy and
+//! top-k, a fused pattern/character/length walk for text, a numeric
+//! buffer shared by mean, range and histogram) is fed per cell and
+//! finalised afterwards.
+//!
+//! Two entry points:
+//!
+//! * [`profile_values`] streams over row-major `&Value`s — the drop-in
+//!   replacement for the legacy multi-pass code;
+//! * [`profile_column`] runs variant-specialised loops over a typed
+//!   [`Column`]: integer/float columns read machine words, text columns
+//!   compute the expensive per-string statistics once per *distinct*
+//!   value (weighted by the dictionary counts) instead of once per row.
+//!
+//! **Bit-identical output is a hard invariant** (the serve byte-match
+//! tests pin it): integer accumulations may be reordered freely, but
+//! every floating-point reduction preserves the exact operation sequence
+//! of the legacy per-statistic code — string lengths and numeric values
+//! are buffered in row order and reduced with the same expressions. The
+//! property tests in `tests/proptests.rs` assert field-for-field
+//! equality against the retained multi-pass reference implementation.
+
+use crate::profile::AttributeProfile;
+use crate::stats::{
+    numeric_view, CharHistogram, Constancy, FillStatus, NumericHistogram, NumericMean,
+    StringLength, TextPatterns, TopK, ValueRange,
+};
+use efes_relational::column::NULL_CODE;
+use efes_relational::{Column, DataType, TextColumn, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Accumulator for the three string statistics (text patterns, character
+/// histogram, string length), fed one rendered value at a time. The
+/// pattern abstraction, the character counts and the character length
+/// are all gathered in a single `chars()` walk.
+#[derive(Default)]
+struct TextAcc {
+    patterns: HashMap<String, usize>,
+    chars: BTreeMap<char, usize>,
+    total_chars: usize,
+    /// Per-row character lengths, in row order. Kept as the legacy code
+    /// kept them so the mean/σ reduction replays identical float ops.
+    lengths: Vec<f64>,
+    /// Non-null values observed (the `total` of [`TextPatterns`]).
+    total: usize,
+    /// Scratch for the pattern under construction; allocation only
+    /// happens when a *new* distinct pattern is first seen.
+    pattern_buf: String,
+}
+
+impl TextAcc {
+    /// Feed one per-row value: observe it once and record its length.
+    fn add_row(&mut self, s: &str) {
+        let len = self.observe(s, 1);
+        self.lengths.push(len as f64);
+    }
+
+    /// Feed one *distinct* value occurring `weight` times; returns its
+    /// character length. Per-row lengths are NOT recorded — the caller
+    /// (the dictionary path) replays them in row order itself, keeping
+    /// the mean/σ float reductions bit-identical to the legacy code.
+    fn observe(&mut self, s: &str, weight: usize) -> usize {
+        self.total += weight;
+        self.pattern_buf.clear();
+        let mut mode: u8 = 0; // 0 = none, 1 = digits, 2 = letters (as pattern_of)
+        let mut len = 0usize;
+        for c in s.chars() {
+            len += 1;
+            *self.chars.entry(c).or_insert(0) += weight;
+            if c.is_ascii_digit() {
+                if mode != 1 {
+                    self.pattern_buf.push_str("<n>");
+                    mode = 1;
+                }
+            } else if c.is_alphabetic() {
+                if mode != 2 {
+                    self.pattern_buf.push_str("<w>");
+                    mode = 2;
+                }
+            } else {
+                self.pattern_buf.push(c);
+                mode = 0;
+            }
+        }
+        self.total_chars += len * weight;
+        if let Some(n) = self.patterns.get_mut(self.pattern_buf.as_str()) {
+            *n += weight;
+        } else {
+            self.patterns.insert(self.pattern_buf.clone(), weight);
+        }
+        len
+    }
+
+    fn finalize(self) -> (TextPatterns, CharHistogram, StringLength) {
+        let mut counts: Vec<(String, usize)> = self.patterns.into_iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let patterns = TextPatterns {
+            counts,
+            total: self.total,
+        };
+        let frequencies = self
+            .chars
+            .into_iter()
+            .map(|(c, n)| (c, n as f64 / self.total_chars.max(1) as f64))
+            .collect();
+        let histogram = CharHistogram {
+            frequencies,
+            total_chars: self.total_chars,
+        };
+        (patterns, histogram, string_length_of(&self.lengths))
+    }
+}
+
+/// Replays `StringLength::compute`'s reduction over pre-gathered row-order
+/// lengths.
+fn string_length_of(lengths: &[f64]) -> StringLength {
+    let count = lengths.len();
+    if count == 0 {
+        return StringLength {
+            count,
+            mean: 0.0,
+            stddev: 0.0,
+        };
+    }
+    let mean = lengths.iter().sum::<f64>() / count as f64;
+    let var = lengths.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / count as f64;
+    StringLength {
+        count,
+        mean,
+        stddev: var.sqrt(),
+    }
+}
+
+/// Replays the three numeric statistics over pre-gathered row-order
+/// numeric views, with the exact float-op sequences of their `compute`s.
+fn numeric_stats_of(nums: &[f64]) -> (NumericMean, NumericHistogram, ValueRange) {
+    let count = nums.len();
+    let mean = if count == 0 {
+        NumericMean {
+            count,
+            mean: 0.0,
+            stddev: 0.0,
+        }
+    } else {
+        let m = nums.iter().sum::<f64>() / count as f64;
+        let var = nums.iter().map(|x| (x - m).powi(2)).sum::<f64>() / count as f64;
+        NumericMean {
+            count,
+            mean: m,
+            stddev: var.sqrt(),
+        }
+    };
+    let n_buckets = NumericHistogram::DEFAULT_BUCKETS;
+    let histogram = if count == 0 {
+        NumericHistogram {
+            lo: 0.0,
+            hi: 0.0,
+            buckets: vec![0.0; n_buckets],
+            count,
+        }
+    } else {
+        let lo = nums.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / n_buckets as f64).max(f64::MIN_POSITIVE);
+        let mut buckets = vec![0.0; n_buckets];
+        for x in nums {
+            let idx = (((x - lo) / width) as usize).min(n_buckets - 1);
+            buckets[idx] += 1.0;
+        }
+        for b in &mut buckets {
+            *b /= count as f64;
+        }
+        NumericHistogram {
+            lo,
+            hi,
+            buckets,
+            count,
+        }
+    };
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for x in nums {
+        min = min.min(*x);
+        max = max.max(*x);
+    }
+    let range = ValueRange {
+        count,
+        min: (count > 0).then_some(min),
+        max: (count > 0).then_some(max),
+    };
+    (mean, histogram, range)
+}
+
+/// Replays `Constancy::compute`'s entropy reduction over unsorted
+/// per-distinct-value frequencies.
+fn constancy_of(count: usize, mut freqs: Vec<usize>) -> Constancy {
+    let distinct = freqs.len();
+    let constancy = if count <= 1 {
+        1.0
+    } else {
+        let n = count as f64;
+        freqs.sort_unstable();
+        let entropy: f64 = freqs
+            .into_iter()
+            .map(|c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        let max_entropy = n.log2();
+        crate::stats::unit(1.0 - entropy / max_entropy)
+    };
+    Constancy {
+        count,
+        distinct,
+        constancy,
+    }
+}
+
+/// Sorts `(value, count)` pairs the way `TopK::compute` does and keeps
+/// the head.
+fn top_k_of(mut all: Vec<(Value, usize)>, total: usize, k: usize) -> TopK {
+    all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    all.truncate(k);
+    TopK { values: all, total }
+}
+
+fn assemble(
+    reference_type: DataType,
+    fill: FillStatus,
+    constancy: Constancy,
+    top_k: TopK,
+    text: Option<TextAcc>,
+    nums: Option<Vec<f64>>,
+) -> AttributeProfile {
+    let mut p = AttributeProfile {
+        reference_type,
+        fill,
+        constancy,
+        text_patterns: None,
+        char_histogram: None,
+        string_length: None,
+        mean: None,
+        histogram: None,
+        range: None,
+        top_k,
+    };
+    if let Some(acc) = text {
+        let (patterns, chars, lengths) = acc.finalize();
+        p.text_patterns = Some(patterns);
+        p.char_histogram = Some(chars);
+        p.string_length = Some(lengths);
+    }
+    if let Some(nums) = nums {
+        let (mean, histogram, range) = numeric_stats_of(&nums);
+        p.mean = Some(mean);
+        p.histogram = Some(histogram);
+        p.range = Some(range);
+    }
+    p
+}
+
+/// Fused single-pass profile over row-major values — all applicable
+/// statistics from one walk of the iterator.
+pub fn profile_values<'a, I>(values: I, reference_type: DataType) -> AttributeProfile
+where
+    I: Iterator<Item = &'a Value>,
+{
+    let text_designated = reference_type == DataType::Text;
+    let numeric_designated = reference_type.is_numeric();
+
+    let mut total = 0usize;
+    let mut nulls = 0usize;
+    let mut incompatible = 0usize;
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    let mut text = text_designated.then(TextAcc::default);
+    let mut nums = numeric_designated.then(Vec::new);
+    let mut render_buf = String::new();
+
+    for v in values {
+        total += 1;
+        if v.is_null() {
+            nulls += 1;
+            continue;
+        }
+        if reference_type.try_cast(v).is_none() {
+            incompatible += 1;
+        }
+        *counts.entry(v).or_insert(0) += 1;
+        if let Some(acc) = &mut text {
+            // Render exactly once (the legacy passes rendered three
+            // times); text payloads are borrowed, everything else goes
+            // through a reused scratch buffer with `Value::render`'s
+            // exact formatting.
+            let s: &str = match v {
+                Value::Text(s) => s,
+                Value::Int(i) => {
+                    render_buf.clear();
+                    write!(render_buf, "{i}").expect("write to String");
+                    &render_buf
+                }
+                Value::Float(f) => {
+                    render_buf.clear();
+                    write!(render_buf, "{f}").expect("write to String");
+                    &render_buf
+                }
+                Value::Bool(b) => {
+                    if *b {
+                        "true"
+                    } else {
+                        "false"
+                    }
+                }
+                Value::Null => unreachable!(),
+            };
+            acc.add_row(s);
+        } else if let Some(nums) = &mut nums {
+            if let Some(x) = numeric_view(v) {
+                nums.push(x);
+            }
+        }
+    }
+
+    let non_null = total - nulls;
+    let freqs: Vec<usize> = counts.values().copied().collect();
+    let top: Vec<(Value, usize)> = counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
+    assemble(
+        reference_type,
+        FillStatus {
+            total,
+            nulls,
+            incompatible,
+        },
+        constancy_of(non_null, freqs),
+        top_k_of(top, non_null, TopK::DEFAULT_K),
+        text,
+        nums,
+    )
+}
+
+/// Fused single-pass profile over a typed [`Column`], with
+/// variant-specialised loops.
+pub fn profile_column(col: &Column, reference_type: DataType) -> AttributeProfile {
+    match col {
+        Column::Mixed(values) => profile_values(values.iter(), reference_type),
+        Column::Text(tc) => profile_text_column(tc, reference_type),
+        Column::Int { values, nulls } => {
+            profile_primitive_column(reference_type, values.len(), nulls.count(), || {
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| PrimCell::Int(*v))
+            })
+        }
+        Column::Float { values, nulls } => {
+            profile_primitive_column(reference_type, values.len(), nulls.count(), || {
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| PrimCell::Float(*v))
+            })
+        }
+        Column::Bool { values, nulls } => {
+            profile_primitive_column(reference_type, values.len(), nulls.count(), || {
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| PrimCell::Bool(*v))
+            })
+        }
+    }
+}
+
+/// A non-null primitive cell: the three fixed-width variants share one
+/// specialised loop (the compiler monomorphises per closure anyway, and
+/// the match below folds to the single live arm per column type).
+#[derive(Clone, Copy)]
+enum PrimCell {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl PrimCell {
+    fn to_value(self) -> Value {
+        match self {
+            PrimCell::Int(i) => Value::Int(i),
+            PrimCell::Float(f) => Value::Float(f),
+            PrimCell::Bool(b) => Value::Bool(b),
+        }
+    }
+
+    /// Hashable identity matching `Value`'s Eq/Hash (floats by bits).
+    fn key(self) -> (u8, u64) {
+        match self {
+            PrimCell::Int(i) => (0, i as u64),
+            PrimCell::Float(f) => (1, f.to_bits()),
+            PrimCell::Bool(b) => (2, b as u64),
+        }
+    }
+
+    fn incompatible_with(self, rt: DataType) -> bool {
+        match (rt, self) {
+            (DataType::Boolean, PrimCell::Int(i)) => i != 0 && i != 1,
+            (DataType::Boolean, PrimCell::Float(_)) => true,
+            (DataType::Integer, PrimCell::Float(f)) => {
+                !(f.fract() == 0.0 && f.is_finite() && f >= i64::MIN as f64 && f <= i64::MAX as f64)
+            }
+            // Ints cast to every type's numeric/text forms; bools cast
+            // everywhere; everything casts to Text and Float-from-Int.
+            _ => false,
+        }
+    }
+}
+
+fn profile_primitive_column<I>(
+    reference_type: DataType,
+    total: usize,
+    nulls: usize,
+    cells: impl Fn() -> I,
+) -> AttributeProfile
+where
+    I: Iterator<Item = PrimCell>,
+{
+    let text_designated = reference_type == DataType::Text;
+    let numeric_designated = reference_type.is_numeric();
+
+    let mut incompatible = 0usize;
+    let mut counts: HashMap<(u8, u64), (PrimCell, usize)> = HashMap::new();
+    let mut text = text_designated.then(TextAcc::default);
+    let mut nums = numeric_designated.then(Vec::new);
+    let mut render_buf = String::new();
+
+    for cell in cells() {
+        if cell.incompatible_with(reference_type) {
+            incompatible += 1;
+        }
+        counts.entry(cell.key()).or_insert((cell, 0)).1 += 1;
+        if let Some(acc) = &mut text {
+            let s: &str = match cell {
+                PrimCell::Int(i) => {
+                    render_buf.clear();
+                    write!(render_buf, "{i}").expect("write to String");
+                    &render_buf
+                }
+                PrimCell::Float(f) => {
+                    render_buf.clear();
+                    write!(render_buf, "{f}").expect("write to String");
+                    &render_buf
+                }
+                PrimCell::Bool(b) => {
+                    if b {
+                        "true"
+                    } else {
+                        "false"
+                    }
+                }
+            };
+            acc.add_row(s);
+        } else if let Some(nums) = &mut nums {
+            match cell {
+                PrimCell::Int(i) => nums.push(i as f64),
+                PrimCell::Float(f) => nums.push(f),
+                // `numeric_view` has no numeric reading of booleans.
+                PrimCell::Bool(_) => {}
+            }
+        }
+    }
+
+    let non_null = total - nulls;
+    let freqs: Vec<usize> = counts.values().map(|(_, c)| *c).collect();
+    let top: Vec<(Value, usize)> = counts
+        .into_values()
+        .map(|(cell, c)| (cell.to_value(), c))
+        .collect();
+    assemble(
+        reference_type,
+        FillStatus {
+            total,
+            nulls,
+            incompatible,
+        },
+        constancy_of(non_null, freqs),
+        top_k_of(top, non_null, TopK::DEFAULT_K),
+        text,
+        nums,
+    )
+}
+
+/// The dictionary-encoded fast path: per-string work (pattern
+/// abstraction, character walks, cast checks, numeric parses) happens
+/// once per *distinct* value and is weighted by its occurrence count;
+/// only the order-sensitive float buffers are filled per row, via a
+/// precomputed per-code lookup.
+fn profile_text_column(tc: &TextColumn, reference_type: DataType) -> AttributeProfile {
+    let total = tc.len();
+    let nulls = tc.null_count();
+    let non_null = total - nulls;
+    let counts = tc.dict_counts();
+
+    let mut incompatible = 0usize;
+    let mut text = (reference_type == DataType::Text).then(TextAcc::default);
+    let mut nums = None;
+
+    match &mut text {
+        Some(acc) => {
+            // Text reference: every string casts; fuse pattern/char/length
+            // per distinct value, then replay per-row lengths in order.
+            let mut char_lens: Vec<f64> = Vec::with_capacity(tc.dict_len());
+            for (code, s) in tc.dict_iter().enumerate() {
+                let len = acc.observe(s, counts[code]);
+                char_lens.push(len as f64);
+            }
+            acc.lengths.reserve(non_null);
+            for &code in tc.codes() {
+                if code != NULL_CODE {
+                    acc.lengths.push(char_lens[code as usize]);
+                }
+            }
+        }
+        None => {
+            if reference_type.is_numeric() {
+                // Parse each distinct string once; the row-order numeric
+                // buffer replays the cached parses.
+                let parsed: Vec<Option<f64>> = tc
+                    .dict_iter()
+                    .map(|s| s.trim().parse::<f64>().ok())
+                    .collect();
+                for (code, s) in tc.dict_iter().enumerate() {
+                    if !reference_type.casts_text(s) {
+                        incompatible += counts[code];
+                    }
+                }
+                let mut buf = Vec::with_capacity(non_null);
+                for &code in tc.codes() {
+                    if code != NULL_CODE {
+                        if let Some(x) = parsed[code as usize] {
+                            buf.push(x);
+                        }
+                    }
+                }
+                nums = Some(buf);
+            } else {
+                // Boolean reference: only the cast check is type-specific.
+                for (code, s) in tc.dict_iter().enumerate() {
+                    if !reference_type.casts_text(s) {
+                        incompatible += counts[code];
+                    }
+                }
+            }
+        }
+    }
+
+    let top: Vec<(Value, usize)> = tc
+        .dict_iter()
+        .enumerate()
+        .map(|(code, s)| (Value::Text(s.to_owned()), counts[code]))
+        .collect();
+    assemble(
+        reference_type,
+        FillStatus {
+            total,
+            nulls,
+            incompatible,
+        },
+        constancy_of(non_null, counts.to_vec()),
+        top_k_of(top, non_null, TopK::DEFAULT_K),
+        text,
+        nums,
+    )
+}

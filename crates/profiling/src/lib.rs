@@ -23,6 +23,7 @@
 
 pub mod cache;
 pub mod discovery;
+pub mod kernel;
 pub mod profile;
 pub mod stats;
 

@@ -1,12 +1,13 @@
 //! Attribute profiles: all statistics of one column, plus the
 //! importance-weighted fit combination of §5.1.
 
+use crate::kernel;
 use crate::stats::{
     CharHistogram, Constancy, FillStatus, NumericHistogram, NumericMean, StringLength,
     TextPatterns, TopK, ValueRange,
 };
-use efes_relational::{DataType, Database, Value};
 use efes_relational::schema::{AttrId, TableId};
+use efes_relational::{columnar_enabled, Column, DataType, Database, Value};
 use serde::{Deserialize, Serialize};
 
 /// One statistic's contribution to the overall fit.
@@ -80,7 +81,24 @@ pub struct AttributeProfile {
 
 impl AttributeProfile {
     /// Profile a column (an iterator of values) against `reference_type`.
+    ///
+    /// Computed by the fused single-pass kernel — one walk of the
+    /// iterator feeds every applicable statistic. The output is
+    /// bit-identical to the retained multi-pass reference,
+    /// [`AttributeProfile::compute_multipass`] (the property tests in
+    /// this crate compare them field for field).
     pub fn compute<'a, I>(values: I, reference_type: DataType) -> Self
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        kernel::profile_values(values.into_iter(), reference_type)
+    }
+
+    /// The legacy multi-pass implementation: one full walk of the column
+    /// per statistic, exactly as each statistic's own `compute` defines
+    /// it. Retained as the executable specification the fused kernel is
+    /// differentially tested (and benchmarked) against.
+    pub fn compute_multipass<'a, I>(values: I, reference_type: DataType) -> Self
     where
         I: IntoIterator<Item = &'a Value>,
         I::IntoIter: Clone,
@@ -120,15 +138,35 @@ impl AttributeProfile {
         p
     }
 
+    /// Profile a typed [`Column`] directly, using the kernel's
+    /// variant-specialised loops (dictionary-weighted statistics for
+    /// text columns, machine-word loops for numeric ones).
+    pub fn compute_columnar(column: &Column, reference_type: DataType) -> Self {
+        kernel::profile_column(column, reference_type)
+    }
+
     /// Profile a concrete attribute of a database.
+    ///
+    /// When columnar storage is enabled (the default — see
+    /// [`efes_relational::COLUMNAR_ENV_VAR`]) this profiles the typed
+    /// column store; with `EFES_COLUMNAR=off` it falls back to the
+    /// legacy multi-pass walk over the row-major rows.
     pub fn of_attribute(
         db: &Database,
         table: TableId,
         attr: AttrId,
         reference_type: DataType,
     ) -> Self {
-        let column: Vec<&Value> = db.instance.table(table).column(attr).collect();
-        Self::compute(column.iter().copied(), reference_type)
+        let data = db.instance.table(table);
+        if columnar_enabled() {
+            match data.column_store(attr) {
+                Some(col) => kernel::profile_column(col, reference_type),
+                None => Self::compute(std::iter::empty(), reference_type),
+            }
+        } else {
+            let column: Vec<&Value> = data.rows().iter().map(|row| &row[attr.0]).collect();
+            Self::compute_multipass(column.iter().copied(), reference_type)
+        }
     }
 
     /// The `domainRestricted` predicate of Algorithm 1.

@@ -31,8 +31,10 @@ pub use constancy::Constancy;
 pub use fill::FillStatus;
 pub use numeric::{NumericHistogram, NumericMean, ValueRange};
 pub use string_length::StringLength;
-pub use text_pattern::TextPatterns;
+pub use text_pattern::{pattern_of, TextPatterns};
 pub use top_k::TopK;
+
+pub(crate) use numeric::numeric_view;
 
 /// Clamp a float into `[0,1]`, mapping NaN to 0.
 pub(crate) fn unit(x: f64) -> f64 {

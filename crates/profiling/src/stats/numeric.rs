@@ -226,7 +226,7 @@ impl NumericHistogram {
 }
 
 /// Numeric view of a value: ints/floats directly, numeric strings parsed.
-fn numeric_view(v: &Value) -> Option<f64> {
+pub(crate) fn numeric_view(v: &Value) -> Option<f64> {
     match v {
         Value::Int(i) => Some(*i as f64),
         Value::Float(f) => Some(*f),

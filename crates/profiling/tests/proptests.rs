@@ -22,6 +22,72 @@ fn arb_column() -> impl Strategy<Value = Vec<Value>> {
     )
 }
 
+/// Like [`arb_column`] but with floats mixed in (kept finite: a NaN
+/// statistic is NaN on both sides yet `NaN != NaN` would fail the
+/// differential equality assertions below).
+fn arb_column_with_floats() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => Just(Value::Null),
+            8 => (-10_000i64..10_000).prop_map(Value::Int),
+            6 => (-1.0e6f64..1.0e6).prop_map(Value::Float),
+            8 => "[a-z0-9:é\\. -]{0,15}".prop_map(Value::Text),
+            2 => any::<bool>().prop_map(Value::Bool),
+        ],
+        0..60,
+    )
+}
+
+/// A column every declared datatype admits, paired with that type, so a
+/// [`DatabaseBuilder`] accepts it — exercising each typed `Column`
+/// variant (and the `Mixed` fallback via int-bearing float columns) in
+/// the columnar-vs-multipass test.
+fn arb_admitted_column() -> impl Strategy<Value = (Vec<Value>, DataType)> {
+    prop_oneof![
+        (
+            proptest::collection::vec(
+                prop_oneof![
+                    2 => Just(Value::Null),
+                    8 => (-10_000i64..10_000).prop_map(Value::Int),
+                ],
+                0..50,
+            ),
+            Just(DataType::Integer)
+        ),
+        (
+            proptest::collection::vec(
+                prop_oneof![
+                    2 => Just(Value::Null),
+                    5 => (-10_000i64..10_000).prop_map(Value::Int),
+                    5 => (-1.0e6f64..1.0e6).prop_map(Value::Float),
+                ],
+                0..50,
+            ),
+            Just(DataType::Float)
+        ),
+        (
+            proptest::collection::vec(
+                prop_oneof![
+                    2 => Just(Value::Null),
+                    8 => "[a-z0-9:é\\. -]{0,15}".prop_map(Value::Text),
+                ],
+                0..50,
+            ),
+            Just(DataType::Text)
+        ),
+        (
+            proptest::collection::vec(
+                prop_oneof![
+                    2 => Just(Value::Null),
+                    8 => any::<bool>().prop_map(Value::Bool),
+                ],
+                0..50,
+            ),
+            Just(DataType::Boolean)
+        ),
+    ]
+}
+
 fn arb_homogeneous_column() -> impl Strategy<Value = (Vec<Value>, DataType)> {
     prop_oneof![
         proptest::collection::vec((-10_000i64..10_000).prop_map(Value::Int), 1..60)
@@ -107,6 +173,39 @@ proptest! {
     fn range_self_fit(col in proptest::collection::vec((-1000i64..1000).prop_map(Value::Int), 1..50)) {
         let r = ValueRange::compute(col.iter());
         prop_assert_eq!(ValueRange::fit(&r, &r), 1.0);
+    }
+
+    /// The fused single-pass kernel is bit-identical to the retained
+    /// multi-pass reference, field for field, for any value mix and any
+    /// designating datatype. Exact `==` (not approximate): the kernel
+    /// preserves the legacy float operation sequences.
+    #[test]
+    fn fused_kernel_matches_multipass(col in arb_column_with_floats()) {
+        for dt in [DataType::Text, DataType::Integer, DataType::Float, DataType::Boolean] {
+            let fused = AttributeProfile::compute(col.iter(), dt);
+            let legacy = AttributeProfile::compute_multipass(col.iter(), dt);
+            prop_assert_eq!(&fused, &legacy, "fused != multipass for {:?}", dt);
+        }
+    }
+
+    /// The columnar kernel (variant-specialised loops over the typed
+    /// column store, dictionary-weighted for text) produces exactly the
+    /// profile the multi-pass walk over the row-major rows produces —
+    /// the end-to-end guarantee behind `of_attribute`.
+    #[test]
+    fn columnar_profile_matches_multipass((col, declared) in arb_admitted_column()) {
+        let db = DatabaseBuilder::new("p")
+            .table("t", |t| t.attr("a", declared))
+            .rows("t", col.iter().map(|v| vec![v.clone()]).collect())
+            .build()
+            .unwrap();
+        let t = TableId(0);
+        let a = AttrId(0);
+        for dt in [DataType::Text, DataType::Integer, DataType::Float, DataType::Boolean] {
+            let columnar = AttributeProfile::of_attribute(&db, t, a, dt);
+            let legacy = AttributeProfile::compute_multipass(col.iter(), dt);
+            prop_assert_eq!(&columnar, &legacy, "columnar != multipass for {:?}/{:?}", declared, dt);
+        }
     }
 
     /// A profile served by the cache is indistinguishable from one

@@ -1,0 +1,721 @@
+//! Typed columnar storage: the profiling hot path's data layout.
+//!
+//! The row-major [`Vec<Row>`](crate::instance::Row) layout is the right
+//! shape for inserts and constraint validation, but the value-fit
+//! detector (paper §5.1) is data-volume bound: it reads whole columns,
+//! value by value, many times. Walking `Vec<Vec<Value>>` chases a
+//! pointer per cell and pays the full `Value` enum tag on every read.
+//!
+//! A [`Column`] is a contiguous, typed copy of one attribute's cells,
+//! built lazily (and at most once) per column:
+//!
+//! * integer columns become a `Vec<i64>` plus a [`NullBitmap`],
+//! * float columns a `Vec<f64>` plus a [`NullBitmap`],
+//! * text columns a dictionary-encoded [`TextColumn`] — one arena
+//!   `String` holding every *distinct* value, per-row `u32` codes, and
+//!   per-code occurrence counts, so downstream statistics can work per
+//!   distinct value instead of per row,
+//! * boolean columns a `Vec<bool>` plus a [`NullBitmap`],
+//! * anything type-mixed (e.g. a float attribute holding both `Int` and
+//!   `Float` values, or a deserialized instance that bypassed insert
+//!   checking) falls back to a contiguous [`Column::Mixed`] `Vec<Value>`.
+//!
+//! Cells read back as [`ValueRef`]s — borrowed, `Copy` views that
+//! reproduce [`Value`] semantics without materialising owned values.
+//!
+//! The `EFES_COLUMNAR` environment variable is an escape hatch: set it
+//! to `off` (or `0`/`false`/`no`) to keep every consumer on the
+//! row-major path. Unparsable values warn once on stderr and leave the
+//! columnar path enabled, mirroring the `EFES_THREADS` behaviour of the
+//! execution layer.
+
+use crate::instance::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Once;
+
+/// Environment variable gating the columnar storage path. `off`, `0`,
+/// `false` and `no` (case-insensitive) disable it; `on`, `1`, `true`,
+/// `yes` or unset enable it; anything else warns once and enables it.
+pub const COLUMNAR_ENV_VAR: &str = "EFES_COLUMNAR";
+
+/// Whether the columnar path is enabled (see [`COLUMNAR_ENV_VAR`]).
+///
+/// Read per call so tests and operators can flip the knob at run time;
+/// the cost is per *column*, never per value.
+pub fn columnar_enabled() -> bool {
+    match std::env::var(COLUMNAR_ENV_VAR) {
+        Err(_) => true,
+        Ok(raw) => match parse_columnar(&raw) {
+            Some(enabled) => enabled,
+            None => {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: unparsable {COLUMNAR_ENV_VAR}={raw:?}; \
+                         expected on/off (or 1/0, true/false, yes/no), keeping columnar storage on"
+                    );
+                });
+                true
+            }
+        },
+    }
+}
+
+/// Parse an `EFES_COLUMNAR` value; `None` means unparsable.
+pub fn parse_columnar(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" | "yes" | "" => Some(true),
+        "off" | "0" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// A borrowed, `Copy` view of one cell.
+///
+/// Mirrors [`Value`] variant-for-variant; [`ValueRef::to_value`]
+/// round-trips exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl<'a> ValueRef<'a> {
+    /// View an owned [`Value`].
+    pub fn of(v: &'a Value) -> Self {
+        match v {
+            Value::Null => ValueRef::Null,
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Float(f) => ValueRef::Float(*f),
+            Value::Text(s) => ValueRef::Text(s),
+            Value::Bool(b) => ValueRef::Bool(*b),
+        }
+    }
+
+    /// Materialise an owned [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Float(f) => Value::Float(f),
+            ValueRef::Text(s) => Value::Text(s.to_owned()),
+            ValueRef::Bool(b) => Value::Bool(b),
+        }
+    }
+
+    /// `true` iff the cell is NULL.
+    pub fn is_null(self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Borrow the string payload, if this is a text cell.
+    pub fn as_text(self) -> Option<&'a str> {
+        match self {
+            ValueRef::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer payload, if this is an integer cell.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            ValueRef::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers and floats promote to `f64`.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            ValueRef::Int(i) => Some(i as f64),
+            ValueRef::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Render exactly like [`Value::render`].
+    pub fn render(self) -> String {
+        match self {
+            ValueRef::Null => String::new(),
+            ValueRef::Int(i) => i.to_string(),
+            ValueRef::Float(f) => format!("{f}"),
+            ValueRef::Text(s) => s.to_owned(),
+            ValueRef::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// A packed validity mask: bit `i` set means row `i` is NULL.
+#[derive(Debug, Clone, Default)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap sized for `len` rows.
+    pub fn new(len: usize) -> Self {
+        NullBitmap {
+            words: vec![0; len.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Mark row `i` as NULL.
+    pub fn set(&mut self, i: usize) {
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.count += 1;
+        }
+    }
+
+    /// `true` iff row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of NULL rows.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Sentinel code marking a NULL row in a [`TextColumn`].
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// Dictionary-encoded text column: every distinct string is stored once
+/// in a shared arena (in first-seen order), rows hold `u32` codes.
+#[derive(Debug, Clone, Default)]
+pub struct TextColumn {
+    /// Per-row dictionary code; [`NULL_CODE`] for NULL rows.
+    codes: Vec<u32>,
+    /// Occurrences of each dictionary entry.
+    counts: Vec<usize>,
+    /// Concatenated distinct strings, first-seen order.
+    bytes: String,
+    /// `dict_len() + 1` byte offsets into `bytes`.
+    offsets: Vec<usize>,
+    null_count: usize,
+}
+
+impl TextColumn {
+    fn build(rows: &[Row], attr: usize) -> Self {
+        let mut col = TextColumn {
+            codes: Vec::with_capacity(rows.len()),
+            ..TextColumn::default()
+        };
+        col.offsets.push(0);
+        let mut dict: HashMap<&str, u32> = HashMap::new();
+        for row in rows {
+            match &row[attr] {
+                Value::Null => {
+                    col.null_count += 1;
+                    col.codes.push(NULL_CODE);
+                }
+                Value::Text(s) => {
+                    let code = *dict.entry(s.as_str()).or_insert_with(|| {
+                        col.bytes.push_str(s);
+                        col.offsets.push(col.bytes.len());
+                        col.counts.push(0);
+                        (col.offsets.len() - 2) as u32
+                    });
+                    col.counts[code as usize] += 1;
+                    col.codes.push(code);
+                }
+                other => unreachable!("text column holds {other:?}"),
+            }
+        }
+        col
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Number of distinct non-null strings.
+    pub fn dict_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The dictionary string for `code`.
+    pub fn dict_str(&self, code: u32) -> &str {
+        let i = code as usize;
+        &self.bytes[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Occurrences of dictionary entry `code`.
+    pub fn dict_count(&self, code: u32) -> usize {
+        self.counts[code as usize]
+    }
+
+    /// Per-row dictionary codes ([`NULL_CODE`] for NULLs).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Per-code occurrence counts, indexed by code.
+    pub fn dict_counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Iterate the dictionary in first-seen order.
+    pub fn dict_iter(&self) -> impl Iterator<Item = &str> {
+        (0..self.dict_len() as u32).map(|c| self.dict_str(c))
+    }
+}
+
+/// A typed, contiguous copy of one attribute's cells.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// All cells `Int` or NULL.
+    Int {
+        /// Cell values; NULL rows hold `0`.
+        values: Vec<i64>,
+        /// Which rows are NULL.
+        nulls: NullBitmap,
+    },
+    /// All cells `Float` or NULL.
+    Float {
+        /// Cell values; NULL rows hold `0.0`.
+        values: Vec<f64>,
+        /// Which rows are NULL.
+        nulls: NullBitmap,
+    },
+    /// All cells `Text` or NULL, dictionary-encoded.
+    Text(TextColumn),
+    /// All cells `Bool` or NULL.
+    Bool {
+        /// Cell values; NULL rows hold `false`.
+        values: Vec<bool>,
+        /// Which rows are NULL.
+        nulls: NullBitmap,
+    },
+    /// Type-mixed (or all-NULL, or empty) column: a contiguous copy of
+    /// the cells, still an improvement over per-row pointer chasing.
+    Mixed(Vec<Value>),
+}
+
+/// A column with no rows, for attributes of empty tables.
+static EMPTY_COLUMN: Column = Column::Mixed(Vec::new());
+
+impl Column {
+    /// An empty column (zero rows).
+    pub fn empty() -> &'static Column {
+        &EMPTY_COLUMN
+    }
+
+    /// Build the typed representation of column `attr` of `rows`.
+    pub fn build(rows: &[Row], attr: usize) -> Column {
+        // First pass: classify. The per-cell work is a discriminant read,
+        // so this costs far less than the build it steers.
+        let (mut ints, mut floats, mut texts, mut bools) = (0usize, 0usize, 0usize, 0usize);
+        for row in rows {
+            match &row[attr] {
+                Value::Null => {}
+                Value::Int(_) => ints += 1,
+                Value::Float(_) => floats += 1,
+                Value::Text(_) => texts += 1,
+                Value::Bool(_) => bools += 1,
+            }
+        }
+        let non_null = ints + floats + texts + bools;
+        if non_null == 0 {
+            // All-NULL or empty: nothing to type.
+            return Column::Mixed(rows.iter().map(|r| r[attr].clone()).collect());
+        }
+        if texts == non_null {
+            return Column::Text(TextColumn::build(rows, attr));
+        }
+        if ints == non_null {
+            let mut values = Vec::with_capacity(rows.len());
+            let mut nulls = NullBitmap::new(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                match &row[attr] {
+                    Value::Int(v) => values.push(*v),
+                    Value::Null => {
+                        nulls.set(i);
+                        values.push(0);
+                    }
+                    other => unreachable!("int column holds {other:?}"),
+                }
+            }
+            return Column::Int { values, nulls };
+        }
+        if floats == non_null {
+            let mut values = Vec::with_capacity(rows.len());
+            let mut nulls = NullBitmap::new(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                match &row[attr] {
+                    Value::Float(v) => values.push(*v),
+                    Value::Null => {
+                        nulls.set(i);
+                        values.push(0.0);
+                    }
+                    other => unreachable!("float column holds {other:?}"),
+                }
+            }
+            return Column::Float { values, nulls };
+        }
+        if bools == non_null {
+            let mut values = Vec::with_capacity(rows.len());
+            let mut nulls = NullBitmap::new(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                match &row[attr] {
+                    Value::Bool(v) => values.push(*v),
+                    Value::Null => {
+                        nulls.set(i);
+                        values.push(false);
+                    }
+                    other => unreachable!("bool column holds {other:?}"),
+                }
+            }
+            return Column::Bool { values, nulls };
+        }
+        Column::Mixed(rows.iter().map(|r| r[attr].clone()).collect())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { values, .. } => values.len(),
+            Column::Float { values, .. } => values.len(),
+            Column::Text(t) => t.len(),
+            Column::Bool { values, .. } => values.len(),
+            Column::Mixed(v) => v.len(),
+        }
+    }
+
+    /// `true` iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int { nulls, .. }
+            | Column::Float { nulls, .. }
+            | Column::Bool { nulls, .. } => nulls.count(),
+            Column::Text(t) => t.null_count(),
+            Column::Mixed(v) => v.iter().filter(|v| v.is_null()).count(),
+        }
+    }
+
+    /// The cell at row `i`.
+    pub fn value(&self, i: usize) -> ValueRef<'_> {
+        match self {
+            Column::Int { values, nulls } => {
+                if nulls.is_null(i) {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Int(values[i])
+                }
+            }
+            Column::Float { values, nulls } => {
+                if nulls.is_null(i) {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Float(values[i])
+                }
+            }
+            Column::Text(t) => {
+                let code = t.codes[i];
+                if code == NULL_CODE {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Text(t.dict_str(code))
+                }
+            }
+            Column::Bool { values, nulls } => {
+                if nulls.is_null(i) {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Bool(values[i])
+                }
+            }
+            Column::Mixed(v) => ValueRef::of(&v[i]),
+        }
+    }
+
+    /// Iterate all cells in row order.
+    pub fn iter(&self) -> ColumnIter<'_> {
+        ColumnIter {
+            inner: ColumnIterInner::Column { col: self, i: 0 },
+        }
+    }
+
+    /// Distinct non-null values in first-seen order — the columnar
+    /// backend of [`Instance::distinct_values`](crate::Instance::distinct_values).
+    ///
+    /// For text columns this is a plain dictionary scan (the dictionary
+    /// *is* the first-seen distinct set); typed numeric columns hash
+    /// machine words instead of `Value`s.
+    pub fn distinct_values(&self) -> Vec<Value> {
+        match self {
+            Column::Text(t) => t.dict_iter().map(|s| Value::Text(s.to_owned())).collect(),
+            Column::Int { values, nulls } => {
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for (i, v) in values.iter().enumerate() {
+                    if !nulls.is_null(i) && seen.insert(*v) {
+                        out.push(Value::Int(*v));
+                    }
+                }
+                out
+            }
+            Column::Float { values, nulls } => {
+                // `f64::to_bits` keys match `Value`'s float Hash/Eq
+                // (both are bit-exact, so NaN payloads and -0.0 vs 0.0
+                // stay distinct, exactly as in the row-major path).
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for (i, v) in values.iter().enumerate() {
+                    if !nulls.is_null(i) && seen.insert(v.to_bits()) {
+                        out.push(Value::Float(*v));
+                    }
+                }
+                out
+            }
+            Column::Bool { values, nulls } => {
+                let mut seen = [false; 2];
+                let mut out = Vec::new();
+                for (i, v) in values.iter().enumerate() {
+                    if !nulls.is_null(i) && !seen[*v as usize] {
+                        seen[*v as usize] = true;
+                        out.push(Value::Bool(*v));
+                    }
+                }
+                out
+            }
+            Column::Mixed(vals) => {
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for v in vals {
+                    if !v.is_null() && seen.insert(v) {
+                        out.push(v.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of distinct non-null values — the allocation-free
+    /// counterpart of [`Column::distinct_values`].
+    pub fn distinct_count(&self) -> usize {
+        match self {
+            Column::Text(t) => t.dict_len(),
+            Column::Int { values, nulls } => {
+                let mut seen = std::collections::HashSet::new();
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, v)| !nulls.is_null(*i) && seen.insert(**v))
+                    .count()
+            }
+            Column::Float { values, nulls } => {
+                let mut seen = std::collections::HashSet::new();
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, v)| !nulls.is_null(*i) && seen.insert(v.to_bits()))
+                    .count()
+            }
+            Column::Bool { values, nulls } => {
+                let mut seen = [false; 2];
+                let mut n = 0;
+                for (i, v) in values.iter().enumerate() {
+                    if !nulls.is_null(i) && !seen[*v as usize] {
+                        seen[*v as usize] = true;
+                        n += 1;
+                    }
+                }
+                n
+            }
+            Column::Mixed(vals) => {
+                let mut seen = std::collections::HashSet::new();
+                vals.iter().filter(|v| !v.is_null() && seen.insert(*v)).count()
+            }
+        }
+    }
+}
+
+/// Iterator over one column's cells, yielding [`ValueRef`]s in row order.
+///
+/// Backed either by a typed [`Column`] or, when columnar storage is
+/// disabled, directly by the row-major rows — the two backings yield
+/// identical sequences.
+#[derive(Debug, Clone)]
+pub struct ColumnIter<'a> {
+    inner: ColumnIterInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum ColumnIterInner<'a> {
+    Column { col: &'a Column, i: usize },
+    Rows { rows: &'a [Row], attr: usize, i: usize },
+}
+
+impl<'a> ColumnIter<'a> {
+    /// Iterate column `attr` straight off the row-major rows.
+    pub fn over_rows(rows: &'a [Row], attr: usize) -> Self {
+        ColumnIter {
+            inner: ColumnIterInner::Rows { rows, attr, i: 0 },
+        }
+    }
+}
+
+impl<'a> Iterator for ColumnIter<'a> {
+    type Item = ValueRef<'a>;
+
+    fn next(&mut self) -> Option<ValueRef<'a>> {
+        match &mut self.inner {
+            ColumnIterInner::Column { col, i } => {
+                if *i >= col.len() {
+                    return None;
+                }
+                let v = col.value(*i);
+                *i += 1;
+                Some(v)
+            }
+            ColumnIterInner::Rows { rows, attr, i } => {
+                let row = rows.get(*i)?;
+                *i += 1;
+                Some(ValueRef::of(&row[*attr]))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match &self.inner {
+            ColumnIterInner::Column { col, i } => col.len() - i,
+            ColumnIterInner::Rows { rows, i, .. } => rows.len() - i,
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ColumnIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(values: Vec<Value>) -> Vec<Row> {
+        values.into_iter().map(|v| vec![v]).collect()
+    }
+
+    #[test]
+    fn int_column_round_trips() {
+        let r = rows(vec![Value::Int(1), Value::Null, Value::Int(1), Value::Int(3)]);
+        let c = Column::build(&r, 0);
+        assert!(matches!(c, Column::Int { .. }));
+        let back: Vec<Value> = c.iter().map(ValueRef::to_value).collect();
+        assert_eq!(back, vec![Value::Int(1), Value::Null, Value::Int(1), Value::Int(3)]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.distinct_count(), 2);
+        assert_eq!(c.distinct_values(), vec![Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn text_column_dictionary_is_first_seen_order() {
+        let r = rows(vec![
+            Value::Text("b".into()),
+            Value::Text("a".into()),
+            Value::Null,
+            Value::Text("b".into()),
+        ]);
+        let c = Column::build(&r, 0);
+        let Column::Text(t) = &c else { panic!("expected text column") };
+        assert_eq!(t.dict_len(), 2);
+        assert_eq!(t.dict_str(0), "b");
+        assert_eq!(t.dict_str(1), "a");
+        assert_eq!(t.dict_count(0), 2);
+        assert_eq!(t.null_count(), 1);
+        assert_eq!(
+            c.distinct_values(),
+            vec![Value::Text("b".into()), Value::Text("a".into())]
+        );
+        let back: Vec<Value> = c.iter().map(ValueRef::to_value).collect();
+        assert_eq!(back[3], Value::Text("b".into()));
+        assert!(back[2].is_null());
+    }
+
+    #[test]
+    fn mixed_numeric_column_falls_back() {
+        let r = rows(vec![Value::Int(1), Value::Float(2.5)]);
+        let c = Column::build(&r, 0);
+        assert!(matches!(c, Column::Mixed(_)));
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn all_null_column_is_mixed_and_has_no_distincts() {
+        let r = rows(vec![Value::Null, Value::Null]);
+        let c = Column::build(&r, 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.distinct_count(), 0);
+        assert!(c.distinct_values().is_empty());
+    }
+
+    #[test]
+    fn float_distincts_are_bit_exact() {
+        let r = rows(vec![Value::Float(0.0), Value::Float(-0.0), Value::Float(0.0)]);
+        let c = Column::build(&r, 0);
+        // -0.0 and 0.0 differ under Value's total ordering; the columnar
+        // path must agree.
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn bitmap_counts_and_reads() {
+        let mut b = NullBitmap::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        b.set(129);
+        assert_eq!(b.count(), 3);
+        assert!(b.is_null(0) && b.is_null(64) && b.is_null(129));
+        assert!(!b.is_null(1) && !b.is_null(128));
+    }
+
+    #[test]
+    fn columnar_env_parses() {
+        assert_eq!(parse_columnar("on"), Some(true));
+        assert_eq!(parse_columnar("OFF"), Some(false));
+        assert_eq!(parse_columnar(" 0 "), Some(false));
+        assert_eq!(parse_columnar("bogus"), None);
+    }
+
+    #[test]
+    fn row_backed_iteration_matches_columnar() {
+        let r = rows(vec![Value::Text("x".into()), Value::Null, Value::Text("y".into())]);
+        let c = Column::build(&r, 0);
+        let a: Vec<Value> = c.iter().map(ValueRef::to_value).collect();
+        let b: Vec<Value> = ColumnIter::over_rows(&r, 0).map(ValueRef::to_value).collect();
+        assert_eq!(a, b);
+    }
+}

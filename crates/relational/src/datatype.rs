@@ -92,6 +92,22 @@ impl DataType {
         }
     }
 
+    /// `true` iff a text payload casts into this datatype — exactly
+    /// `self.try_cast(&Value::Text(..)).is_some()`, without building the
+    /// `Value`. The columnar profiler uses this to run cast checks once
+    /// per *distinct* dictionary string.
+    pub fn casts_text(self, s: &str) -> bool {
+        match self {
+            DataType::Integer => s.trim().parse::<i64>().is_ok(),
+            DataType::Float => s.trim().parse::<f64>().is_ok(),
+            DataType::Text => true,
+            DataType::Boolean => matches!(
+                s.trim().to_ascii_lowercase().as_str(),
+                "true" | "t" | "yes" | "1" | "false" | "f" | "no" | "0"
+            ),
+        }
+    }
+
     /// Infer the narrowest datatype that admits every value in `values`.
     ///
     /// Used by the CSV loader and by schema reverse engineering when a
@@ -184,6 +200,22 @@ mod tests {
     fn null_casts_to_anything() {
         for dt in DataType::ALL {
             assert_eq!(dt.try_cast(&Value::Null), Some(Value::Null));
+        }
+    }
+
+    #[test]
+    fn casts_text_agrees_with_try_cast() {
+        let samples = [
+            "42", " 42 ", "4:43", "3.5", "1e3", "true", "Yes", "f", "0", "", "∞", "NaN",
+        ];
+        for dt in DataType::ALL {
+            for s in samples {
+                assert_eq!(
+                    dt.casts_text(s),
+                    dt.try_cast(&Value::Text(s.into())).is_some(),
+                    "{dt} disagrees on {s:?}"
+                );
+            }
         }
     }
 

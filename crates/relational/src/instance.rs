@@ -1,20 +1,52 @@
 //! Database instances (the data) and constraint validation.
 
+use crate::column::{columnar_enabled, Column, ColumnIter};
 use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
 use crate::error::{Error, Result};
 use crate::schema::{AttrId, Schema, TableId};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// One tuple of a relation.
 pub type Row = Vec<Value>;
 
-/// The rows of a single table.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// The rows of a single table, plus a lazily built columnar mirror.
+///
+/// Rows remain the source of truth (inserts and constraint validation
+/// are row-shaped); the first columnar read of an attribute builds its
+/// typed [`Column`] exactly once and caches it. Mutation through
+/// [`Instance::insert`] invalidates the cache wholesale — the workload
+/// is load-then-analyse, so rebuilds are rare.
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct TableData {
     rows: Vec<Row>,
+    /// Per-attribute typed columns, built on demand. Outer cell resolves
+    /// the table's arity, inner cells build one column each, so a
+    /// consumer touching one attribute does not pay for the others.
+    #[serde(skip)]
+    columns: OnceLock<Vec<OnceLock<Column>>>,
 }
+
+impl Clone for TableData {
+    fn clone(&self) -> Self {
+        // The columnar mirror is a pure cache; a clone rebuilds it on
+        // first use instead of copying arenas.
+        TableData {
+            rows: self.rows.clone(),
+            columns: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for TableData {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+    }
+}
+
+impl Eq for TableData {}
 
 impl TableData {
     /// Empty table data.
@@ -25,6 +57,7 @@ impl TableData {
     /// Append a row (shape is checked by [`Instance::insert`]).
     fn push(&mut self, row: Row) {
         self.rows.push(row);
+        self.columns = OnceLock::new();
     }
 
     /// All rows in insertion order.
@@ -42,9 +75,34 @@ impl TableData {
         self.rows.is_empty()
     }
 
-    /// Iterate over the values of one column.
-    pub fn column(&self, attr: AttrId) -> impl Iterator<Item = &Value> {
-        self.rows.iter().map(move |r| &r[attr.0])
+    /// The typed columnar store of one attribute, building (and caching)
+    /// it on first access. `None` for out-of-range attributes and for
+    /// tables that hold no rows (an empty table has unknowable arity).
+    pub fn column_store(&self, attr: AttrId) -> Option<&Column> {
+        let arity = self.rows.first().map(Vec::len)?;
+        let slots = self
+            .columns
+            .get_or_init(|| (0..arity).map(|_| OnceLock::new()).collect());
+        slots
+            .get(attr.0)
+            .map(|slot| slot.get_or_init(|| Column::build(&self.rows, attr.0)))
+    }
+
+    /// Iterate over the values of one column, in row order.
+    ///
+    /// Routed through the columnar store unless `EFES_COLUMNAR=off`
+    /// (see [`crate::column::COLUMNAR_ENV_VAR`]), in which case the
+    /// iterator walks the row-major rows directly; both backings yield
+    /// identical sequences.
+    pub fn column(&self, attr: AttrId) -> ColumnIter<'_> {
+        if columnar_enabled() {
+            match self.column_store(attr) {
+                Some(col) => col.iter(),
+                None => Column::empty().iter(),
+            }
+        } else {
+            ColumnIter::over_rows(&self.rows, attr.0)
+        }
     }
 }
 
@@ -125,15 +183,48 @@ impl Instance {
     }
 
     /// The distinct non-null values of one column, in first-seen order.
+    ///
+    /// Served by the columnar store when enabled: for text columns the
+    /// dictionary *is* the answer (no hashing, no per-row clones). The
+    /// row-major fallback hashes borrowed values and clones only the
+    /// distinct ones. Callers that only need the cardinality should use
+    /// [`Instance::distinct_count`] instead, which never clones.
     pub fn distinct_values(&self, table: TableId, attr: AttrId) -> Vec<Value> {
+        let data = self.table(table);
+        if columnar_enabled() {
+            return match data.column_store(attr) {
+                Some(col) => col.distinct_values(),
+                None => Vec::new(),
+            };
+        }
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for v in self.table(table).column(attr) {
-            if !v.is_null() && seen.insert(v.clone()) {
+        for row in data.rows() {
+            let v = &row[attr.0];
+            if !v.is_null() && seen.insert(v) {
                 out.push(v.clone());
             }
         }
         out
+    }
+
+    /// The number of distinct non-null values of one column — the
+    /// allocation-free variant of [`Instance::distinct_values`] for the
+    /// (common) callers that only need the count.
+    pub fn distinct_count(&self, table: TableId, attr: AttrId) -> usize {
+        let data = self.table(table);
+        if columnar_enabled() {
+            return match data.column_store(attr) {
+                Some(col) => col.distinct_count(),
+                None => 0,
+            };
+        }
+        let mut seen = HashSet::new();
+        data.rows()
+            .iter()
+            .map(|row| &row[attr.0])
+            .filter(|v| !v.is_null() && seen.insert(*v))
+            .count()
     }
 
     /// Validate the instance against `constraints`, returning every

@@ -14,6 +14,9 @@
 //! * declarative [`Constraint`]s (primary key, foreign key, unique,
 //!   not-null),
 //! * [`Instance`]s (the data) with full constraint validation,
+//! * a typed, dictionary-encoded [`Column`]ar mirror of every table,
+//!   built lazily for the profiling hot path (`EFES_COLUMNAR=off`
+//!   falls back to row-major iteration),
 //! * [`Database`] = schema + constraints + instance,
 //! * the [`IntegrationScenario`] model: source databases, a target database
 //!   and [`Correspondence`]s between their schema elements,
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod column;
 pub mod constraint;
 pub mod csv;
 pub mod database;
@@ -37,6 +41,7 @@ pub mod value;
 
 pub use builder::{DatabaseBuilder, TableBuilder};
 pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
+pub use column::{columnar_enabled, Column, ColumnIter, TextColumn, ValueRef, COLUMNAR_ENV_VAR};
 pub use database::Database;
 pub use datatype::DataType;
 pub use error::{Error, Result};

@@ -48,7 +48,7 @@ fn column_counts(db: &Database, table: &str, attr: &str) -> (u64, u64) {
         .column(a)
         .filter(|v| !v.is_null())
         .count() as u64;
-    let distinct = db.instance.distinct_values(t, a).len() as u64;
+    let distinct = db.instance.distinct_count(t, a) as u64;
     (values, distinct)
 }
 

@@ -707,7 +707,7 @@ mod tests {
         let (writes_t, paper_a) = db.schema.resolve("writes", "paper").unwrap();
         let mut counts = std::collections::HashMap::new();
         for v in db.instance.table(writes_t).column(paper_a) {
-            *counts.entry(v.clone()).or_insert(0usize) += 1;
+            *counts.entry(v.to_value()).or_insert(0usize) += 1;
         }
         let multi = counts.values().filter(|c| **c >= 2).count();
         assert_eq!(multi, sizes.multi_author_papers);

@@ -537,7 +537,7 @@ mod tests {
         let (t, r) = m.schema.resolve("release_genres", "release").unwrap();
         let mut counts = std::collections::HashMap::new();
         for v in m.instance.table(t).column(r) {
-            *counts.entry(v.clone()).or_insert(0usize) += 1;
+            *counts.entry(v.to_value()).or_insert(0usize) += 1;
         }
         let multi = counts.values().filter(|c| **c >= 2).count();
         assert_eq!(multi, sizes.multi_genre_releases);

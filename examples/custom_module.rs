@@ -125,8 +125,14 @@ fn main() {
     // For contrast: the shared-vocabulary check found in the top-k
     // statistics of the genre column.
     let (t, a) = scenario.target.schema.resolve("records", "genre").unwrap();
-    let column: Vec<_> = scenario.target.instance.table(t).column(a).collect();
-    let topk = TopK::compute(column, 5);
+    let column: Vec<_> = scenario
+        .target
+        .instance
+        .table(t)
+        .column(a)
+        .map(|v| v.to_value())
+        .collect();
+    let topk = TopK::compute(&column, 5);
     println!(
         "\n(FYI: the target's genre vocabulary, from the profiling substrate: {:?})",
         topk.values.iter().map(|(v, c)| format!("{v}×{c}")).collect::<Vec<_>>()
