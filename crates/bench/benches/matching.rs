@@ -2,7 +2,10 @@
 //! and similarity flooding.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use efes_matching::{jaro_winkler, levenshtein, similarity_flooding, trigram_jaccard, CombinedMatcher, FloodingConfig, MatcherConfig};
+use efes_matching::{
+    jaro_winkler, levenshtein, similarity_flooding, similarity_flooding_reference,
+    trigram_jaccard, CombinedMatcher, FloodingConfig, MatcherConfig, PrunePolicy,
+};
 use efes_scenarios::discography::schemas::{build_f, build_m, MusicSizes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,10 +28,27 @@ fn bench_matching(c: &mut Criterion) {
     c.bench_function("matcher/combined_f_to_m", |b| {
         b.iter(|| matcher.match_databases(black_box(&source), black_box(&target)))
     });
+    let pruned = CombinedMatcher::new(MatcherConfig::default()).with_prune(PrunePolicy::On);
+    c.bench_function("matcher/combined_f_to_m_pruned", |b| {
+        b.iter(|| pruned.propose_attribute_matches(black_box(&source), black_box(&target)))
+    });
+    let exhaustive = CombinedMatcher::new(MatcherConfig::default()).with_prune(PrunePolicy::Off);
+    c.bench_function("matcher/combined_f_to_m_exhaustive", |b| {
+        b.iter(|| exhaustive.propose_attribute_matches(black_box(&source), black_box(&target)))
+    });
 
     c.bench_function("matcher/similarity_flooding_f_to_m", |b| {
         b.iter(|| {
             similarity_flooding(
+                black_box(&source),
+                black_box(&target),
+                &FloodingConfig::default(),
+            )
+        })
+    });
+    c.bench_function("matcher/similarity_flooding_f_to_m_reference", |b| {
+        b.iter(|| {
+            similarity_flooding_reference(
                 black_box(&source),
                 black_box(&target),
                 &FloodingConfig::default(),

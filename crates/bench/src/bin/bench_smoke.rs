@@ -1,10 +1,12 @@
 //! `bench_smoke` — a fast, plain-wall-clock benchmark of the profiling
-//! hot path, for CI smoke runs and for recording the fused-kernel /
-//! columnar-store speedup next to the commit that produced it.
+//! and matching hot paths, for CI smoke runs and for recording the
+//! fused-kernel / columnar-store / sparse-flooding / pruned-matcher
+//! speedups next to the commit that produced them.
 //!
 //! ```text
 //! cargo run --release -p efes-bench --bin bench_smoke -- --quick
-//! cargo run --release -p efes-bench --bin bench_smoke -- --out BENCH_profiling.json
+//! cargo run --release -p efes-bench --bin bench_smoke -- \
+//!     --out BENCH_profiling.json --out-matching BENCH_matching.json
 //! ```
 //!
 //! Unlike the Criterion benches (`cargo bench -p efes-bench`), this
@@ -13,8 +15,13 @@
 //! point is a recorded order-of-magnitude trend per commit. The process
 //! fails (non-zero exit) only on build/run errors, never on regressions.
 
-use efes_profiling::AttributeProfile;
-use efes_relational::{Column, DataType, Value};
+use efes_exec::ExecutionMode;
+use efes_matching::{
+    similarity_flooding, similarity_flooding_reference, CombinedMatcher, FloodingConfig,
+    MatcherConfig, PrunePolicy,
+};
+use efes_profiling::{AttributeProfile, ProfileCache};
+use efes_relational::{Column, DataType, Database, DatabaseBuilder, Value};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -43,6 +50,53 @@ struct Report {
     quick: bool,
     stages: Vec<Stage>,
     speedups_vs_multipass: Speedups,
+}
+
+#[derive(Serialize)]
+struct MatchingSpeedups {
+    flooding_sparse_vs_reference: f64,
+    matcher_pruned_vs_exhaustive: f64,
+}
+
+#[derive(Serialize)]
+struct MatchingReport {
+    scenario: String,
+    commit: String,
+    quick: bool,
+    tables: usize,
+    attrs_per_table: usize,
+    stages: Vec<Stage>,
+    speedups: MatchingSpeedups,
+}
+
+/// A wide schema-only database for the matching benchmark: `tables`
+/// tables of `attrs_per_table` attributes, names drawn from a shared
+/// 120-word vocabulary of realistic identifiers (`album_id`,
+/// `venue_date`, …) so labels repeat across tables and source/target
+/// overlap partially — the shape pruning and interning target.
+fn wide_schema(tag: &str, tables: usize, attrs_per_table: usize, stride: usize) -> Database {
+    const STEMS: [&str; 20] = [
+        "album", "artist", "track", "genre", "year", "price", "isbn", "venue", "city", "count",
+        "length", "title", "owner", "email", "phone", "status", "region", "volume", "weight",
+        "height",
+    ];
+    const SUFFIXES: [&str; 6] = ["", "_id", "_name", "_code", "_date", "_num"];
+    let vocab: Vec<String> = STEMS
+        .iter()
+        .flat_map(|s| SUFFIXES.iter().map(move |x| format!("{s}{x}")))
+        .collect();
+    let mut b = DatabaseBuilder::new(tag);
+    for i in 0..tables {
+        let table = format!("{}_{i}", STEMS[(i * stride) % STEMS.len()]);
+        b = b.table(&table, |mut t| {
+            for j in 0..attrs_per_table {
+                // j·7 mod 120 is injective for j < 20: unique per table.
+                t = t.attr(&vocab[(i * stride + j * 7) % vocab.len()], DataType::Text);
+            }
+            t
+        });
+    }
+    b.build().expect("synthetic schema")
 }
 
 /// Dictionary-friendly text column: `m:ss` durations, ~420 distinct
@@ -97,6 +151,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_profiling.json".to_owned());
+    let out_matching = args
+        .iter()
+        .position(|a| a == "--out-matching")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_matching.json".to_owned());
 
     let (rows, iters) = if quick { (20_000usize, 5usize) } else { (100_000, 9) };
 
@@ -177,4 +237,76 @@ fn main() {
         ratio(num_multi, num_col),
     );
     eprintln!("wrote {out_path}");
+
+    // ---- matching hot path: wide synthetic schema ----
+    let (m_tables, m_attrs, m_iters) = if quick { (12usize, 8usize, 3usize) } else { (50, 20, 3) };
+    let m_src = wide_schema("wide_src", m_tables, m_attrs, 13);
+    let m_tgt = wide_schema("wide_tgt", m_tables, m_attrs, 31);
+    let attrs_total = m_tables * m_attrs;
+    // Fixed iteration budget: sparse and reference run the identical
+    // fixpoint (bit-equal results), so wall-clock is directly comparable.
+    let flood_cfg = FloodingConfig {
+        max_iterations: 8,
+        epsilon: 1e-4,
+    };
+
+    let mut m_stages = Vec::new();
+    let mut m_record = |name: &str, ns: u64| {
+        eprintln!("  {name:32} {:10.3} ms", ns as f64 / 1e6);
+        m_stages.push(Stage {
+            name: name.to_owned(),
+            rows: attrs_total,
+            iters: m_iters,
+            median_ns: ns,
+            median_ms: ns as f64 / 1e6,
+        });
+        ns
+    };
+
+    eprintln!(
+        "bench_smoke: matching hot path, {m_tables} tables × {m_attrs} attrs ({attrs_total} attrs/side) × {m_iters} iters (median)"
+    );
+    let flood_ref = m_record("flooding_reference", median_ns(m_iters, || {
+        std::hint::black_box(similarity_flooding_reference(&m_src, &m_tgt, &flood_cfg));
+    }));
+    let flood_sparse = m_record("flooding_sparse", median_ns(m_iters, || {
+        std::hint::black_box(similarity_flooding(&m_src, &m_tgt, &flood_cfg));
+    }));
+
+    let run_matcher = |prune: PrunePolicy| {
+        let matcher = CombinedMatcher::new(MatcherConfig::default()).with_prune(prune);
+        std::hint::black_box(matcher.propose_attribute_matches_with(
+            &m_src,
+            &m_tgt,
+            &ProfileCache::new(),
+            ExecutionMode::from_env(),
+        ));
+    };
+    let matcher_exhaustive = m_record("matcher_exhaustive", median_ns(m_iters, || {
+        run_matcher(PrunePolicy::Off);
+    }));
+    let matcher_pruned = m_record("matcher_pruned", median_ns(m_iters, || {
+        run_matcher(PrunePolicy::On);
+    }));
+
+    let matching_report = MatchingReport {
+        scenario: "matching-hot-path".to_owned(),
+        commit: commit(),
+        quick,
+        tables: m_tables,
+        attrs_per_table: m_attrs,
+        stages: m_stages,
+        speedups: MatchingSpeedups {
+            flooding_sparse_vs_reference: ratio(flood_ref, flood_sparse),
+            matcher_pruned_vs_exhaustive: ratio(matcher_exhaustive, matcher_pruned),
+        },
+    };
+    let pretty = serde_json::to_string_pretty(&matching_report).expect("serialize matching report");
+    std::fs::write(&out_matching, pretty + "\n").expect("write matching report");
+    eprintln!(
+        "matching speedups: sparse flooding {:.2}x vs reference, pruned matcher {:.2}x vs exhaustive",
+        ratio(flood_ref, flood_sparse),
+        ratio(matcher_exhaustive, matcher_pruned),
+    );
+    eprintln!("wrote {out_matching}");
 }

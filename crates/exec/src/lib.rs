@@ -178,6 +178,46 @@ where
     parallel_map(mode, items.iter().collect(), f)
 }
 
+/// Run `f` over contiguous mutable chunks of `out` — one chunk per
+/// worker — passing each chunk's global start offset, and return the
+/// per-chunk results in chunk order.
+///
+/// This is the in-place sibling of [`parallel_map`] for fixpoint-style
+/// sweeps that rewrite a flat buffer every iteration and cannot afford a
+/// fresh allocation per sweep (e.g. the sparse similarity-flooding
+/// solver in `efes-matching`). The returned `Vec<R>` is the only
+/// allocation, sized by the worker count, so callers can fold per-chunk
+/// reductions (max, residual) out of the same pass that wrote the
+/// buffer. Chunking is contiguous and deterministic: as long as `f`
+/// writes `chunk[i]` as a pure function of `offset + i` (and any state
+/// captured immutably), the buffer contents are identical under any
+/// thread budget.
+pub fn parallel_chunks_mut<T, R, F>(mode: ExecutionMode, out: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let len = out.len();
+    let workers = mode.threads().min(len);
+    if workers <= 1 {
+        return vec![f(0, out)];
+    }
+    let chunk_size = len.div_ceil(workers);
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || f(i * chunk_size, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("parallel_chunks_mut worker panicked"))
+            .collect()
+    })
+}
+
 /// Run `f`, returning its result and the elapsed wall-clock
 /// milliseconds. The pipeline records these per stage so the repro
 /// binary and benches can print sequential-vs-parallel tables.
@@ -255,6 +295,42 @@ mod tests {
         assert_eq!(ExecutionMode::parse_threads("lots"), None);
         assert_eq!(ExecutionMode::parse_threads("-2"), None);
         assert_eq!(ExecutionMode::parse_threads(""), None);
+    }
+
+    #[test]
+    fn chunks_mut_fills_in_place_and_reduces() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut buf = vec![0u64; 1000];
+            let maxes = parallel_chunks_mut(
+                ExecutionMode::with_threads(threads),
+                &mut buf,
+                |offset, chunk| {
+                    let mut max = 0u64;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (offset + i) as u64 * 2;
+                        max = max.max(*slot);
+                    }
+                    max
+                },
+            );
+            let expect: Vec<u64> = (0..1000).map(|x| x * 2).collect();
+            assert_eq!(buf, expect, "threads={threads}");
+            assert_eq!(maxes.into_iter().max(), Some(1998), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_handles_empty_and_tiny_buffers() {
+        let mut empty: Vec<u8> = vec![];
+        let r = parallel_chunks_mut(ExecutionMode::Parallel(4), &mut empty, |_, c| c.len());
+        assert_eq!(r, vec![0]);
+        let mut one = vec![7u8];
+        let r = parallel_chunks_mut(ExecutionMode::Parallel(4), &mut one, |off, c| {
+            c[0] += 1;
+            off
+        });
+        assert_eq!(r, vec![0]);
+        assert_eq!(one, vec![8]);
     }
 
     #[test]

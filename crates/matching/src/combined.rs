@@ -1,16 +1,94 @@
 //! The combined matcher: weighted name + instance similarity, greedy 1:1
 //! assignment, and emission of correspondence sets consumable by the EFES
 //! pipeline.
+//!
+//! By default the matcher *prunes* the source×target attribute grid
+//! before running any expensive kernel: a [`NameIndex`] over the unique
+//! target attribute names yields a sound upper bound on every pair's
+//! final score, and pairs that provably cannot clear `attr_threshold`
+//! are skipped. Pruning never changes output — the surviving pairs are
+//! scored by the identical code, the dropped pairs would have been
+//! filtered by the threshold anyway (differentially tested in
+//! `tests/differential.rs`) — and `EFES_MATCH_PRUNE=off` (or
+//! [`PrunePolicy::Off`]) forces the exhaustive path at run time.
 
 use crate::instance::instance_similarity_cached;
-use crate::name::name_similarity;
-use efes_exec::{parallel_map, ExecutionMode};
+use crate::name::{name_similarity, NameIndex, BOUND_SLACK};
+use efes_exec::{parallel_map, parallel_map_ref, ExecutionMode};
 use efes_profiling::{DbTag, ProfileCache};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::{
     Correspondence, CorrespondenceSet, Database, SourceId,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Once;
+
+/// Environment variable controlling candidate pruning (`on`/`off`).
+pub const MATCH_PRUNE_ENV_VAR: &str = "EFES_MATCH_PRUNE";
+
+/// Parse an `EFES_MATCH_PRUNE` value; `None` means unparsable.
+pub fn parse_match_prune(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" | "yes" | "" => Some(true),
+        "off" | "0" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+fn prune_env_enabled() -> bool {
+    match std::env::var(MATCH_PRUNE_ENV_VAR) {
+        Err(_) => true,
+        Ok(raw) => match parse_match_prune(&raw) {
+            Some(enabled) => enabled,
+            None => {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: unparsable {MATCH_PRUNE_ENV_VAR}={raw:?}; \
+                         expected on/off (or 1/0, true/false, yes/no), keeping pruning on"
+                    );
+                });
+                true
+            }
+        },
+    }
+}
+
+/// Whether the matcher prunes candidate pairs before exact scoring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PrunePolicy {
+    /// Consult [`MATCH_PRUNE_ENV_VAR`] per run (the default; unset
+    /// means on).
+    #[default]
+    FromEnv,
+    /// Always prune.
+    On,
+    /// Always score exhaustively.
+    Off,
+}
+
+impl PrunePolicy {
+    /// Resolve the policy to a concrete on/off for this run.
+    pub fn enabled(self) -> bool {
+        match self {
+            PrunePolicy::On => true,
+            PrunePolicy::Off => false,
+            PrunePolicy::FromEnv => prune_env_enabled(),
+        }
+    }
+}
+
+/// Counters from one attribute-matching run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Size of the full source×target attribute grid.
+    pub pairs_total: usize,
+    /// Pairs skipped because their score bound cannot reach the
+    /// threshold (always 0 on the exhaustive path).
+    pub pairs_pruned: usize,
+    /// Pairs that went through exact scoring.
+    pub pairs_scored: usize,
+}
 
 /// Matcher configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,6 +115,25 @@ impl Default for MatcherConfig {
     }
 }
 
+/// (source attr, target attr, name score) — one candidate pair after
+/// name scoring, before instance scoring.
+type NameScoredPair = ((TableId, AttrId), (TableId, AttrId), f64);
+
+/// Per-element interned name ids plus the unique-name table.
+fn intern_names<'a>(attrs: &[((TableId, AttrId), &'a str)]) -> (Vec<u32>, Vec<&'a str>) {
+    let mut ids = Vec::with_capacity(attrs.len());
+    let mut uniq: Vec<&'a str> = Vec::new();
+    let mut by_name: std::collections::HashMap<&'a str, u32> = std::collections::HashMap::new();
+    for (_, name) in attrs {
+        let id = *by_name.entry(name).or_insert_with(|| {
+            uniq.push(name);
+            (uniq.len() - 1) as u32
+        });
+        ids.push(id);
+    }
+    (ids, uniq)
+}
+
 /// One proposed correspondence with its score.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProposedMatch {
@@ -52,12 +149,23 @@ pub struct ProposedMatch {
 #[derive(Debug, Clone, Default)]
 pub struct CombinedMatcher {
     config: MatcherConfig,
+    prune: PrunePolicy,
 }
 
 impl CombinedMatcher {
-    /// Create a matcher with the given configuration.
+    /// Create a matcher with the given configuration (pruning follows
+    /// [`PrunePolicy::FromEnv`]).
     pub fn new(config: MatcherConfig) -> Self {
-        CombinedMatcher { config }
+        CombinedMatcher {
+            config,
+            prune: PrunePolicy::default(),
+        }
+    }
+
+    /// Pin the pruning policy, overriding [`MATCH_PRUNE_ENV_VAR`].
+    pub fn with_prune(mut self, prune: PrunePolicy) -> Self {
+        self.prune = prune;
+        self
     }
 
     /// Score every source×target attribute pair and keep stable 1:1
@@ -90,25 +198,64 @@ impl CombinedMatcher {
         cache: &ProfileCache,
         mode: ExecutionMode,
     ) -> Vec<ProposedMatch> {
-        // (source attr, target attr, name score) per candidate pair.
-        type NameScoredPair = ((TableId, AttrId), (TableId, AttrId), f64);
-        let pairs: Vec<NameScoredPair> = source
+        self.propose_attribute_matches_stats(source, target, cache, mode)
+            .0
+    }
+
+    /// Like [`propose_attribute_matches_with`](Self::propose_attribute_matches_with),
+    /// additionally reporting how much of the pair grid was pruned.
+    pub fn propose_attribute_matches_stats(
+        &self,
+        source: &Database,
+        target: &Database,
+        cache: &ProfileCache,
+        mode: ExecutionMode,
+    ) -> (Vec<ProposedMatch>, MatchStats) {
+        // Table-context similarity per table pair, computed once — the
+        // same pure function the per-pair formula uses, so hoisting it
+        // cannot change any score.
+        let table_sims: Vec<Vec<f64>> = source
             .schema
-            .iter_attributes()
-            .flat_map(|(st, sa, s_attr)| {
-                target.schema.iter_attributes().map(move |(tt, ta, t_attr)| {
-                    let s_table = &source.schema.table(st).name;
-                    let t_table = &target.schema.table(tt).name;
-                    // Attribute name similarity, boosted by table-context
-                    // similarity so `albums.name` prefers `records.title`
-                    // over `tracks.title`.
-                    let attr_sim = name_similarity(&s_attr.name, &t_attr.name);
-                    let table_sim = name_similarity(s_table, t_table);
-                    let name_score = 0.8 * attr_sim + 0.2 * table_sim;
-                    ((st, sa), (tt, ta), name_score)
-                })
+            .tables()
+            .iter()
+            .map(|s_table| {
+                target
+                    .schema
+                    .tables()
+                    .iter()
+                    .map(|t_table| name_similarity(&s_table.name, &t_table.name))
+                    .collect()
             })
             .collect();
+
+        let pairs = if self.prune.enabled() {
+            self.pruned_name_scores(source, target, &table_sims, mode)
+        } else {
+            let exhaustive: Vec<NameScoredPair> = source
+                .schema
+                .iter_attributes()
+                .flat_map(|(st, sa, s_attr)| {
+                    let table_sims = &table_sims;
+                    target.schema.iter_attributes().map(move |(tt, ta, t_attr)| {
+                        // Attribute name similarity, boosted by
+                        // table-context similarity so `albums.name`
+                        // prefers `records.title` over `tracks.title`.
+                        let attr_sim = name_similarity(&s_attr.name, &t_attr.name);
+                        let name_score = 0.8 * attr_sim + 0.2 * table_sims[st.0][tt.0];
+                        ((st, sa), (tt, ta), name_score)
+                    })
+                })
+                .collect();
+            exhaustive
+        };
+        let pairs_total =
+            source.schema.iter_attributes().count() * target.schema.iter_attributes().count();
+        let stats = MatchStats {
+            pairs_total,
+            pairs_pruned: pairs_total - pairs.len(),
+            pairs_scored: pairs.len(),
+        };
+
         let mut scored: Vec<ProposedMatch> = parallel_map(mode, pairs, |(s, t, name_score)| {
             let score = if self.config.use_instances
                 && !source.instance.table(s.0).is_empty()
@@ -139,7 +286,7 @@ impl CombinedMatcher {
         });
         let mut used_source = std::collections::HashSet::new();
         let mut used_target = std::collections::HashSet::new();
-        scored
+        let accepted = scored
             .into_iter()
             .filter(|m| {
                 if used_source.contains(&m.source) || used_target.contains(&m.target) {
@@ -148,6 +295,92 @@ impl CombinedMatcher {
                 used_source.insert(m.source);
                 used_target.insert(m.target);
                 true
+            })
+            .collect();
+        (accepted, stats)
+    }
+
+    /// The pruning front end: exact name scores for every pair whose
+    /// score *bound* can still reach `attr_threshold`, skipping the rest.
+    ///
+    /// Soundness: the [`NameIndex`] bound dominates the exact attribute
+    /// similarity, the pair bound is assembled by the same monotone
+    /// expression shapes as the real score (`0.8·attr + 0.2·table`, then
+    /// `w·name + (1-w)·instance` with `instance ≤ 1`), and the
+    /// comparison keeps [`BOUND_SLACK`] of headroom — so every dropped
+    /// pair would have scored below the threshold and been filtered.
+    fn pruned_name_scores(
+        &self,
+        source: &Database,
+        target: &Database,
+        table_sims: &[Vec<f64>],
+        mode: ExecutionMode,
+    ) -> Vec<NameScoredPair> {
+        let s_attrs: Vec<((TableId, AttrId), &str)> = source
+            .schema
+            .iter_attributes()
+            .map(|(st, sa, a)| ((st, sa), a.name.as_str()))
+            .collect();
+        let t_attrs: Vec<((TableId, AttrId), &str)> = target
+            .schema
+            .iter_attributes()
+            .map(|(tt, ta, a)| ((tt, ta), a.name.as_str()))
+            .collect();
+        // Attribute names repeat heavily (`id`, `name`, …): bound and
+        // score per *unique* name pair, then scatter.
+        let (s_name_ids, s_uniq) = intern_names(&s_attrs);
+        let (t_name_ids, t_uniq) = intern_names(&t_attrs);
+        let index = NameIndex::build(&t_uniq);
+        let bound_rows: Vec<Vec<f64>> =
+            parallel_map_ref(mode, &s_uniq, |name| index.upper_bounds(name));
+
+        let w = self.config.name_weight;
+        let threshold = self.config.attr_threshold;
+        let s_nonempty: Vec<bool> = (0..source.schema.table_count())
+            .map(|t| !source.instance.table(TableId(t)).is_empty())
+            .collect();
+        let t_nonempty: Vec<bool> = (0..target.schema.table_count())
+            .map(|t| !target.instance.table(TableId(t)).is_empty())
+            .collect();
+
+        let mut survivors: Vec<(usize, usize)> = Vec::new();
+        let mut needed: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for (si, ((st, _), _)) in s_attrs.iter().enumerate() {
+            let bounds = &bound_rows[s_name_ids[si] as usize];
+            for (ti, ((tt, _), _)) in t_attrs.iter().enumerate() {
+                let attr_bound = bounds[t_name_ids[ti] as usize];
+                let name_bound = 0.8 * attr_bound + 0.2 * table_sims[st.0][tt.0];
+                let instances = self.config.use_instances && s_nonempty[st.0] && t_nonempty[tt.0];
+                let score_bound = if instances {
+                    // Instance similarity is at most 1.
+                    w * name_bound + (1.0 - w)
+                } else {
+                    name_bound
+                };
+                if score_bound + BOUND_SLACK >= threshold {
+                    survivors.push((si, ti));
+                    needed.insert((s_name_ids[si], t_name_ids[ti]));
+                }
+            }
+        }
+
+        // Exact attribute-name similarity, once per surviving unique
+        // name pair.
+        let needed: Vec<(u32, u32)> = needed.into_iter().collect();
+        let sims: std::collections::HashMap<(u32, u32), f64> =
+            parallel_map(mode, needed, |(a, b)| {
+                ((a, b), name_similarity(s_uniq[a as usize], t_uniq[b as usize]))
+            })
+            .into_iter()
+            .collect();
+        survivors
+            .into_iter()
+            .map(|(si, ti)| {
+                let (s, _) = s_attrs[si];
+                let (t, _) = t_attrs[ti];
+                let attr_sim = sims[&(s_name_ids[si], t_name_ids[ti])];
+                let name_score = 0.8 * attr_sim + 0.2 * table_sims[s.0 .0][t.0 .0];
+                (s, t, name_score)
             })
             .collect()
     }

@@ -1,5 +1,5 @@
-//! A compact similarity-flooding implementation (Melnik et al., ICDE
-//! 2002 — the paper's \[19\]).
+//! Similarity flooding (Melnik et al., ICDE 2002 — the paper's \[19\])
+//! over schema graphs, in two interchangeable implementations.
 //!
 //! Schemas are viewed as labelled graphs (`schema → table → attribute`
 //! edges). Initial pair similarities come from a seed function (here:
@@ -7,8 +7,25 @@
 //! its neighbour pairs connected by same-labelled edges, then normalises.
 //! This is the fixpoint formula of the original paper restricted to the
 //! basic propagation graph.
+//!
+//! [`similarity_flooding`] is the production engine: every
+//! `(source element, target element)` pair gets a dense `u32` pair id,
+//! the propagation graph is precomputed once as a CSR adjacency
+//! (offsets + neighbour pair ids + one inverse-degree weight per pair),
+//! and the fixpoint runs as sweeps over two flat `f64` buffers — no
+//! per-iteration allocation, no hashing, labels interned once per solve.
+//! Above a size cutoff the sweeps fan out over
+//! [`efes_exec::parallel_chunks_mut`]; chunking never changes results
+//! (each slot is a pure function of the previous buffer, and the max /
+//! residual reductions are exact for `f64::max`).
+//!
+//! [`similarity_flooding_reference`] is the retained `HashMap`
+//! implementation — the executable specification. The sparse engine is
+//! differentially tested against it for *exact* `f64` equality: same
+//! iteration count, same normalisation order, byte-identical scores.
 
 use crate::name::name_similarity;
+use efes_exec::{parallel_chunks_mut, parallel_map_ref, ExecutionMode};
 use efes_relational::Database;
 use std::collections::HashMap;
 
@@ -53,13 +70,14 @@ fn elements(db: &Database) -> Vec<SchemaElem> {
     out
 }
 
-fn label(db: &Database, e: SchemaElem) -> String {
+/// The element's label, borrowed from the schema — no per-lookup clone.
+fn label(db: &Database, e: SchemaElem) -> &str {
     match e {
-        SchemaElem::Root => db.schema.name.clone(),
-        SchemaElem::Table(t) => db.schema.table(efes_relational::TableId(t)).name.clone(),
+        SchemaElem::Root => &db.schema.name,
+        SchemaElem::Table(t) => &db.schema.table(efes_relational::TableId(t)).name,
         SchemaElem::Attr(t, a) => {
             let table = db.schema.table(efes_relational::TableId(t));
-            table.attributes[a].name.clone()
+            &table.attributes[a].name
         }
     }
 }
@@ -79,7 +97,236 @@ fn edges(db: &Database) -> Vec<(&'static str, SchemaElem, SchemaElem)> {
 /// Run similarity flooding between two databases' schema graphs.
 /// Returns the converged similarity of every element pair, normalised to
 /// `[0,1]`, keyed by `(source element, target element)`.
+///
+/// This is the sparse fixpoint engine (see the module docs); its output
+/// is exactly — bit-for-bit — the output of
+/// [`similarity_flooding_reference`]. The execution mode comes from
+/// `EFES_THREADS`; use [`similarity_flooding_with`] to pin it.
 pub fn similarity_flooding(
+    source: &Database,
+    target: &Database,
+    config: &FloodingConfig,
+) -> HashMap<(SchemaElem, SchemaElem), f64> {
+    similarity_flooding_with(source, target, config, ExecutionMode::from_env())
+}
+
+/// [`similarity_flooding`] under an explicit [`ExecutionMode`]. The mode
+/// only schedules the sweeps; scores are identical under any budget.
+pub fn similarity_flooding_with(
+    source: &Database,
+    target: &Database,
+    config: &FloodingConfig,
+    mode: ExecutionMode,
+) -> HashMap<(SchemaElem, SchemaElem), f64> {
+    let src_elems = elements(source);
+    let tgt_elems = elements(target);
+    let n_t = tgt_elems.len();
+    let Some(pairs) = src_elems.len().checked_mul(n_t) else {
+        return similarity_flooding_reference(source, target, config);
+    };
+    // Pair ids (and CSR neighbour ids) are u32; schemas wide enough to
+    // overflow them could not hold the dense buffers anyway, so fall
+    // back to the reference implementation instead of mis-indexing.
+    if pairs > u32::MAX as usize {
+        return similarity_flooding_reference(source, target, config);
+    }
+
+    // Below this pair count the flat buffers fit in cache and thread
+    // spawn overhead dominates; run the sweeps sequentially.
+    const PARALLEL_CUTOFF_PAIRS: usize = 1 << 14;
+    let mode = if pairs >= PARALLEL_CUTOFF_PAIRS {
+        mode
+    } else {
+        ExecutionMode::Sequential
+    };
+
+    // σ⁰: seed with name similarity, computed once per *unique* label
+    // pair and scattered to element pairs. Schemas repeat attribute
+    // names heavily (`id`, `name`, …), so this collapses the quadratic
+    // seeding cost to |unique src labels| × |unique tgt labels| calls.
+    let (src_label_ids, src_uniq) = intern_labels(source, &src_elems);
+    let (tgt_label_ids, tgt_uniq) = intern_labels(target, &tgt_elems);
+    let uniq_sims: Vec<Vec<f64>> = parallel_map_ref(mode, &src_uniq, |ls| {
+        tgt_uniq.iter().map(|lt| name_similarity(ls, lt)).collect()
+    });
+    let mut cur: Vec<f64> = Vec::with_capacity(pairs);
+    for &sl in &src_label_ids {
+        let row = &uniq_sims[sl as usize];
+        for &tl in &tgt_label_ids {
+            cur.push(row[tl as usize]);
+        }
+    }
+
+    let graph = PropagationGraph::build(source, target, &src_elems, &tgt_elems);
+    let Some(graph) = graph else {
+        return similarity_flooding_reference(source, target, config);
+    };
+
+    let mut next = vec![0.0f64; pairs];
+    for _ in 0..config.max_iterations {
+        // Sweep 1: next[p] = cur[p] + (Σ neighbours) · recip[p], with
+        // the per-chunk running max folded into the same pass.
+        let (offsets, neighbours, recip, cur_ref) =
+            (&graph.offsets, &graph.neighbours, &graph.recip, &cur);
+        let chunk_maxes = parallel_chunks_mut(mode, &mut next, |offset, chunk| {
+            let mut chunk_max = 0.0f64;
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let p = offset + i;
+                let (from, to) = (offsets[p] as usize, offsets[p + 1] as usize);
+                let mut sum = 0.0f64;
+                for &n in &neighbours[from..to] {
+                    sum += cur_ref[n as usize];
+                }
+                let v = cur_ref[p] + sum * recip[p];
+                *slot = v;
+                chunk_max = chunk_max.max(v);
+            }
+            chunk_max
+        });
+        // Normalise by the global maximum (exact under any chunking:
+        // f64::max is associative and commutative for non-NaN inputs).
+        let max = chunk_maxes
+            .into_iter()
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        // Sweep 2: normalise and compute the max residual vs. the
+        // previous (already normalised) buffer.
+        let cur_ref = &cur;
+        let chunk_residuals = parallel_chunks_mut(mode, &mut next, |offset, chunk| {
+            let mut chunk_residual = 0.0f64;
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v /= max;
+                chunk_residual = chunk_residual.max((*v - cur_ref[offset + i]).abs());
+            }
+            chunk_residual
+        });
+        let residual = chunk_residuals.into_iter().fold(0.0f64, f64::max);
+        std::mem::swap(&mut cur, &mut next);
+        if residual < config.epsilon {
+            break;
+        }
+    }
+
+    let mut sigma = HashMap::with_capacity(pairs);
+    for (si, s) in src_elems.iter().enumerate() {
+        for (ti, t) in tgt_elems.iter().enumerate() {
+            sigma.insert((*s, *t), cur[si * n_t + ti]);
+        }
+    }
+    sigma
+}
+
+/// Per-element label ids plus the unique label table, interned once per
+/// solve — the seed matrix is computed over unique labels only.
+fn intern_labels<'a>(db: &'a Database, elems: &[SchemaElem]) -> (Vec<u32>, Vec<&'a str>) {
+    let mut ids = Vec::with_capacity(elems.len());
+    let mut uniq: Vec<&'a str> = Vec::new();
+    let mut by_label: HashMap<&'a str, u32> = HashMap::new();
+    for e in elems {
+        let l = label(db, *e);
+        let id = *by_label.entry(l).or_insert_with(|| {
+            uniq.push(l);
+            (uniq.len() - 1) as u32
+        });
+        ids.push(id);
+    }
+    (ids, uniq)
+}
+
+/// The propagation graph in CSR form: pair `p`'s neighbours are
+/// `neighbours[offsets[p]..offsets[p+1]]`, and `recip[p]` is
+/// `1 / degree` (0 for isolated pairs, so `Σ · recip` stays `0.0`).
+struct PropagationGraph {
+    offsets: Vec<u32>,
+    neighbours: Vec<u32>,
+    recip: Vec<f64>,
+}
+
+impl PropagationGraph {
+    /// Build the CSR adjacency with exactly the neighbour ordering the
+    /// reference implementation produces (outer loop over source edges,
+    /// inner over target edges), so per-pair float sums reassociate
+    /// nothing. Returns `None` if the adjacency would overflow `u32`
+    /// offsets (the caller falls back to the reference).
+    fn build(
+        source: &Database,
+        target: &Database,
+        src_elems: &[SchemaElem],
+        tgt_elems: &[SchemaElem],
+    ) -> Option<PropagationGraph> {
+        let pairs = src_elems.len() * tgt_elems.len();
+        let index_of: HashMap<SchemaElem, u32> = src_elems
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (*e, i as u32))
+            .collect();
+        let tgt_index_of: HashMap<SchemaElem, u32> = tgt_elems
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (*e, i as u32))
+            .collect();
+        let n_t = tgt_elems.len() as u64;
+        let pid = |s: SchemaElem, t: SchemaElem| -> usize {
+            (index_of[&s] as u64 * n_t + tgt_index_of[&t] as u64) as usize
+        };
+
+        let src_edges = edges(source);
+        let tgt_edges = edges(target);
+
+        // Pass 1: per-pair degree counts.
+        let mut counts = vec![0u32; pairs];
+        for (ls, sf, st) in &src_edges {
+            for (lt, tf, tt) in &tgt_edges {
+                if ls == lt {
+                    counts[pid(*st, *tt)] += 1;
+                    counts[pid(*sf, *tf)] += 1;
+                }
+            }
+        }
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        if total > u32::MAX as usize {
+            return None;
+        }
+
+        let mut offsets = Vec::with_capacity(pairs + 1);
+        let mut acc = 0u32;
+        offsets.push(0u32);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let recip: Vec<f64> = counts
+            .iter()
+            .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f64 })
+            .collect();
+
+        // Pass 2: fill, preserving the reference's per-pair push order.
+        let mut cursor: Vec<u32> = offsets[..pairs].to_vec();
+        let mut neighbours = vec![0u32; total];
+        for (ls, sf, st) in &src_edges {
+            for (lt, tf, tt) in &tgt_edges {
+                if ls == lt {
+                    let child = pid(*st, *tt);
+                    let parent = pid(*sf, *tf);
+                    neighbours[cursor[child] as usize] = parent as u32;
+                    cursor[child] += 1;
+                    neighbours[cursor[parent] as usize] = child as u32;
+                    cursor[parent] += 1;
+                }
+            }
+        }
+        Some(PropagationGraph {
+            offsets,
+            neighbours,
+            recip,
+        })
+    }
+}
+
+/// The retained `HashMap` reference implementation of
+/// [`similarity_flooding`] — the executable specification the sparse
+/// engine is differentially tested against (exact equality).
+pub fn similarity_flooding_reference(
     source: &Database,
     target: &Database,
     config: &FloodingConfig,
@@ -87,11 +334,14 @@ pub fn similarity_flooding(
     let src_elems = elements(source);
     let tgt_elems = elements(target);
 
-    // σ⁰: seed with name similarity.
+    // σ⁰: seed with name similarity. Labels are interned once per solve
+    // (borrowed, not cloned per lookup).
+    let src_labels: Vec<&str> = src_elems.iter().map(|e| label(source, *e)).collect();
+    let tgt_labels: Vec<&str> = tgt_elems.iter().map(|e| label(target, *e)).collect();
     let mut sigma: HashMap<(SchemaElem, SchemaElem), f64> = HashMap::new();
-    for s in &src_elems {
-        for t in &tgt_elems {
-            sigma.insert((*s, *t), name_similarity(&label(source, *s), &label(target, *t)));
+    for (si, s) in src_elems.iter().enumerate() {
+        for (ti, t) in tgt_elems.iter().enumerate() {
+            sigma.insert((*s, *t), name_similarity(src_labels[si], tgt_labels[ti]));
         }
     }
 
@@ -117,9 +367,13 @@ pub fn similarity_flooding(
             let incoming: f64 = neighbours
                 .get(pair)
                 .map(|ns| {
+                    // One division per pair, hoisted out of the
+                    // neighbour loop.
+                    let recip = 1.0 / ns.len() as f64;
                     ns.iter()
-                        .map(|n| sigma.get(n).copied().unwrap_or(0.0) / ns.len() as f64)
-                        .sum()
+                        .map(|n| sigma.get(n).copied().unwrap_or(0.0))
+                        .sum::<f64>()
+                        * recip
                 })
                 .unwrap_or(0.0);
             next.insert(*pair, seed + incoming);
@@ -167,6 +421,21 @@ mod tests {
             .unwrap()
     }
 
+    fn assert_exactly_equal(
+        a: &HashMap<(SchemaElem, SchemaElem), f64>,
+        b: &HashMap<(SchemaElem, SchemaElem), f64>,
+    ) {
+        assert_eq!(a.len(), b.len());
+        for (pair, va) in a {
+            let vb = b.get(pair).unwrap_or_else(|| panic!("missing {pair:?}"));
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{pair:?}: sparse {va} != reference {vb}"
+            );
+        }
+    }
+
     #[test]
     fn flooding_converges_and_ranks_structure() {
         let sigma = similarity_flooding(&src(), &tgt(), &FloodingConfig::default());
@@ -204,6 +473,63 @@ mod tests {
                         assert!(own >= *v - 1e-9, "{e:?}: {own} vs {other_pair:?}: {v}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_engine_matches_reference_exactly() {
+        let (s, t) = (src(), tgt());
+        for config in [
+            FloodingConfig::default(),
+            FloodingConfig {
+                max_iterations: 1,
+                epsilon: 0.0,
+            },
+            FloodingConfig {
+                max_iterations: 200,
+                epsilon: 1e-12,
+            },
+        ] {
+            let sparse = similarity_flooding(&s, &t, &config);
+            let reference = similarity_flooding_reference(&s, &t, &config);
+            assert_exactly_equal(&sparse, &reference);
+        }
+    }
+
+    #[test]
+    fn sparse_engine_matches_reference_under_any_thread_budget() {
+        let (s, t) = (src(), tgt());
+        let config = FloodingConfig::default();
+        let reference = similarity_flooding_reference(&s, &t, &config);
+        for threads in [1, 2, 3, 8] {
+            let sparse =
+                similarity_flooding_with(&s, &t, &config, ExecutionMode::with_threads(threads));
+            assert_exactly_equal(&sparse, &reference);
+        }
+    }
+
+    #[test]
+    fn degenerate_schemas_do_not_panic() {
+        let config = FloodingConfig::default();
+        // A table with zero attributes.
+        let empty_table = DatabaseBuilder::new("e")
+            .table("bare", |t| t)
+            .build()
+            .unwrap();
+        // A single-table schema.
+        let single = DatabaseBuilder::new("one")
+            .table("only", |t| t.attr("id", DataType::Integer))
+            .build()
+            .unwrap();
+        // A schema with no tables at all.
+        let nothing = DatabaseBuilder::new("none").build().unwrap();
+        for s in [&empty_table, &single, &nothing] {
+            for t in [&empty_table, &single, &nothing] {
+                let sparse = similarity_flooding(s, t, &config);
+                let reference = similarity_flooding_reference(s, t, &config);
+                assert_exactly_equal(&sparse, &reference);
+                assert!(sparse.contains_key(&(SchemaElem::Root, SchemaElem::Root)));
             }
         }
     }

@@ -35,8 +35,13 @@ pub mod name;
 pub mod similarity;
 
 pub use accuracy::{match_accuracy, MatchDiff};
-pub use combined::{CombinedMatcher, MatcherConfig, ProposedMatch};
-pub use flooding::{similarity_flooding, FloodingConfig};
+pub use combined::{
+    parse_match_prune, CombinedMatcher, MatchStats, MatcherConfig, ProposedMatch, PrunePolicy,
+    MATCH_PRUNE_ENV_VAR,
+};
+pub use flooding::{
+    similarity_flooding, similarity_flooding_reference, similarity_flooding_with, FloodingConfig,
+};
 pub use instance::{instance_similarity, instance_similarity_cached};
-pub use name::name_similarity;
+pub use name::{name_similarity, NameIndex};
 pub use similarity::{jaro_winkler, levenshtein, tokenize, trigram_jaccard};

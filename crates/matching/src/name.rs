@@ -1,6 +1,11 @@
-//! Name-based matching of schema elements.
+//! Name-based matching of schema elements, plus the [`NameIndex`]
+//! candidate filter that bounds [`name_similarity`] from above without
+//! running any of the expensive string kernels.
 
-use crate::similarity::{jaro_winkler, levenshtein_similarity, token_similarity, trigram_jaccard};
+use crate::similarity::{
+    jaro_winkler, levenshtein_similarity, token_similarity, tokenize, trigram_jaccard, trigram_set,
+};
+use std::collections::HashMap;
 
 /// A small thesaurus of synonym pairs common in the paper's domains.
 /// Matchers in practice carry such dictionaries; this one covers the
@@ -42,6 +47,284 @@ pub fn name_similarity(a: &str, b: &str) -> f64 {
     }
 }
 
+/// Absolute slack applied when comparing an upper bound against a
+/// threshold. The bounds below dominate the true similarities in real
+/// arithmetic; rounding in the floating-point evaluation can disturb
+/// either side by a few ulps (~1e-16), which this slack swamps by seven
+/// orders of magnitude without keeping any meaningful candidate alive.
+pub const BOUND_SLACK: f64 = 1e-9;
+
+/// Per-token features: enough to bound the Jaro-Winkler fuzzy-token test
+/// without running it.
+struct TokenFeatures {
+    text: String,
+    len: u32,
+    counts: Vec<(char, u32)>,
+    prefix: [char; 4],
+    prefix_len: u8,
+}
+
+/// Precomputed features of one (lowercased) identifier.
+struct NameFeatures {
+    lower: String,
+    len: u32,
+    counts: Vec<(char, u32)>,
+    prefix: [char; 4],
+    prefix_len: u8,
+    grams: Vec<[char; 3]>,
+    tokens: Vec<TokenFeatures>,
+    /// Bit `i` set when the name contains `SYNONYMS[i].0` / `.1`.
+    syn_left: u16,
+    syn_right: u16,
+}
+
+/// Sorted per-character counts of `s`.
+fn char_counts(s: &str) -> Vec<(char, u32)> {
+    let mut chars: Vec<char> = s.chars().collect();
+    chars.sort_unstable();
+    let mut out: Vec<(char, u32)> = Vec::new();
+    for c in chars {
+        match out.last_mut() {
+            Some((last, n)) if *last == c => *n += 1,
+            _ => out.push((c, 1)),
+        }
+    }
+    out
+}
+
+/// `Σ_ch min(count_a, count_b)` over two sorted count lists — an upper
+/// bound on the number of Jaro matches and on `max_len - levenshtein`.
+fn common_chars(a: &[(char, u32)], b: &[(char, u32)]) -> u32 {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += a[i].1.min(b[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+fn prefix4(s: &str) -> ([char; 4], u8) {
+    let mut prefix = ['\0'; 4];
+    let mut n = 0u8;
+    for c in s.chars().take(4) {
+        prefix[n as usize] = c;
+        n += 1;
+    }
+    (prefix, n)
+}
+
+/// The exact Jaro-Winkler shared-prefix length between two names whose
+/// first four characters are stored.
+fn common_prefix(a: (&[char; 4], u8), b: (&[char; 4], u8)) -> u32 {
+    let n = a.1.min(b.1) as usize;
+    let mut p = 0u32;
+    for i in 0..n {
+        if a.0[i] == b.0[i] {
+            p += 1;
+        } else {
+            break;
+        }
+    }
+    p
+}
+
+/// Upper bound on `jaro_winkler` from the common-character count `c`,
+/// the two char lengths, and the exact shared-prefix length `p`: the
+/// Jaro match count `m` is at most `c` and the transposition term is at
+/// most 1, so `j ≤ (c/la + c/lb + 1)/3`, and Jaro-Winkler is increasing
+/// in `j` (the prefix boost coefficient `1 - 0.1·p` stays positive).
+fn jaro_winkler_upper(c: u32, la: u32, lb: u32, p: u32) -> f64 {
+    if la == 0 || lb == 0 {
+        return if la == lb { 1.0 } else { 0.0 };
+    }
+    if c == 0 {
+        // No shared characters: no Jaro matches and no shared prefix.
+        return 0.0;
+    }
+    let c = c as f64;
+    let j = (c / la as f64 + c / lb as f64 + 1.0) / 3.0;
+    (j + p as f64 * 0.1 * (1.0 - j)).min(1.0)
+}
+
+fn token_features(text: String) -> TokenFeatures {
+    let counts = char_counts(&text);
+    let len = text.chars().count() as u32;
+    let (prefix, prefix_len) = prefix4(&text);
+    TokenFeatures {
+        text,
+        len,
+        counts,
+        prefix,
+        prefix_len,
+    }
+}
+
+impl NameFeatures {
+    fn of(name: &str) -> NameFeatures {
+        let lower = name.to_lowercase();
+        let counts = char_counts(&lower);
+        let len = lower.chars().count() as u32;
+        let (prefix, prefix_len) = prefix4(&lower);
+        let grams: Vec<[char; 3]> = trigram_set(&lower).into_iter().collect();
+        let tokens = tokenize(&lower).into_iter().map(token_features).collect();
+        let (mut syn_left, mut syn_right) = (0u16, 0u16);
+        for (i, (x, y)) in SYNONYMS.iter().enumerate() {
+            if lower.contains(x) {
+                syn_left |= 1 << i;
+            }
+            if lower.contains(y) {
+                syn_right |= 1 << i;
+            }
+        }
+        NameFeatures {
+            lower,
+            len,
+            counts,
+            prefix,
+            prefix_len,
+            grams,
+            tokens,
+            syn_left,
+            syn_right,
+        }
+    }
+}
+
+/// Upper bound on `token_similarity`: a source token can only score a
+/// hit against a target token it equals or whose Jaro-Winkler *bound*
+/// reaches the 0.9 fuzzy-match threshold, and the total hit count never
+/// exceeds either token count. Jaccard `h/(na+nb-h)` is increasing in
+/// `h`.
+fn token_upper(a: &NameFeatures, b: &NameFeatures) -> f64 {
+    let (na, nb) = (a.tokens.len(), b.tokens.len());
+    if na == 0 && nb == 0 {
+        return 1.0;
+    }
+    if na == 0 || nb == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for x in &a.tokens {
+        let feasible = b.tokens.iter().any(|y| {
+            x.text == y.text || {
+                let c = common_chars(&x.counts, &y.counts);
+                let p = common_prefix((&x.prefix, x.prefix_len), (&y.prefix, y.prefix_len));
+                jaro_winkler_upper(c, x.len, y.len, p) + BOUND_SLACK >= 0.9
+            }
+        });
+        if feasible {
+            hits += 1;
+        }
+    }
+    let hits = hits.min(nb);
+    hits as f64 / (na + nb - hits) as f64
+}
+
+/// Upper bound on [`name_similarity`] between two feature sets, given
+/// the exact trigram intersection count. Every branch mirrors the exact
+/// function through monotone steps: the trigram term is computed
+/// *exactly* (same integer counts, same division), the Jaro-Winkler,
+/// Levenshtein and token terms are replaced by dominating bounds, and
+/// the synonym boost — decided exactly via the containment bitmasks —
+/// is monotone in the base score.
+fn upper_bound(a: &NameFeatures, b: &NameFeatures, gram_inter: u32) -> f64 {
+    if a.lower == b.lower {
+        return 1.0;
+    }
+    let trigram = {
+        let (ga, gb) = (a.grams.len() as u32, b.grams.len() as u32);
+        if ga == 0 && gb == 0 {
+            1.0
+        } else {
+            gram_inter as f64 / (ga + gb - gram_inter) as f64
+        }
+    };
+    let c = common_chars(&a.counts, &b.counts);
+    let p = common_prefix((&a.prefix, a.prefix_len), (&b.prefix, b.prefix_len));
+    let jw = jaro_winkler_upper(c, a.len, b.len, p);
+    let lev = {
+        let max = a.len.max(b.len);
+        // dist ≥ max_len - common_chars, so sim = 1 - dist/max ≤ c/max.
+        if max == 0 {
+            1.0
+        } else {
+            c as f64 / max as f64
+        }
+    };
+    let base = jw.max(trigram).max(token_upper(a, b)).max(lev);
+    let synonym = (a.syn_left & b.syn_right) | (a.syn_right & b.syn_left) != 0;
+    if synonym {
+        (base + 0.85).min(0.97)
+    } else {
+        base
+    }
+}
+
+/// A trigram-inverted index over a fixed set of (target) identifiers
+/// that yields, per query, a *sound* upper bound on
+/// [`name_similarity`]`(query, name)` for every indexed name — pairs
+/// whose bound cannot clear a threshold can skip the exact kernels
+/// entirely. Bounds satisfy
+/// `upper_bounds(q)[i] + BOUND_SLACK ≥ name_similarity(q, names[i])`
+/// (property-tested in `tests/proptests.rs`).
+pub struct NameIndex {
+    names: Vec<NameFeatures>,
+    postings: HashMap<[char; 3], Vec<u32>>,
+}
+
+impl NameIndex {
+    /// Index the given names (typically the unique attribute names of
+    /// the match target).
+    pub fn build<S: AsRef<str>>(names: &[S]) -> NameIndex {
+        let names: Vec<NameFeatures> = names.iter().map(|s| NameFeatures::of(s.as_ref())).collect();
+        let mut postings: HashMap<[char; 3], Vec<u32>> = HashMap::new();
+        for (i, f) in names.iter().enumerate() {
+            for g in &f.grams {
+                postings.entry(*g).or_default().push(i as u32);
+            }
+        }
+        NameIndex { names, postings }
+    }
+
+    /// Number of indexed names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Upper bounds on `name_similarity(query, name)` for every indexed
+    /// name, in index order. One pass over the postings recovers the
+    /// exact trigram-intersection count per name; everything else reads
+    /// precomputed features.
+    pub fn upper_bounds(&self, query: &str) -> Vec<f64> {
+        let q = NameFeatures::of(query);
+        let mut inter = vec![0u32; self.names.len()];
+        for g in &q.grams {
+            if let Some(ids) = self.postings.get(g) {
+                for &id in ids {
+                    inter[id as usize] += 1;
+                }
+            }
+        }
+        self.names
+            .iter()
+            .zip(&inter)
+            .map(|(t, &gi)| upper_bound(&q, t, gi))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +351,44 @@ mod tests {
     #[test]
     fn unrelated_names_score_low() {
         assert!(name_similarity("genre", "duration") < 0.6);
+    }
+
+    #[test]
+    fn index_bounds_dominate_exact_similarity() {
+        let targets = [
+            "title", "name", "record_id", "trackLength", "artist", "pp", "x", "", "_",
+            "durée", "release year",
+        ];
+        let index = NameIndex::build(&targets);
+        assert_eq!(index.len(), targets.len());
+        for query in [
+            "Title", "album_name", "length", "id", "performer", "pages", "y", "", "__", "duree",
+            "year",
+        ] {
+            let ubs = index.upper_bounds(query);
+            for (t, ub) in targets.iter().zip(&ubs) {
+                let exact = name_similarity(query, t);
+                assert!(
+                    ub + BOUND_SLACK >= exact,
+                    "bound {ub} < exact {exact} for {query:?} vs {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_bounds_are_tight_enough_to_prune() {
+        // The point of the index: clearly unrelated names must bound
+        // below the default 0.55 attribute threshold.
+        let index = NameIndex::build(&["duration", "genre", "isbn"]);
+        for ub in index.upper_bounds("qwfp") {
+            // Disjoint character sets: every measure bounds to 0.
+            assert_eq!(ub, 0.0);
+        }
+        let ubs = index.upper_bounds("publisher_city");
+        assert!(ubs[1] < 0.55, "{ubs:?}"); // vs genre
+        // ...while true matches keep a bound at/above their exact score.
+        let ubs = index.upper_bounds("duration");
+        assert_eq!(ubs[0], 1.0);
     }
 }

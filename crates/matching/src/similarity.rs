@@ -160,6 +160,17 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     (j + prefix * 0.1 * (1.0 - j)).min(1.0)
 }
 
+/// The padded character-trigram set of `s` — the same grams
+/// [`trigram_jaccard`] compares, materialised for index construction
+/// (cold path: once per unique name, not per pair).
+pub(crate) fn trigram_set(s: &str) -> HashSet<[char; 3]> {
+    let mut buf: Vec<char> = Vec::with_capacity(s.len() + 2);
+    buf.push('^');
+    buf.extend(s.chars());
+    buf.push('$');
+    buf.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
+}
+
 /// Character-trigram Jaccard similarity (padded with `^`/`$`).
 pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
     // Fixed-width `[char; 3]` grams: no per-gram String allocation.

@@ -1,13 +1,54 @@
 //! Property-based tests for the matching substrate: similarity measures
 //! are bounded, symmetric and identity-respecting; the tokenizer never
 //! produces empty tokens; match accuracy behaves like a distance
-//! complement.
+//! complement; the [`NameIndex`] bounds dominate the exact similarity;
+//! the sparse flooding engine reproduces the reference bit-for-bit on
+//! arbitrary schemas.
 
-use efes_matching::{jaro_winkler, levenshtein, match_accuracy, tokenize, trigram_jaccard};
+use efes_matching::flooding::{
+    similarity_flooding, similarity_flooding_reference, FloodingConfig,
+};
+use efes_matching::{
+    jaro_winkler, levenshtein, match_accuracy, name_similarity, tokenize, trigram_jaccard,
+    CombinedMatcher, MatcherConfig, NameIndex, PrunePolicy,
+};
+use efes_profiling::ProfileCache;
+use efes_relational::{DataType, Database, DatabaseBuilder};
 use proptest::prelude::*;
 
 fn arb_ident() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9_ -]{0,24}"
+}
+
+/// Attribute-name vocabulary for random schemas: repeats across tables
+/// exercise the label-interning paths.
+const VOCAB: &[&str] = &[
+    "id", "name", "title", "genre", "year", "artist", "length", "track", "album", "récord",
+];
+
+/// A random schema-only database: up to 4 tables of up to 5 attributes,
+/// names drawn from [`VOCAB`] (deduplicated within a table).
+fn arb_schema(tag: &'static str) -> impl Strategy<Value = Database> {
+    proptest::collection::vec(
+        (0..VOCAB.len(), proptest::collection::vec(0..VOCAB.len(), 0..5)),
+        0..4,
+    )
+    .prop_map(move |tables| {
+        let mut b = DatabaseBuilder::new(tag);
+        for (ti, (tname, attrs)) in tables.into_iter().enumerate() {
+            let table = format!("t{ti}_{}", VOCAB[tname]);
+            b = b.table(&table, |mut t| {
+                let mut seen = std::collections::HashSet::new();
+                for a in &attrs {
+                    if seen.insert(*a) {
+                        t = t.attr(VOCAB[*a], DataType::Text);
+                    }
+                }
+                t
+            });
+        }
+        b.build().unwrap()
+    })
 }
 
 proptest! {
@@ -72,5 +113,70 @@ proptest! {
         let scratch = match_accuracy(&empty, &intended);
         prop_assert_eq!(scratch.accuracy, 0.0);
         prop_assert_eq!(scratch.additions, intended.len());
+    }
+
+    /// The name-index upper bound dominates the exact similarity for
+    /// arbitrary identifier pairs (the soundness contract pruning
+    /// rests on).
+    #[test]
+    fn name_index_bounds_dominate_similarity(
+        queries in proptest::collection::vec(arb_ident(), 1..6),
+        targets in proptest::collection::vec(arb_ident(), 1..6),
+    ) {
+        let index = NameIndex::build(&targets);
+        for q in &queries {
+            let bounds = index.upper_bounds(q);
+            for (t, ub) in targets.iter().zip(&bounds) {
+                let exact = name_similarity(q, t);
+                prop_assert!(
+                    ub + 1e-9 >= exact,
+                    "bound {} < exact {} for {:?} vs {:?}", ub, exact, q, t
+                );
+            }
+        }
+    }
+
+    /// The sparse flooding engine reproduces the reference bit-for-bit
+    /// on arbitrary schemas, including degenerate ones.
+    #[test]
+    fn sparse_flooding_equals_reference(
+        s in arb_schema("s"),
+        t in arb_schema("t"),
+        max_iterations in 1usize..12,
+    ) {
+        let config = FloodingConfig { max_iterations, epsilon: 1e-4 };
+        let sparse = similarity_flooding(&s, &t, &config);
+        let reference = similarity_flooding_reference(&s, &t, &config);
+        prop_assert_eq!(sparse.len(), reference.len());
+        for (pair, v) in &sparse {
+            let r = reference[pair];
+            prop_assert_eq!(v.to_bits(), r.to_bits(), "{:?}: {} != {}", pair, v, r);
+        }
+    }
+
+    /// Pruned matching emits exactly the exhaustive result on arbitrary
+    /// schema-only databases (the instance-backed cases are covered by
+    /// the registry differential test).
+    #[test]
+    fn pruned_matching_equals_exhaustive(
+        s in arb_schema("s"),
+        t in arb_schema("t"),
+        threshold in 0.0f64..1.0,
+    ) {
+        let config = MatcherConfig { attr_threshold: threshold, ..MatcherConfig::default() };
+        let cache = ProfileCache::new();
+        let mode = efes_exec::ExecutionMode::Sequential;
+        let exhaustive = CombinedMatcher::new(config.clone())
+            .with_prune(PrunePolicy::Off)
+            .propose_attribute_matches_stats(&s, &t, &cache, mode).0;
+        let pruned = CombinedMatcher::new(config)
+            .with_prune(PrunePolicy::On)
+            .propose_attribute_matches_stats(&s, &t, &cache, mode).0;
+        prop_assert_eq!(exhaustive.len(), pruned.len());
+        for (e, p) in exhaustive.iter().zip(&pruned) {
+            prop_assert_eq!(e.source, p.source);
+            prop_assert_eq!(e.target, p.target);
+            prop_assert_eq!(e.score.to_bits(), p.score.to_bits());
+        }
     }
 }

@@ -1,0 +1,81 @@
+//! The `EFES_MATCH_PRUNE` escape hatch. Environment variables are
+//! process-global, so this lives in its own integration-test binary
+//! (one process) instead of sharing a test binary with tests that rely
+//! on the default.
+
+use efes_matching::{parse_match_prune, CombinedMatcher, MatcherConfig, PrunePolicy};
+use efes_profiling::ProfileCache;
+use efes_relational::{DataType, Database, DatabaseBuilder};
+
+fn src() -> Database {
+    DatabaseBuilder::new("s")
+        .table("albums", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("name", DataType::Text)
+                .attr("genre", DataType::Text)
+        })
+        .build()
+        .unwrap()
+}
+
+fn tgt() -> Database {
+    DatabaseBuilder::new("t")
+        .table("records", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("genre", DataType::Text)
+        })
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn env_var_forces_the_exhaustive_path() {
+    let (s, t) = (src(), tgt());
+    let matcher = CombinedMatcher::new(MatcherConfig::default());
+    let run = |m: &CombinedMatcher| {
+        m.propose_attribute_matches_stats(
+            &s,
+            &t,
+            &ProfileCache::new(),
+            efes_exec::ExecutionMode::Sequential,
+        )
+    };
+
+    std::env::set_var("EFES_MATCH_PRUNE", "off");
+    assert!(!PrunePolicy::FromEnv.enabled());
+    let (matches_off, stats_off) = run(&matcher);
+    assert_eq!(stats_off.pairs_pruned, 0, "exhaustive path must not prune");
+    assert_eq!(stats_off.pairs_scored, stats_off.pairs_total);
+
+    std::env::set_var("EFES_MATCH_PRUNE", "on");
+    assert!(PrunePolicy::FromEnv.enabled());
+    let (matches_on, _) = run(&matcher);
+
+    std::env::remove_var("EFES_MATCH_PRUNE");
+    assert!(PrunePolicy::FromEnv.enabled(), "unset defaults to on");
+
+    // The hatch changes the execution path, never the result.
+    assert_eq!(matches_off.len(), matches_on.len());
+    for (a, b) in matches_off.iter().zip(&matches_on) {
+        assert_eq!((a.source, a.target), (b.source, b.target));
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+
+    // Explicit policies override whatever the environment says.
+    std::env::set_var("EFES_MATCH_PRUNE", "off");
+    assert!(PrunePolicy::On.enabled());
+    assert!(!PrunePolicy::Off.enabled());
+    std::env::remove_var("EFES_MATCH_PRUNE");
+}
+
+#[test]
+fn parse_accepts_the_documented_spellings() {
+    for on in ["on", "1", "true", "yes", "", " ON "] {
+        assert_eq!(parse_match_prune(on), Some(true), "{on:?}");
+    }
+    for off in ["off", "0", "false", "no", "OFF"] {
+        assert_eq!(parse_match_prune(off), Some(false), "{off:?}");
+    }
+    assert_eq!(parse_match_prune("maybe"), None);
+}

@@ -12,6 +12,10 @@
 //! * `POST /estimate` — price a registered scenario by name, with
 //!   per-request quality, module selection and deadline
 //!   ([`efes::EstimateRequest`] / [`efes::EstimateResponse`]);
+//! * `POST /match` — run the candidate-pruned combined matcher over one
+//!   source of a registered scenario and return the accepted attribute
+//!   correspondences by name ([`server::MatchRequest`] /
+//!   [`server::MatchResponse`]);
 //! * `GET /scenarios` — list what the registry serves;
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — Prometheus text: request counters, per-stage
@@ -33,4 +37,4 @@ pub mod metrics;
 pub mod server;
 
 pub use metrics::{Endpoint, Metrics, Sampled};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{MatchEntry, MatchRequest, MatchResponse, Server, ServerConfig, ServerHandle};

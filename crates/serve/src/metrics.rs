@@ -49,6 +49,8 @@ impl Histogram {
 pub enum Endpoint {
     /// `POST /estimate`
     Estimate,
+    /// `POST /match`
+    Match,
     /// `GET /scenarios`
     Scenarios,
     /// `GET /healthz`
@@ -60,8 +62,9 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Estimate,
+        Endpoint::Match,
         Endpoint::Scenarios,
         Endpoint::Healthz,
         Endpoint::Metrics,
@@ -71,6 +74,7 @@ impl Endpoint {
     fn label(self) -> &'static str {
         match self {
             Endpoint::Estimate => "estimate",
+            Endpoint::Match => "match",
             Endpoint::Scenarios => "scenarios",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
@@ -81,10 +85,11 @@ impl Endpoint {
     fn index(self) -> usize {
         match self {
             Endpoint::Estimate => 0,
-            Endpoint::Scenarios => 1,
-            Endpoint::Healthz => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Other => 4,
+            Endpoint::Match => 1,
+            Endpoint::Scenarios => 2,
+            Endpoint::Healthz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Other => 5,
         }
     }
 }
@@ -116,9 +121,11 @@ pub struct Sampled {
 /// path feeds, and a renderer for the exposition format.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 5],
+    requests: [AtomicU64; 6],
     /// Completed estimates (`200`).
     pub estimates_ok: AtomicU64,
+    /// Completed schema-match requests (`200`).
+    pub matches_ok: AtomicU64,
     /// Requests shed because the queue was full (`429`).
     pub rejected_queue_full: AtomicU64,
     /// Requests whose deadline expired before completion (`503`).
@@ -184,11 +191,16 @@ impl Metrics {
             );
         }
 
-        let counters: [(&str, &str, u64); 8] = [
+        let counters: [(&str, &str, u64); 9] = [
             (
                 "efes_estimates_ok_total",
                 "Estimates completed successfully.",
                 self.estimates_ok.load(Ordering::Relaxed),
+            ),
+            (
+                "efes_matches_ok_total",
+                "Schema-match requests completed successfully.",
+                self.matches_ok.load(Ordering::Relaxed),
             ),
             (
                 "efes_rejected_total",
@@ -339,6 +351,8 @@ mod tests {
         m.count_request(Endpoint::Estimate);
         m.count_request(Endpoint::Estimate);
         m.count_request(Endpoint::Healthz);
+        m.count_request(Endpoint::Match);
+        m.matches_ok.fetch_add(1, Ordering::Relaxed);
         m.rejected_queue_full.fetch_add(3, Ordering::Relaxed);
         m.observe_stage("values", 12.0);
         m.observe_stage("values", 800.0);
@@ -356,6 +370,8 @@ mod tests {
         });
         assert!(text.contains("efes_requests_total{endpoint=\"estimate\"} 2"));
         assert!(text.contains("efes_requests_total{endpoint=\"healthz\"} 1"));
+        assert!(text.contains("efes_requests_total{endpoint=\"match\"} 1"));
+        assert!(text.contains("efes_matches_ok_total 1"));
         assert!(text.contains("efes_rejected_total 3"));
         assert!(text.contains("efes_queue_depth 2"));
         assert!(text.contains("efes_queue_capacity 8"));

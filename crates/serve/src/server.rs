@@ -17,7 +17,9 @@ use efes::{
     ModuleError, ScenarioRegistry,
 };
 use efes_exec::{CancellationToken, SubmitError, WorkerPool};
+use efes_matching::{CombinedMatcher, MatcherConfig};
 use efes_profiling::ProfileCache;
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -422,12 +424,16 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             state.metrics.count_request(Endpoint::Estimate);
             handle_estimate(state, request)
         }
+        ("POST", "/match") => {
+            state.metrics.count_request(Endpoint::Match);
+            handle_match(state, request)
+        }
         ("POST", "/shutdown") if state.config.allow_remote_shutdown => {
             state.metrics.count_request(Endpoint::Other);
             state.request_shutdown();
             Response::json(200, &b"{\"status\":\"shutting down\"}"[..])
         }
-        (_, "/healthz" | "/scenarios" | "/metrics" | "/estimate") => {
+        (_, "/healthz" | "/scenarios" | "/metrics" | "/estimate" | "/match") => {
             state.metrics.count_request(Endpoint::Other);
             state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
             Response::error(405, &format!("{} not allowed on {}", request.method, request.path))
@@ -549,5 +555,168 @@ fn handle_estimate(state: &Arc<ServerState>, request: &Request) -> Response {
                 Response::error(500, &format!("estimation failed: {e}"))
             }
         },
+    }
+}
+
+/// A schema-match request: run the combined matcher over one source of
+/// a registered scenario. Wire format is a JSON object; only
+/// `"scenario"` is required — `"source"` (index into the scenario's
+/// sources) defaults to `0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchRequest {
+    /// Name of a registered scenario.
+    pub scenario: String,
+    /// Which source database to match against the target.
+    pub source: usize,
+}
+
+impl Serialize for MatchRequest {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                Content::Str("scenario".into()),
+                Content::Str(self.scenario.clone()),
+            ),
+            (Content::Str("source".into()), self.source.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for MatchRequest {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("JSON object for `MatchRequest`"))?;
+        let scenario = match content_get(map, "scenario") {
+            Some(v) => String::from_content(v)?,
+            None => return Err(DeError::missing_field("MatchRequest", "scenario")),
+        };
+        let mut request = MatchRequest {
+            scenario,
+            source: 0,
+        };
+        if let Some(v) = content_get(map, "source") {
+            request.source = usize::from_content(v)?;
+        }
+        Ok(request)
+    }
+}
+
+/// One proposed attribute correspondence on the wire, by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchEntry {
+    /// Source table name.
+    pub source_table: String,
+    /// Source attribute name.
+    pub source_attr: String,
+    /// Target table name.
+    pub target_table: String,
+    /// Target attribute name.
+    pub target_attr: String,
+    /// Combined similarity score.
+    pub score: f64,
+}
+
+/// The `POST /match` response: the accepted 1:1 correspondences plus
+/// how much of the pair grid the candidate filter pruned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchResponse {
+    /// The scenario that was matched.
+    pub scenario: String,
+    /// Index of the matched source database.
+    pub source: usize,
+    /// Size of the full source×target attribute grid.
+    pub pairs_total: u64,
+    /// Pairs skipped by the candidate filter.
+    pub pairs_pruned: u64,
+    /// Accepted correspondences, best first.
+    pub matches: Vec<MatchEntry>,
+}
+
+/// `POST /match` — synchronous: the matcher is orders of magnitude
+/// cheaper than an estimate (no instance profiling beyond the named
+/// source/target columns), so it runs on the connection thread instead
+/// of the job queue.
+fn handle_match(state: &Arc<ServerState>, request: &Request) -> Response {
+    if state.shutting_down.load(Ordering::Acquire) {
+        return Response::error(503, "server is shutting down");
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    let match_request: MatchRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, &format!("invalid match request: {e}"));
+        }
+    };
+    let Some(scenario) = state.registry.get(&match_request.scenario) else {
+        state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            404,
+            &format!("unknown scenario {:?}", match_request.scenario),
+        );
+    };
+    let Some(source) = scenario.sources.get(match_request.source) else {
+        state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            404,
+            &format!(
+                "scenario {:?} has {} sources, no index {}",
+                match_request.scenario,
+                scenario.sources.len(),
+                match_request.source
+            ),
+        );
+    };
+
+    let started = Instant::now();
+    // A fresh cache per request: the matcher keys its source columns as
+    // `DbTag(0)` whatever the source index, so the scenario's shared
+    // estimate cache (keyed by real source indices) must not be mixed
+    // in.
+    let matcher = CombinedMatcher::new(MatcherConfig::default());
+    let (proposed, stats) = matcher.propose_attribute_matches_stats(
+        source,
+        &scenario.target,
+        &ProfileCache::new(),
+        state.config.estimation.mode(),
+    );
+    state
+        .metrics
+        .observe_stage("matching", started.elapsed().as_secs_f64() * 1e3);
+
+    let matches = proposed
+        .into_iter()
+        .map(|m| {
+            let s_table = source.schema.table(m.source.0);
+            let t_table = scenario.target.schema.table(m.target.0);
+            MatchEntry {
+                source_table: s_table.name.clone(),
+                source_attr: s_table.attributes[m.source.1 .0].name.clone(),
+                target_table: t_table.name.clone(),
+                target_attr: t_table.attributes[m.target.1 .0].name.clone(),
+                score: m.score,
+            }
+        })
+        .collect();
+    let response = MatchResponse {
+        scenario: match_request.scenario,
+        source: match_request.source,
+        pairs_total: stats.pairs_total as u64,
+        pairs_pruned: stats.pairs_pruned as u64,
+        matches,
+    };
+    match serde_json::to_string(&response) {
+        Ok(body) => {
+            state.metrics.matches_ok.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, body.into_bytes())
+        }
+        Err(e) => {
+            state.metrics.estimate_errors.fetch_add(1, Ordering::Relaxed);
+            Response::error(500, &format!("serialising match result: {e}"))
+        }
     }
 }

@@ -10,7 +10,7 @@ use efes::{
 use efes_relational::{
     CorrespondenceBuilder, DataType, DatabaseBuilder, IntegrationScenario, Value,
 };
-use efes_serve::{Server, ServerConfig, ServerHandle};
+use efes_serve::{MatchResponse, Server, ServerConfig, ServerHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -48,6 +48,17 @@ fn post_estimate(addr: SocketAddr, body: &str) -> (u16, String, String) {
         addr,
         format!(
             "POST /estimate HTTP/1.1\r\nhost: efes\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn post_match(addr: SocketAddr, body: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!(
+            "POST /match HTTP/1.1\r\nhost: efes\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -300,6 +311,48 @@ fn graceful_shutdown_drains_in_flight_estimates() {
 
     // And the listener is gone.
     assert!(TcpStream::connect_timeout(&addr, Duration::from_secs(1)).is_err());
+}
+
+#[test]
+fn match_endpoint_proposes_correspondences_by_name() {
+    let handle = Server::start(ServerConfig::default(), efes_scenarios::standard_registry())
+        .expect("start server");
+    let addr = handle.addr();
+
+    let (status, _, body) = post_match(addr, r#"{"scenario":"music-example"}"#);
+    assert_eq!(status, 200, "body: {body}");
+    let served: MatchResponse = serde_json::from_str(&body).expect("parse match response");
+    assert_eq!(served.scenario, "music-example");
+    assert_eq!(served.source, 0);
+    assert!(served.pairs_total > 0);
+    assert!(!served.matches.is_empty(), "body: {body}");
+    for m in &served.matches {
+        assert!(m.score > 0.0 && m.score <= 1.0, "score {m:?}");
+        assert!(!m.source_attr.is_empty() && !m.target_attr.is_empty());
+    }
+    // Best-first ordering survives the wire.
+    for pair in served.matches.windows(2) {
+        assert!(pair[0].score >= pair[1].score, "body: {body}");
+    }
+
+    // Error paths: unknown scenario, out-of-range source, bad JSON.
+    assert_eq!(post_match(addr, r#"{"scenario":"no-such"}"#).0, 404);
+    let (status, _, body) = post_match(addr, r#"{"scenario":"music-example","source":99}"#);
+    assert_eq!(status, 404, "body: {body}");
+    assert!(body.contains("no index 99"), "body: {body}");
+    assert_eq!(post_match(addr, "{nope").0, 400);
+
+    let metrics = handle.scrape();
+    assert!(
+        metrics.contains("efes_requests_total{endpoint=\"match\"} 4"),
+        "metrics:\n{metrics}"
+    );
+    assert!(metrics.contains("efes_matches_ok_total 1"), "metrics:\n{metrics}");
+    assert!(
+        metrics.contains("efes_stage_latency_ms_count{stage=\"matching\"} 1"),
+        "metrics:\n{metrics}"
+    );
+    handle.shutdown();
 }
 
 #[test]
