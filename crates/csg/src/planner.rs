@@ -6,6 +6,24 @@
 //! where the execution order of cleaning tasks forms a cycle. In most
 //! cases, these cycles are a consequence of contradicting repair tasks.
 //! EFES proposes only consistent repair strategies."*
+//!
+//! ## Scaling (measured by `bench_scale`, 2026-08)
+//!
+//! The planner and the violation simulation feeding it are the
+//! pipeline's dominant super-linear stage. The committed
+//! `BENCH_scale.json` sweep (synthetic scenarios, 10⁴ → 10⁶ rows)
+//! fits `csg_planning` at an overall exponent of **≈ 1.46**
+//! (r² = 0.98) while profiling and matching stay at ≈ 1.0; worse, the
+//! local exponent between the last two points (316 k → 1 M rows) is
+//! **≈ 2.4** — 1.28 s to 20.1 s for a 3.16× row increase. The hot path
+//! is not this module's fixpoint loop but the link-set evaluation it
+//! leans on: `CsgInstance::eval` materialises
+//! `LinkSet = BTreeSet<(Vec<u32>, Vec<u32>)>`, paying two heap
+//! allocations plus an `O(log n)` vector-compare insert per link, per
+//! conflict check, per planner iteration. Replacing the eval path for
+//! atomic/compose expressions with flat count arrays (no materialised
+//! keys) is the next optimisation; it is deliberately deferred out of
+//! this change, which only instruments and documents it.
 
 use crate::cardinality::Cardinality;
 use crate::convert::CsgConversion;

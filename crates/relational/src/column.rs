@@ -155,7 +155,7 @@ impl<'a> ValueRef<'a> {
 }
 
 /// A packed validity mask: bit `i` set means row `i` is NULL.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NullBitmap {
     words: Vec<u64>,
     count: usize,
@@ -196,7 +196,7 @@ pub const NULL_CODE: u32 = u32::MAX;
 
 /// Dictionary-encoded text column: every distinct string is stored once
 /// in a shared arena (in first-seen order), rows hold `u32` codes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TextColumn {
     /// Per-row dictionary code; [`NULL_CODE`] for NULL rows.
     codes: Vec<u32>,
@@ -210,15 +210,15 @@ pub struct TextColumn {
 }
 
 impl TextColumn {
-    fn build(rows: &[Row], attr: usize) -> Self {
+    fn build_with<'a>(len: usize, get: impl Fn(usize) -> &'a Value) -> Self {
         let mut col = TextColumn {
-            codes: Vec::with_capacity(rows.len()),
+            codes: Vec::with_capacity(len),
             ..TextColumn::default()
         };
         col.offsets.push(0);
-        let mut dict: HashMap<&str, u32> = HashMap::new();
-        for row in rows {
-            match &row[attr] {
+        let mut dict: HashMap<&'a str, u32> = HashMap::new();
+        for i in 0..len {
+            match get(i) {
                 Value::Null => {
                     col.null_count += 1;
                     col.codes.push(NULL_CODE);
@@ -287,7 +287,7 @@ impl TextColumn {
 }
 
 /// A typed, contiguous copy of one attribute's cells.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// All cells `Int` or NULL.
     Int {
@@ -328,11 +328,35 @@ impl Column {
 
     /// Build the typed representation of column `attr` of `rows`.
     pub fn build(rows: &[Row], attr: usize) -> Column {
+        Self::build_typed(rows.len(), |i| &rows[i][attr])
+            .unwrap_or_else(|| Column::Mixed(rows.iter().map(|r| r[attr].clone()).collect()))
+    }
+
+    /// Build the typed representation of an owned column of cells — the
+    /// column-major twin of [`Column::build`], used by generators that
+    /// produce data column-wise and stream it straight into the store.
+    ///
+    /// Shares the classify-then-build core with [`Column::build`], so a
+    /// column loaded through this path is identical to the one a lazy
+    /// rebuild from the derived rows would produce. The type-mixed (or
+    /// all-NULL) fallback reuses `cells` without copying.
+    pub fn from_cells(cells: Vec<Value>) -> Column {
+        match Self::build_typed(cells.len(), |i| &cells[i]) {
+            Some(col) => col,
+            None => Column::Mixed(cells),
+        }
+    }
+
+    /// The classify-then-build core shared by [`Column::build`] and
+    /// [`Column::from_cells`]: `None` means the cells are type-mixed (or
+    /// all-NULL/empty) and the caller should fall back to
+    /// [`Column::Mixed`].
+    fn build_typed<'a>(len: usize, get: impl Fn(usize) -> &'a Value) -> Option<Column> {
         // First pass: classify. The per-cell work is a discriminant read,
         // so this costs far less than the build it steers.
         let (mut ints, mut floats, mut texts, mut bools) = (0usize, 0usize, 0usize, 0usize);
-        for row in rows {
-            match &row[attr] {
+        for i in 0..len {
+            match get(i) {
                 Value::Null => {}
                 Value::Int(_) => ints += 1,
                 Value::Float(_) => floats += 1,
@@ -343,16 +367,16 @@ impl Column {
         let non_null = ints + floats + texts + bools;
         if non_null == 0 {
             // All-NULL or empty: nothing to type.
-            return Column::Mixed(rows.iter().map(|r| r[attr].clone()).collect());
+            return None;
         }
         if texts == non_null {
-            return Column::Text(TextColumn::build(rows, attr));
+            return Some(Column::Text(TextColumn::build_with(len, get)));
         }
         if ints == non_null {
-            let mut values = Vec::with_capacity(rows.len());
-            let mut nulls = NullBitmap::new(rows.len());
-            for (i, row) in rows.iter().enumerate() {
-                match &row[attr] {
+            let mut values = Vec::with_capacity(len);
+            let mut nulls = NullBitmap::new(len);
+            for i in 0..len {
+                match get(i) {
                     Value::Int(v) => values.push(*v),
                     Value::Null => {
                         nulls.set(i);
@@ -361,13 +385,13 @@ impl Column {
                     other => unreachable!("int column holds {other:?}"),
                 }
             }
-            return Column::Int { values, nulls };
+            return Some(Column::Int { values, nulls });
         }
         if floats == non_null {
-            let mut values = Vec::with_capacity(rows.len());
-            let mut nulls = NullBitmap::new(rows.len());
-            for (i, row) in rows.iter().enumerate() {
-                match &row[attr] {
+            let mut values = Vec::with_capacity(len);
+            let mut nulls = NullBitmap::new(len);
+            for i in 0..len {
+                match get(i) {
                     Value::Float(v) => values.push(*v),
                     Value::Null => {
                         nulls.set(i);
@@ -376,13 +400,13 @@ impl Column {
                     other => unreachable!("float column holds {other:?}"),
                 }
             }
-            return Column::Float { values, nulls };
+            return Some(Column::Float { values, nulls });
         }
         if bools == non_null {
-            let mut values = Vec::with_capacity(rows.len());
-            let mut nulls = NullBitmap::new(rows.len());
-            for (i, row) in rows.iter().enumerate() {
-                match &row[attr] {
+            let mut values = Vec::with_capacity(len);
+            let mut nulls = NullBitmap::new(len);
+            for i in 0..len {
+                match get(i) {
                     Value::Bool(v) => values.push(*v),
                     Value::Null => {
                         nulls.set(i);
@@ -391,9 +415,20 @@ impl Column {
                     other => unreachable!("bool column holds {other:?}"),
                 }
             }
-            return Column::Bool { values, nulls };
+            return Some(Column::Bool { values, nulls });
         }
-        Column::Mixed(rows.iter().map(|r| r[attr].clone()).collect())
+        None
+    }
+
+    /// A short label of the column's typed variant, for error messages.
+    pub fn type_label(&self) -> &'static str {
+        match self {
+            Column::Int { .. } => "integer column",
+            Column::Float { .. } => "float column",
+            Column::Text(_) => "text column",
+            Column::Bool { .. } => "boolean column",
+            Column::Mixed(_) => "mixed column",
+        }
     }
 
     /// Number of rows.
@@ -708,6 +743,23 @@ mod tests {
         assert_eq!(parse_columnar("OFF"), Some(false));
         assert_eq!(parse_columnar(" 0 "), Some(false));
         assert_eq!(parse_columnar("bogus"), None);
+    }
+
+    #[test]
+    fn from_cells_matches_row_major_build() {
+        let shapes: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Null, Value::Int(3)],
+            vec![Value::Text("b".into()), Value::Text("a".into()), Value::Null],
+            vec![Value::Float(1.5), Value::Null],
+            vec![Value::Bool(true), Value::Bool(false)],
+            vec![Value::Int(1), Value::Text("x".into())],
+            vec![Value::Null, Value::Null],
+            vec![],
+        ];
+        for cells in shapes {
+            let r: Vec<Row> = cells.iter().map(|v| vec![v.clone()]).collect();
+            assert_eq!(Column::from_cells(cells), Column::build(&r, 0));
+        }
     }
 
     #[test]

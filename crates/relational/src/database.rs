@@ -47,6 +47,23 @@ impl Database {
         self.instance.insert(&self.schema, tid, row)
     }
 
+    /// Replace the named table's data with pre-built typed columns (one
+    /// per attribute, in declaration order), with arity and type
+    /// checking. The columnar cache is seeded with the given columns, so
+    /// downstream profiling never rebuilds them — the bulk-load twin of
+    /// [`Database::insert_by_name`].
+    pub fn load_columns_by_name(
+        &mut self,
+        table: &str,
+        columns: Vec<crate::column::Column>,
+    ) -> Result<()> {
+        let tid = self
+            .schema
+            .table_id(table)
+            .ok_or_else(|| crate::error::Error::UnknownTable(table.to_owned()))?;
+        self.instance.load_columns(&self.schema, tid, columns)
+    }
+
     /// Validate the instance against the declared constraints.
     pub fn validate(&self) -> Vec<Violation> {
         self.instance.validate(&self.schema, &self.constraints)

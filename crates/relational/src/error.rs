@@ -32,6 +32,13 @@ pub enum Error {
         /// The offending row's length.
         actual: usize,
     },
+    /// Columns loaded together disagree on row count.
+    ColumnShape {
+        /// Row count of the first column.
+        expected: usize,
+        /// Row count of the offending column.
+        actual: usize,
+    },
     /// A value does not conform to the declared attribute type.
     TypeMismatch {
         /// The target table.
@@ -80,6 +87,10 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "row for table `{table}` has {actual} values, expected {expected}"
+            ),
+            Error::ColumnShape { expected, actual } => write!(
+                f,
+                "columns disagree on row count: {actual} rows, expected {expected}"
             ),
             Error::TypeMismatch {
                 table,

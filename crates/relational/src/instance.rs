@@ -54,6 +54,44 @@ impl TableData {
         Self::default()
     }
 
+    /// Build table data from pre-built typed columns, one per attribute.
+    ///
+    /// The rows (the source of truth) are derived from the columns, and
+    /// the columnar cache is pre-seeded with the *same* column values, so
+    /// a generator that produces data column-wise never pays a second
+    /// [`Column::build`] pass on first profile. Because
+    /// [`Column::from_cells`] and the lazy rebuild share one build core,
+    /// the seeded cache is indistinguishable from a rebuilt one.
+    ///
+    /// Fails with [`Error::ColumnShape`] if the columns disagree on row
+    /// count.
+    pub fn from_columns(columns: Vec<Column>) -> Result<TableData> {
+        let len = columns.first().map(Column::len).unwrap_or(0);
+        if let Some(odd) = columns.iter().find(|c| c.len() != len) {
+            return Err(Error::ColumnShape {
+                expected: len,
+                actual: odd.len(),
+            });
+        }
+        let rows: Vec<Row> = (0..len)
+            .map(|i| columns.iter().map(|c| c.value(i).to_value()).collect())
+            .collect();
+        let data = TableData {
+            rows,
+            columns: OnceLock::new(),
+        };
+        let slots: Vec<OnceLock<Column>> = columns
+            .into_iter()
+            .map(|c| {
+                let slot = OnceLock::new();
+                let _ = slot.set(c);
+                slot
+            })
+            .collect();
+        let _ = data.columns.set(slots);
+        Ok(data)
+    }
+
     /// Append a row (shape is checked by [`Instance::insert`]).
     fn push(&mut self, row: Row) {
         self.rows.push(row);
@@ -161,6 +199,49 @@ impl Instance {
             }
         }
         self.tables[table.0].push(row);
+        Ok(())
+    }
+
+    /// Replace one table's data with columns built column-wise, checking
+    /// arity and declared types against `schema`.
+    ///
+    /// The type check is variant-level for typed columns (a whole
+    /// [`Column::Int`] is admissible exactly when one `Int` cell is), so
+    /// it costs O(1) per typed column; only [`Column::Mixed`] falls back
+    /// to a per-cell [`DataType::admits`](crate::DataType::admits) walk.
+    pub fn load_columns(
+        &mut self,
+        schema: &Schema,
+        table: TableId,
+        columns: Vec<Column>,
+    ) -> Result<()> {
+        let t = schema.table(table);
+        if columns.len() != t.arity() {
+            return Err(Error::RowShape {
+                table: t.name.clone(),
+                expected: t.arity(),
+                actual: columns.len(),
+            });
+        }
+        for (i, col) in columns.iter().enumerate() {
+            let attr = &t.attributes[i];
+            let ok = match col {
+                Column::Int { .. } => attr.datatype.admits(&Value::Int(0)),
+                Column::Float { .. } => attr.datatype.admits(&Value::Float(0.0)),
+                Column::Text(_) => attr.datatype == crate::datatype::DataType::Text,
+                Column::Bool { .. } => attr.datatype == crate::datatype::DataType::Boolean,
+                Column::Mixed(cells) => cells.iter().all(|v| attr.datatype.admits(v)),
+            };
+            if !ok {
+                return Err(Error::TypeMismatch {
+                    table: t.name.clone(),
+                    attribute: attr.name.clone(),
+                    expected: attr.datatype.to_string(),
+                    actual: col.type_label().to_owned(),
+                });
+            }
+        }
+        self.tables[table.0] = TableData::from_columns(columns)?;
         Ok(())
     }
 
@@ -404,6 +485,80 @@ mod tests {
             db.insert_by_name("records", vec!["notint".into(), "T".into()]),
             Err(Error::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn from_columns_derives_rows_and_seeds_cache() {
+        let id = Column::from_cells(vec![1.into(), 2.into()]);
+        let title = Column::from_cells(vec!["A".into(), Value::Null]);
+        let data = TableData::from_columns(vec![id.clone(), title.clone()]).unwrap();
+        assert_eq!(
+            data.rows(),
+            &[vec![Value::Int(1), Value::Text("A".into())], vec![Value::Int(2), Value::Null]]
+        );
+        // The cache is pre-seeded: the store is the very column we loaded.
+        assert_eq!(data.column_store(AttrId(0)), Some(&id));
+        assert_eq!(data.column_store(AttrId(1)), Some(&title));
+        // And it equals what a lazy rebuild from the rows would produce.
+        let rebuilt = data.clone();
+        assert_eq!(rebuilt.column_store(AttrId(1)), Some(&title));
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged_lengths() {
+        let a = Column::from_cells(vec![1.into(), 2.into()]);
+        let b = Column::from_cells(vec![1.into()]);
+        assert!(matches!(
+            TableData::from_columns(vec![a, b]),
+            Err(Error::ColumnShape { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn load_columns_by_name_checks_arity_and_types() {
+        let mut database = db();
+        // Wrong arity.
+        assert!(matches!(
+            database.load_columns_by_name("records", vec![Column::from_cells(vec![1.into()])]),
+            Err(Error::RowShape { .. })
+        ));
+        // Wrong type for `id` (text column into an integer attribute).
+        assert!(matches!(
+            database.load_columns_by_name(
+                "records",
+                vec![
+                    Column::from_cells(vec!["x".into()]),
+                    Column::from_cells(vec!["t".into()]),
+                ]
+            ),
+            Err(Error::TypeMismatch { .. })
+        ));
+        // A valid load replaces the data wholesale and validates clean.
+        database
+            .load_columns_by_name(
+                "records",
+                vec![
+                    Column::from_cells(vec![7.into(), 8.into()]),
+                    Column::from_cells(vec!["X".into(), "Y".into()]),
+                ]
+            )
+            .unwrap();
+        database
+            .load_columns_by_name(
+                "tracks",
+                vec![
+                    Column::from_cells(vec![7.into()]),
+                    Column::from_cells(vec!["x".into()]),
+                ]
+            )
+            .unwrap();
+        let t = database.schema.table_id("records").unwrap();
+        assert_eq!(database.instance.table(t).len(), 2);
+        assert_eq!(
+            database.instance.distinct_values(t, AttrId(0)),
+            vec![Value::Int(7), Value::Int(8)]
+        );
+        assert!(database.validate().is_empty());
     }
 
     #[test]

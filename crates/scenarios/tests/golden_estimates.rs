@@ -1,0 +1,133 @@
+//! Golden-figure regression: the estimates for every scenario in the
+//! standard registry are pinned, per quality level, down to exact float
+//! bits. Any change to profiling, matching, conflict detection, planning
+//! or pricing that shifts a number must consciously regenerate the
+//! golden file:
+//!
+//! ```sh
+//! EFES_GOLDEN_REGEN=1 cargo test -p efes-scenarios --test golden_estimates
+//! ```
+//!
+//! and the resulting diff of `tests/golden/estimates.json` is the
+//! reviewable record of what moved.
+
+use efes::prelude::*;
+use efes::settings::Quality;
+use efes_scenarios::standard_registry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// What we pin per (scenario, quality): the totals and the per-category
+/// breakdown the paper's figures stack, plus the task count so pure
+/// re-bucketing can't hide behind unchanged sums.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenEntry {
+    total_minutes: f64,
+    task_count: usize,
+    by_category: BTreeMap<String, f64>,
+}
+
+type Golden = BTreeMap<String, BTreeMap<String, GoldenEntry>>;
+
+fn quality_key(q: Quality) -> &'static str {
+    match q {
+        Quality::LowEffort => "low_effort",
+        Quality::HighQuality => "high_quality",
+    }
+}
+
+fn compute_golden() -> Golden {
+    let registry = standard_registry();
+    let mut out = Golden::new();
+    let mut names: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+    names.sort();
+    for name in names {
+        let scenario = registry.get(&name).expect("registry name resolves");
+        let mut per_quality = BTreeMap::new();
+        for quality in [Quality::LowEffort, Quality::HighQuality] {
+            let estimate = Estimator::with_default_modules(EstimationConfig::for_quality(quality))
+                .estimate(&scenario)
+                .expect("standard scenarios estimate cleanly");
+            let by_category = estimate
+                .by_category()
+                .into_iter()
+                .map(|(c, m)| (format!("{c:?}"), m))
+                .collect();
+            per_quality.insert(
+                quality_key(quality).to_owned(),
+                GoldenEntry {
+                    total_minutes: estimate.total_minutes(),
+                    task_count: estimate.tasks.len(),
+                    by_category,
+                },
+            );
+        }
+        out.insert(name, per_quality);
+    }
+    out
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("estimates.json")
+}
+
+#[test]
+fn registry_estimates_match_golden_file() {
+    let actual = compute_golden();
+    let path = golden_path();
+    if std::env::var_os("EFES_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, serde_json::to_string_pretty(&actual).unwrap()).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with EFES_GOLDEN_REGEN=1 to create it",
+            path.display()
+        )
+    });
+    let expected: Golden = serde_json::from_str(&raw).expect("golden file parses");
+    // Compare scenario-by-scenario for reviewable failures.
+    let expected_names: Vec<&String> = expected.keys().collect();
+    let actual_names: Vec<&String> = actual.keys().collect();
+    assert_eq!(expected_names, actual_names, "registry membership changed");
+    for (name, expected_qualities) in &expected {
+        let actual_qualities = &actual[name];
+        assert_eq!(
+            expected_qualities, actual_qualities,
+            "estimate drifted for `{name}` — if intentional, regenerate with EFES_GOLDEN_REGEN=1"
+        );
+    }
+}
+
+#[test]
+fn golden_file_covers_all_ten_scenarios_at_both_qualities() {
+    if std::env::var_os("EFES_GOLDEN_REGEN").is_some() {
+        // The regen run rewrites the file concurrently; coverage is
+        // checked on the next ordinary run.
+        return;
+    }
+    let path = golden_path();
+    let raw = std::fs::read_to_string(&path).expect("golden file exists");
+    let golden: Golden = serde_json::from_str(&raw).unwrap();
+    assert_eq!(golden.len(), 10, "one entry per registry scenario");
+    for (name, per_quality) in &golden {
+        assert_eq!(per_quality.len(), 2, "both qualities pinned for {name}");
+        for (quality, entry) in per_quality {
+            assert!(
+                entry.total_minutes.is_finite() && entry.total_minutes >= 0.0,
+                "{name}/{quality} total is sane"
+            );
+            let category_sum: f64 = entry.by_category.values().sum();
+            assert!(
+                (category_sum - entry.total_minutes).abs() <= 1e-9 * entry.total_minutes.max(1.0),
+                "{name}/{quality}: categories must sum to the total"
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The generator's knobs: scenario shape and dirtiness rates.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape knobs: how large the generated scenario is.
+///
+/// The generated target schema has [`tables`](ShapeKnobs::tables) tables;
+/// the first is a *parent* table and every later table carries a `ref`
+/// foreign key into it. Each target table is fed by
+/// [`fanout`](ShapeKnobs::fanout) source tables (horizontal fragments),
+/// and the whole source side is replicated
+/// [`sources`](ShapeKnobs::sources) times as independent source
+/// databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShapeKnobs {
+    /// Number of target tables (≥ 1; the first is the parent).
+    pub tables: usize,
+    /// Payload attributes per table, besides the `id` key and the `ref`
+    /// foreign key. Types cycle through the five payload kinds.
+    pub payload_attrs: usize,
+    /// Rows per target table, split evenly across its fan-out fragments
+    /// (before duplicate injection appends extra rows).
+    pub rows: usize,
+    /// Source tables (fragments) feeding each target table (≥ 1) — the
+    /// correspondence fan-out.
+    pub fanout: usize,
+    /// Number of source databases (≥ 1).
+    pub sources: usize,
+}
+
+impl Default for ShapeKnobs {
+    fn default() -> Self {
+        ShapeKnobs {
+            tables: 3,
+            payload_attrs: 4,
+            rows: 600,
+            fanout: 2,
+            sources: 1,
+        }
+    }
+}
+
+/// Dirtiness knobs: what fraction of the data each defect class touches.
+///
+/// All rates are fractions of a fragment's row count, realised as exact
+/// rounded counts (never Bernoulli coin flips), so the ground-truth
+/// manifest can state precisely how many defects exist. Rates outside
+/// `[0, 1]` are clamped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirtKnobs {
+    /// Fraction of each payload column's cells set to NULL. Visible to
+    /// the structure detector wherever the target prescribes NOT NULL.
+    pub null_rate: f64,
+    /// Fraction of each numeric-text column's cells written in the
+    /// alternate thousands-separator format (`"1,234"` vs `"1234"`).
+    pub numeric_format_rate: f64,
+    /// Fraction of each date-text column's cells written in the
+    /// alternate `DD/MM/YYYY` format (vs ISO `YYYY-MM-DD`).
+    pub date_format_rate: f64,
+    /// Fraction of each fragment's rows whose `id` is overwritten with
+    /// another row's `id` (a duplicate key). Visible to the structure
+    /// detector because the target prescribes a primary key.
+    pub key_violation_rate: f64,
+    /// Fraction of each child fragment's rows whose `ref` is replaced
+    /// with a dangling value that exists in no parent fragment.
+    /// Ground-truth-only dirt: the conflict detector trusts the source's
+    /// *declared* FK and never simulates it (see the crate docs).
+    pub fk_violation_rate: f64,
+    /// Probability that a source attribute is renamed to its synonym
+    /// (e.g. `category` → `genre`), per fragment attribute.
+    pub synonym_rename_rate: f64,
+    /// Fraction of each fragment's rows duplicated as appended
+    /// near-duplicate rows (same payload, fresh key) — the dedup
+    /// module's future workload, recorded as explicit pairs.
+    pub duplicate_rate: f64,
+}
+
+impl DirtKnobs {
+    /// No dirt at all: every knob zero.
+    pub fn clean() -> Self {
+        DirtKnobs {
+            null_rate: 0.0,
+            numeric_format_rate: 0.0,
+            date_format_rate: 0.0,
+            key_violation_rate: 0.0,
+            fk_violation_rate: 0.0,
+            synonym_rename_rate: 0.0,
+            duplicate_rate: 0.0,
+        }
+    }
+}
+
+impl Default for DirtKnobs {
+    fn default() -> Self {
+        DirtKnobs {
+            null_rate: 0.02,
+            numeric_format_rate: 0.10,
+            date_format_rate: 0.10,
+            key_violation_rate: 0.01,
+            fk_violation_rate: 0.01,
+            synonym_rename_rate: 0.25,
+            duplicate_rate: 0.005,
+        }
+    }
+}
+
+/// Full generator configuration: a seed plus shape and dirtiness knobs.
+///
+/// The same configuration always produces a byte-identical scenario and
+/// manifest — there is no ambient randomness anywhere in the generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Seed for the generator's single deterministic RNG.
+    pub seed: u64,
+    /// Scenario shape.
+    pub shape: ShapeKnobs,
+    /// Dirtiness rates.
+    pub dirt: DirtKnobs,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 0xEFE5_0001,
+            shape: ShapeKnobs::default(),
+            dirt: DirtKnobs::default(),
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Default shape with all dirt knobs zeroed — sources that validate
+    /// clean against their declared constraints.
+    pub fn clean() -> Self {
+        SynthConfig {
+            dirt: DirtKnobs::clean(),
+            ..SynthConfig::default()
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the per-table row count.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.shape.rows = rows;
+        self
+    }
+
+    /// Replace the source-database count.
+    pub fn with_sources(mut self, sources: usize) -> Self {
+        self.shape.sources = sources;
+        self
+    }
+
+    /// A copy with every knob forced into its valid domain: counts at
+    /// least 1 where the shape requires it, rates clamped to `[0, 1]`.
+    pub fn normalized(&self) -> Self {
+        let clamp = |r: f64| {
+            if r.is_nan() {
+                0.0
+            } else {
+                r.clamp(0.0, 1.0)
+            }
+        };
+        SynthConfig {
+            seed: self.seed,
+            shape: ShapeKnobs {
+                tables: self.shape.tables.max(1),
+                payload_attrs: self.shape.payload_attrs,
+                rows: self.shape.rows,
+                fanout: self.shape.fanout.max(1),
+                sources: self.shape.sources.max(1),
+            },
+            dirt: DirtKnobs {
+                null_rate: clamp(self.dirt.null_rate),
+                numeric_format_rate: clamp(self.dirt.numeric_format_rate),
+                date_format_rate: clamp(self.dirt.date_format_rate),
+                key_violation_rate: clamp(self.dirt.key_violation_rate),
+                fk_violation_rate: clamp(self.dirt.fk_violation_rate),
+                synonym_rename_rate: clamp(self.dirt.synonym_rename_rate),
+                duplicate_rate: clamp(self.dirt.duplicate_rate),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_clamps_rates_and_counts() {
+        let mut cfg = SynthConfig::default();
+        cfg.shape.tables = 0;
+        cfg.shape.fanout = 0;
+        cfg.shape.sources = 0;
+        cfg.dirt.null_rate = 1.7;
+        cfg.dirt.duplicate_rate = -0.3;
+        cfg.dirt.key_violation_rate = f64::NAN;
+        let n = cfg.normalized();
+        assert_eq!(n.shape.tables, 1);
+        assert_eq!(n.shape.fanout, 1);
+        assert_eq!(n.shape.sources, 1);
+        assert_eq!(n.dirt.null_rate, 1.0);
+        assert_eq!(n.dirt.duplicate_rate, 0.0);
+        assert_eq!(n.dirt.key_violation_rate, 0.0);
+    }
+
+    #[test]
+    fn clean_config_has_zero_rates() {
+        let c = SynthConfig::clean();
+        assert_eq!(c.dirt, DirtKnobs::clean());
+        assert_eq!(c.dirt.null_rate, 0.0);
+    }
+}

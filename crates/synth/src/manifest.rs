@@ -1,0 +1,187 @@
+//! The ground-truth manifest: a machine-readable record of every defect
+//! the generator injected, precise to the row index.
+//!
+//! The manifest is the contract the property tests enforce: for any knob
+//! configuration, re-deriving the defect sets from the generated data by
+//! independent scans must reproduce the manifest *exactly* — same
+//! counts, same row indices, same values.
+
+use serde::{Deserialize, Serialize};
+
+/// The five payload column kinds the generator cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// Text drawn from a small categorical vocabulary.
+    Categorical,
+    /// Plain 64-bit integers.
+    Integer,
+    /// Floats with two decimal digits.
+    Float,
+    /// Numbers stored as text; the alternate format inserts thousands
+    /// separators (`"1,234"` vs `"1234"`).
+    NumericText,
+    /// Dates stored as text; canonical ISO `YYYY-MM-DD`, alternate
+    /// `DD/MM/YYYY`.
+    DateText,
+}
+
+impl PayloadKind {
+    /// Whether this kind participates in format-heterogeneity injection.
+    pub fn has_alt_format(self) -> bool {
+        matches!(self, PayloadKind::NumericText | PayloadKind::DateText)
+    }
+}
+
+/// Per-column defect record for one payload column of one fragment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDirt {
+    /// The attribute's name in the *source* schema (possibly a synonym).
+    pub attribute: String,
+    /// The canonical (target-side) attribute name.
+    pub canonical: String,
+    /// The column's payload kind.
+    pub kind: PayloadKind,
+    /// Row indices set to NULL, ascending.
+    pub nulls: Vec<usize>,
+    /// Row indices written in the alternate format, ascending. Disjoint
+    /// from [`nulls`](ColumnDirt::nulls); always empty for kinds without
+    /// an alternate format.
+    pub alt_format: Vec<usize>,
+}
+
+/// One injected duplicate-key defect: the `id` of `victim_row` was
+/// overwritten with the `id` of `donor_row`, so `value` now keys two
+/// rows. Victims and donors are pairwise distinct rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyViolation {
+    /// Row whose original key was destroyed.
+    pub victim_row: usize,
+    /// Row whose key now appears twice.
+    pub donor_row: usize,
+    /// The duplicated key value.
+    pub value: i64,
+}
+
+/// One injected dangling-reference defect: `row`'s `ref` was replaced
+/// with `value`, which exists in no parent fragment. Dangling values are
+/// negative (real keys are non-negative), making them recognisable to
+/// independent re-scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FkViolation {
+    /// The row holding the dangling reference.
+    pub row: usize,
+    /// The dangling value (unique per defect, shared only by appended
+    /// duplicates of the defective row).
+    pub value: i64,
+}
+
+/// One injected near-duplicate pair: `dup_row` (appended after the
+/// original rows) copies every payload and `ref` cell of `base_row` but
+/// carries a fresh, unique `id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DuplicatePair {
+    /// The original row.
+    pub base_row: usize,
+    /// The appended near-duplicate.
+    pub dup_row: usize,
+}
+
+/// All defects of one source fragment (one source table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDirt {
+    /// Source table name.
+    pub table: String,
+    /// The target table this fragment feeds.
+    pub target_table: String,
+    /// Total rows, including appended duplicates.
+    pub rows: usize,
+    /// Per-payload-column defects, in declaration order.
+    pub columns: Vec<ColumnDirt>,
+    /// Duplicate-key defects, ascending by victim row.
+    pub key_violations: Vec<KeyViolation>,
+    /// Dangling-reference defects, ascending by row (always empty for
+    /// parent fragments, which have no `ref` column).
+    pub fk_violations: Vec<FkViolation>,
+    /// Near-duplicate pairs, ascending by base row.
+    pub duplicate_pairs: Vec<DuplicatePair>,
+}
+
+/// One synonym rename applied to a source attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenameRecord {
+    /// Index of the source database.
+    pub source: usize,
+    /// Source table the renamed attribute lives in.
+    pub table: String,
+    /// The canonical (target-side) name.
+    pub canonical: String,
+    /// The synonym used in the source schema.
+    pub renamed: String,
+}
+
+/// All defects of one source database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceDirt {
+    /// Source database name.
+    pub source: String,
+    /// Per-fragment defects, in schema declaration order.
+    pub tables: Vec<TableDirt>,
+}
+
+/// The full ground-truth manifest of a generated scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthManifest {
+    /// The seed that produced the scenario.
+    pub seed: u64,
+    /// Per-source defects.
+    pub sources: Vec<SourceDirt>,
+    /// Synonym renames applied to source schemas.
+    pub renames: Vec<RenameRecord>,
+}
+
+impl SynthManifest {
+    fn tables(&self) -> impl Iterator<Item = &TableDirt> {
+        self.sources.iter().flat_map(|s| s.tables.iter())
+    }
+
+    /// Total NULL cells injected across all sources.
+    pub fn total_nulls(&self) -> usize {
+        self.tables()
+            .flat_map(|t| t.columns.iter())
+            .map(|c| c.nulls.len())
+            .sum()
+    }
+
+    /// Total alternate-format cells injected across all sources.
+    pub fn total_alt_format(&self) -> usize {
+        self.tables()
+            .flat_map(|t| t.columns.iter())
+            .map(|c| c.alt_format.len())
+            .sum()
+    }
+
+    /// Total duplicate-key defects across all sources.
+    pub fn total_key_violations(&self) -> usize {
+        self.tables().map(|t| t.key_violations.len()).sum()
+    }
+
+    /// Total dangling-reference defects across all sources.
+    pub fn total_fk_violations(&self) -> usize {
+        self.tables().map(|t| t.fk_violations.len()).sum()
+    }
+
+    /// Total near-duplicate pairs across all sources.
+    pub fn total_duplicate_pairs(&self) -> usize {
+        self.tables().map(|t| t.duplicate_pairs.len()).sum()
+    }
+
+    /// `true` iff no data defects were injected (renames, being schema
+    /// heterogeneity rather than data dirt, are not counted).
+    pub fn is_clean(&self) -> bool {
+        self.total_nulls() == 0
+            && self.total_alt_format() == 0
+            && self.total_key_violations() == 0
+            && self.total_fk_violations() == 0
+            && self.total_duplicate_pairs() == 0
+    }
+}

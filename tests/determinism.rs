@@ -50,6 +50,35 @@ fn bibliographic_scenarios_parallel_equals_sequential() {
 }
 
 #[test]
+fn synthetic_scenarios_parallel_equals_sequential() {
+    // Differential check over generated scenarios: clean, default-dirty,
+    // and multi-source shapes, all through the full estimator under both
+    // execution policies, compared down to the serialized bytes.
+    let configs = [
+        efes_synth::SynthConfig::clean().with_rows(150),
+        efes_synth::SynthConfig::default().with_rows(150),
+        efes_synth::SynthConfig::default()
+            .with_seed(0xFEED)
+            .with_rows(80)
+            .with_sources(3),
+    ];
+    for cfg in configs {
+        let out = efes_synth::generate(&cfg);
+        let sequential = estimate_under(&out.scenario, ExecutionPolicy::Sequential);
+        for threads in [2, 8] {
+            let parallel = estimate_under(&out.scenario, ExecutionPolicy::Threads(threads));
+            assert_eq!(sequential, parallel, "{} threads={threads}", out.scenario.name);
+            assert_eq!(
+                serde_json::to_string(&sequential).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "{} threads={threads}",
+                out.scenario.name
+            );
+        }
+    }
+}
+
+#[test]
 fn assess_reports_are_mode_independent() {
     let (s, _) = music_example_scenario(&MusicExampleConfig::scaled_down());
     let seq = Estimator::with_default_modules(
