@@ -28,6 +28,14 @@ struct RegistryEntry {
     cached: OnceLock<Arc<IntegrationScenario>>,
 }
 
+/// Where a listed scenario came from.
+pub mod provenance {
+    /// Compiled into the binary via [`super::ScenarioRegistry`].
+    pub const STATIC: &str = "static";
+    /// Uploaded at run time through `POST /scenarios`.
+    pub const UPLOADED: &str = "uploaded";
+}
+
 /// A named scenario's listing entry — the `GET /scenarios` payload.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScenarioInfo {
@@ -35,6 +43,61 @@ pub struct ScenarioInfo {
     pub name: String,
     /// One-line human description.
     pub description: String,
+    /// `"static"` for compiled-in scenarios, `"uploaded"` for entries
+    /// ingested through `POST /scenarios` (see [`provenance`]).
+    pub provenance: String,
+    /// Whether the scenario is materialised in memory: static entries
+    /// build lazily on first estimate, uploaded entries are always
+    /// resident.
+    pub cached: bool,
+    /// Approximate resident size of the scenario's data in bytes —
+    /// reported for uploaded entries (which count against the ingest
+    /// budget), `null` for static ones.
+    pub resident_bytes: Option<u64>,
+}
+
+impl ScenarioInfo {
+    /// A listing entry for a compiled-in scenario.
+    pub fn of_static(name: impl Into<String>, description: impl Into<String>, cached: bool) -> Self {
+        ScenarioInfo {
+            name: name.into(),
+            description: description.into(),
+            provenance: provenance::STATIC.to_owned(),
+            cached,
+            resident_bytes: None,
+        }
+    }
+
+    /// A listing entry for an uploaded scenario.
+    pub fn of_uploaded(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        resident_bytes: u64,
+    ) -> Self {
+        ScenarioInfo {
+            name: name.into(),
+            description: description.into(),
+            provenance: provenance::UPLOADED.to_owned(),
+            cached: true,
+            resident_bytes: Some(resident_bytes),
+        }
+    }
+}
+
+/// One lookup surface over every scenario source a server can resolve
+/// names against — the compiled-in [`ScenarioRegistry`], the dynamic
+/// upload registry layered on top of it in `efes-ingest`, or any other
+/// composition. `efes-serve` routes all scenario resolution through
+/// this trait, so swapping the backing store never touches a handler.
+pub trait ScenarioProvider: Send + Sync {
+    /// Resolve a name to its (shared, immutable) scenario.
+    fn get(&self, name: &str) -> Option<Arc<IntegrationScenario>>;
+
+    /// Whether `name` resolves, without materialising anything.
+    fn contains(&self, name: &str) -> bool;
+
+    /// Listing entries for every resolvable scenario, sorted by name.
+    fn infos(&self) -> Vec<ScenarioInfo>;
 }
 
 /// A registry of named, lazily-constructed integration scenarios.
@@ -90,12 +153,12 @@ impl ScenarioRegistry {
     }
 
     /// Listing entries for every registered scenario, in sorted order.
+    /// `cached` reports whether the lazy build has run.
     pub fn infos(&self) -> Vec<ScenarioInfo> {
         self.entries
             .iter()
-            .map(|(name, e)| ScenarioInfo {
-                name: name.clone(),
-                description: e.description.clone(),
+            .map(|(name, e)| {
+                ScenarioInfo::of_static(name, &e.description, e.cached.get().is_some())
             })
             .collect()
     }
@@ -108,6 +171,20 @@ impl ScenarioRegistry {
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl ScenarioProvider for ScenarioRegistry {
+    fn get(&self, name: &str) -> Option<Arc<IntegrationScenario>> {
+        ScenarioRegistry::get(self, name)
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        ScenarioRegistry::contains(self, name)
+    }
+
+    fn infos(&self) -> Vec<ScenarioInfo> {
+        ScenarioRegistry::infos(self)
     }
 }
 

@@ -67,7 +67,10 @@ pub mod report;
 pub mod settings;
 pub mod task;
 
-pub use api::{EstimateRequest, EstimateResponse, ScenarioInfo, ScenarioRegistry};
+pub use api::{
+    provenance, EstimateRequest, EstimateResponse, ScenarioInfo, ScenarioProvider,
+    ScenarioRegistry,
+};
 pub use baseline::{AttributeCountingEstimator, HardenTask, HARDEN_TASKS};
 pub use benefit::{cost_benefit_curve, CostBenefitPoint};
 pub use calibration::{calibrate_scales, rmse, CalibratedScales, ScenarioOutcome};

@@ -597,6 +597,269 @@ impl Column {
     }
 }
 
+/// Incremental, type-adaptive builder for one [`Column`] — the streaming
+/// twin of [`Column::from_cells`].
+///
+/// [`Column::from_cells`] needs the whole column up front to classify it;
+/// a network ingest sees one cell at a time. The builder keeps a typed
+/// accumulator that adapts as cells arrive: it starts undecided, commits
+/// to the variant of the first non-null cell, and demotes to
+/// [`Column::Mixed`] (reconstructing the owned values it has absorbed —
+/// once per column, never per cell) the moment a conflicting variant
+/// shows up. NULLs are welcome in every state.
+///
+/// The invariant, pinned by differential tests: for any cell sequence,
+/// `builder.finish() == Column::from_cells(cells)` — bit-identical, null
+/// bitmaps and dictionary order included. That is what lets an ingested
+/// table share profile caches and golden figures with a column-loaded
+/// one.
+#[derive(Debug, Default)]
+pub struct ColumnBuilder {
+    len: usize,
+    /// Expected row count from [`ColumnBuilder::with_capacity`]; applied
+    /// when the first non-null cell commits a typed state.
+    reserve_hint: usize,
+    state: BuilderState,
+}
+
+#[derive(Debug, Default)]
+enum BuilderState {
+    /// No non-null cell seen yet; `len` nulls are pending replay.
+    #[default]
+    Undecided,
+    Int {
+        values: Vec<i64>,
+        nulls: NullBitmap,
+    },
+    Float {
+        values: Vec<f64>,
+        nulls: NullBitmap,
+    },
+    Text {
+        col: TextColumn,
+        /// Owned-key mirror of the arena dictionary: the arena `String`
+        /// reallocates as it grows, so codes cannot key off borrowed
+        /// slices the way the batch build does.
+        dict: HashMap<String, u32>,
+    },
+    Bool {
+        values: Vec<bool>,
+        nulls: NullBitmap,
+    },
+    Mixed(Vec<Value>),
+}
+
+/// Extend `nulls` to cover row `i`, marking it NULL if asked. Rows must
+/// arrive in order; the finished bitmap is identical to
+/// [`NullBitmap::new`]`(len)` plus the same `set` calls.
+fn bitmap_push(nulls: &mut NullBitmap, i: usize, is_null: bool) {
+    if i.is_multiple_of(64) {
+        nulls.words.push(0);
+    }
+    if is_null {
+        nulls.set(i);
+    }
+}
+
+/// An all-NULL bitmap covering rows `0..len`.
+fn all_null_bitmap(len: usize) -> NullBitmap {
+    let mut nulls = NullBitmap::new(len);
+    for i in 0..len {
+        nulls.set(i);
+    }
+    nulls
+}
+
+impl ColumnBuilder {
+    /// A builder holding no cells.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder expecting about `rows` cells.
+    pub fn with_capacity(rows: usize) -> Self {
+        // Capacity lands where the first non-null cell commits a state;
+        // until then there is nothing to reserve.
+        let mut b = Self::new();
+        b.reserve_hint = rows;
+        b
+    }
+
+    /// Cells absorbed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no cell has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Absorb the next cell.
+    pub fn push(&mut self, cell: Value) {
+        let i = self.len;
+        self.len += 1;
+        match (&mut self.state, cell) {
+            // NULLs keep whatever state we are in.
+            (BuilderState::Undecided, Value::Null) => {}
+            (BuilderState::Int { values, nulls }, Value::Null) => {
+                bitmap_push(nulls, i, true);
+                values.push(0);
+            }
+            (BuilderState::Float { values, nulls }, Value::Null) => {
+                bitmap_push(nulls, i, true);
+                values.push(0.0);
+            }
+            (BuilderState::Bool { values, nulls }, Value::Null) => {
+                bitmap_push(nulls, i, true);
+                values.push(false);
+            }
+            (BuilderState::Text { col, .. }, Value::Null) => {
+                col.null_count += 1;
+                col.codes.push(NULL_CODE);
+            }
+            (BuilderState::Mixed(cells), cell) => cells.push(cell),
+
+            // First non-null cell: commit to its variant, replaying the
+            // leading NULLs into the typed accumulator.
+            (BuilderState::Undecided, cell) => {
+                self.state = Self::commit(i, self.reserve_hint, cell);
+            }
+
+            // Matching non-null cells extend the typed accumulator.
+            (BuilderState::Int { values, nulls }, Value::Int(v)) => {
+                bitmap_push(nulls, i, false);
+                values.push(v);
+            }
+            (BuilderState::Float { values, nulls }, Value::Float(v)) => {
+                bitmap_push(nulls, i, false);
+                values.push(v);
+            }
+            (BuilderState::Bool { values, nulls }, Value::Bool(v)) => {
+                bitmap_push(nulls, i, false);
+                values.push(v);
+            }
+            (BuilderState::Text { col, dict }, Value::Text(s)) => {
+                let code = match dict.get(s.as_str()) {
+                    Some(&code) => code,
+                    None => {
+                        col.bytes.push_str(&s);
+                        col.offsets.push(col.bytes.len());
+                        col.counts.push(0);
+                        let code = (col.offsets.len() - 2) as u32;
+                        dict.insert(s, code);
+                        code
+                    }
+                };
+                col.counts[code as usize] += 1;
+                col.codes.push(code);
+            }
+
+            // Conflicting variant: demote to Mixed, once.
+            (_, cell) => {
+                let mut cells = self.demote(i);
+                cells.push(cell);
+                self.state = BuilderState::Mixed(cells);
+            }
+        }
+    }
+
+    /// The typed state for the first non-null `cell` arriving at row
+    /// `leading_nulls`.
+    fn commit(leading_nulls: usize, hint: usize, cell: Value) -> BuilderState {
+        let cap = hint.max(leading_nulls + 1);
+        let mut nulls = all_null_bitmap(leading_nulls);
+        bitmap_push(&mut nulls, leading_nulls, false);
+        match cell {
+            Value::Int(v) => {
+                let mut values = Vec::with_capacity(cap);
+                values.resize(leading_nulls, 0);
+                values.push(v);
+                BuilderState::Int { values, nulls }
+            }
+            Value::Float(v) => {
+                let mut values = Vec::with_capacity(cap);
+                values.resize(leading_nulls, 0.0);
+                values.push(v);
+                BuilderState::Float { values, nulls }
+            }
+            Value::Bool(v) => {
+                let mut values = Vec::with_capacity(cap);
+                values.resize(leading_nulls, false);
+                values.push(v);
+                BuilderState::Bool { values, nulls }
+            }
+            Value::Text(s) => {
+                let mut col = TextColumn {
+                    codes: Vec::with_capacity(cap),
+                    ..TextColumn::default()
+                };
+                col.offsets.push(0);
+                col.codes.resize(leading_nulls, NULL_CODE);
+                col.null_count = leading_nulls;
+                col.bytes.push_str(&s);
+                col.offsets.push(col.bytes.len());
+                col.counts.push(1);
+                col.codes.push(0);
+                let mut dict = HashMap::new();
+                dict.insert(s, 0u32);
+                BuilderState::Text { col, dict }
+            }
+            Value::Null => unreachable!("commit is only called on non-null cells"),
+        }
+    }
+
+    /// Reconstruct the `rows` cells absorbed so far as owned values — the
+    /// one-time cost of demoting a typed accumulator to Mixed.
+    fn demote(&mut self, rows: usize) -> Vec<Value> {
+        let mut cells = Vec::with_capacity(rows + 1);
+        match std::mem::take(&mut self.state) {
+            BuilderState::Undecided => cells.resize(rows, Value::Null),
+            BuilderState::Int { values, nulls } => {
+                for (i, v) in values.into_iter().enumerate() {
+                    cells.push(if nulls.is_null(i) { Value::Null } else { Value::Int(v) });
+                }
+            }
+            BuilderState::Float { values, nulls } => {
+                for (i, v) in values.into_iter().enumerate() {
+                    cells.push(if nulls.is_null(i) { Value::Null } else { Value::Float(v) });
+                }
+            }
+            BuilderState::Bool { values, nulls } => {
+                for (i, v) in values.into_iter().enumerate() {
+                    cells.push(if nulls.is_null(i) { Value::Null } else { Value::Bool(v) });
+                }
+            }
+            BuilderState::Text { col, .. } => {
+                for &code in &col.codes {
+                    cells.push(if code == NULL_CODE {
+                        Value::Null
+                    } else {
+                        Value::Text(col.dict_str(code).to_owned())
+                    });
+                }
+            }
+            BuilderState::Mixed(existing) => cells = existing,
+        }
+        cells
+    }
+
+    /// Finish the column. Equals `Column::from_cells` over the same cell
+    /// sequence, bit for bit.
+    pub fn finish(self) -> Column {
+        match self.state {
+            // All-NULL (or empty) columns have nothing to type — the same
+            // Mixed fallback `from_cells` takes.
+            BuilderState::Undecided => Column::Mixed(vec![Value::Null; self.len]),
+            BuilderState::Int { values, nulls } => Column::Int { values, nulls },
+            BuilderState::Float { values, nulls } => Column::Float { values, nulls },
+            BuilderState::Bool { values, nulls } => Column::Bool { values, nulls },
+            BuilderState::Text { col, .. } => Column::Text(col),
+            BuilderState::Mixed(cells) => Column::Mixed(cells),
+        }
+    }
+}
+
 /// Iterator over one column's cells, yielding [`ValueRef`]s in row order.
 ///
 /// Backed either by a typed [`Column`] or, when columnar storage is
@@ -760,6 +1023,59 @@ mod tests {
             let r: Vec<Row> = cells.iter().map(|v| vec![v.clone()]).collect();
             assert_eq!(Column::from_cells(cells), Column::build(&r, 0));
         }
+    }
+
+    #[test]
+    fn builder_matches_from_cells_across_shapes() {
+        let shapes: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Null, Value::Int(3)],
+            vec![Value::Null, Value::Null, Value::Int(7)], // leading nulls replayed
+            vec![Value::Text("b".into()), Value::Text("a".into()), Value::Text("b".into())],
+            vec![Value::Null, Value::Text("x".into()), Value::Null],
+            vec![Value::Float(1.5), Value::Null, Value::Float(-2.25)],
+            vec![Value::Bool(true), Value::Null, Value::Bool(false)],
+            vec![Value::Int(1), Value::Float(2.0)],          // demote Int -> Mixed
+            vec![Value::Text("t".into()), Value::Int(9)],    // demote Text -> Mixed
+            vec![Value::Null, Value::Bool(true), Value::Text("m".into())],
+            vec![Value::Null, Value::Null],
+            vec![],
+        ];
+        for cells in shapes {
+            let mut b = ColumnBuilder::with_capacity(cells.len());
+            for c in &cells {
+                b.push(c.clone());
+            }
+            assert_eq!(b.len(), cells.len());
+            assert_eq!(b.finish(), Column::from_cells(cells));
+        }
+    }
+
+    #[test]
+    fn builder_preserves_nan_bits() {
+        // Column's derived PartialEq follows f64 semantics (NaN != NaN),
+        // so NaN round-trips are checked at the bit level instead.
+        let mut b = ColumnBuilder::new();
+        b.push(Value::Float(f64::NAN));
+        b.push(Value::Null);
+        let col = b.finish();
+        let Column::Float { values, nulls } = col else { panic!("expected float column") };
+        assert_eq!(values[0].to_bits(), f64::NAN.to_bits());
+        assert!(!nulls.is_null(0) && nulls.is_null(1));
+    }
+
+    #[test]
+    fn builder_bitmap_is_word_exact_across_boundaries() {
+        // 130 rows crosses two u64 word boundaries; the incremental
+        // bitmap must equal the batch one structurally (PartialEq
+        // compares the words vec, so trailing-word discipline matters).
+        let cells: Vec<Value> = (0..130)
+            .map(|i| if i % 3 == 0 { Value::Null } else { Value::Int(i) })
+            .collect();
+        let mut b = ColumnBuilder::new();
+        for c in &cells {
+            b.push(c.clone());
+        }
+        assert_eq!(b.finish(), Column::from_cells(cells));
     }
 
     #[test]

@@ -1,52 +1,140 @@
 //! Database instances (the data) and constraint validation.
 
-use crate::column::{columnar_enabled, Column, ColumnIter};
+use crate::column::{columnar_enabled, Column, ColumnIter, ValueRef};
 use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
 use crate::error::{Error, Result};
 use crate::schema::{AttrId, Schema, TableId};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
 
 /// One tuple of a relation.
 pub type Row = Vec<Value>;
 
-/// The rows of a single table, plus a lazily built columnar mirror.
+/// The data of a single table, held in whichever representation it
+/// arrived in — row-major rows or typed [`Column`]s — with the other
+/// derived lazily, at most once.
 ///
-/// Rows remain the source of truth (inserts and constraint validation
-/// are row-shaped); the first columnar read of an attribute builds its
-/// typed [`Column`] exactly once and caches it. Mutation through
-/// [`Instance::insert`] invalidates the cache wholesale — the workload
-/// is load-then-analyse, so rebuilds are rare.
-#[derive(Debug, Default, Serialize, Deserialize)]
+/// Row-built tables (inserts, CSV loads, deserialization) keep rows as
+/// the source of truth and build their columnar mirror on first columnar
+/// read, per attribute. Column-built tables
+/// ([`TableData::from_columns`], the generators and the ingest path)
+/// keep the typed columns as the source of truth and derive the
+/// row-major view only if a row-shaped consumer (constraint validation,
+/// serialization) actually asks — the inverse relationship, so streaming
+/// ingest never pays a row-major detour. At least one representation is
+/// always present. Mutation through [`Instance::insert`] materialises
+/// rows and invalidates the columnar cache wholesale — the workload is
+/// load-then-analyse, so rebuilds are rare.
+#[derive(Debug)]
 pub struct TableData {
-    rows: Vec<Row>,
-    /// Per-attribute typed columns, built on demand. Outer cell resolves
-    /// the table's arity, inner cells build one column each, so a
-    /// consumer touching one attribute does not pay for the others.
-    #[serde(skip)]
+    rows: OnceLock<Vec<Row>>,
+    /// Per-attribute typed columns. Outer cell resolves the table's
+    /// arity, inner cells build one column each, so a consumer touching
+    /// one attribute does not pay for the others. For column-built
+    /// tables every inner cell is pre-seeded.
     columns: OnceLock<Vec<OnceLock<Column>>>,
+}
+
+impl Default for TableData {
+    fn default() -> Self {
+        TableData::from_rows(Vec::new())
+    }
 }
 
 impl Clone for TableData {
     fn clone(&self) -> Self {
-        // The columnar mirror is a pure cache; a clone rebuilds it on
-        // first use instead of copying arenas.
-        TableData {
-            rows: self.rows.clone(),
-            columns: OnceLock::new(),
+        match self.rows.get() {
+            // Row-primary: the columnar mirror is a pure cache; a clone
+            // rebuilds it on first use instead of copying arenas.
+            Some(rows) => TableData::from_rows(rows.clone()),
+            // Column-primary: the columns are the source of truth; clone
+            // them and leave the row view lazy.
+            None => {
+                let slots: Vec<OnceLock<Column>> = self
+                    .column_slots()
+                    .iter()
+                    .map(|slot| {
+                        OnceLock::from(slot.get().expect("column-primary slots are set").clone())
+                    })
+                    .collect();
+                let data = TableData {
+                    rows: OnceLock::new(),
+                    columns: OnceLock::new(),
+                };
+                let _ = data.columns.set(slots);
+                data
+            }
         }
+    }
+}
+
+/// Cell equality under [`Value`] semantics: floats compare by
+/// [`f64::total_cmp`] (NaN equals NaN, `-0.0` differs from `0.0`),
+/// cross-variant cells are never equal.
+fn cell_eq(a: ValueRef<'_>, b: ValueRef<'_>) -> bool {
+    match (a, b) {
+        (ValueRef::Float(x), ValueRef::Float(y)) => x.total_cmp(&y).is_eq(),
+        _ => a == b,
     }
 }
 
 impl PartialEq for TableData {
     fn eq(&self, other: &Self) -> bool {
-        self.rows == other.rows
+        // When both sides are column-primary (the dedup-check hot case),
+        // compare cell-wise through the columns without materialising a
+        // row in sight; any row-primary side falls back to the row
+        // comparison, deriving the other side's rows if needed.
+        if self.rows.get().is_none() && other.rows.get().is_none() {
+            if self.len() != other.len() {
+                return false;
+            }
+            let (a, b) = (self.column_slots(), other.column_slots());
+            if self.is_empty() {
+                // No cells to compare; arity is unobservable through
+                // rows, matching the row-major `[] == []`.
+                return true;
+            }
+            if a.len() != b.len() {
+                return false;
+            }
+            return a.iter().zip(b).all(|(sa, sb)| {
+                let (ca, cb) = (sa.get().unwrap(), sb.get().unwrap());
+                (0..ca.len()).all(|i| cell_eq(ca.value(i), cb.value(i)))
+            });
+        }
+        self.rows() == other.rows()
     }
 }
 
 impl Eq for TableData {}
+
+// Hand-written to keep the wire format of the old `#[derive]` on the
+// row-major field — `{"rows": [...]}` — regardless of which
+// representation is primary. Serializing a column-built table derives
+// its rows first (golden scenario dumps are row-shaped and must stay
+// byte-identical); deserialization always lands row-primary.
+impl Serialize for TableData {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![(
+            Content::Str("rows".into()),
+            self.rows().to_content(),
+        )])
+    }
+}
+
+impl Deserialize for TableData {
+    fn from_content(content: &Content) -> std::result::Result<Self, DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("JSON object for `TableData`"))?;
+        match content_get(map, "rows") {
+            Some(v) => Ok(TableData::from_rows(Vec::<Row>::from_content(v)?)),
+            None => Err(DeError::missing_field("TableData", "rows")),
+        }
+    }
+}
 
 impl TableData {
     /// Empty table data.
@@ -54,14 +142,24 @@ impl TableData {
         Self::default()
     }
 
-    /// Build table data from pre-built typed columns, one per attribute.
+    /// Build row-primary table data (row shape is checked by the
+    /// callers that have a schema in hand, e.g. [`Instance::insert`]).
+    pub fn from_rows(rows: Vec<Row>) -> Self {
+        TableData {
+            rows: OnceLock::from(rows),
+            columns: OnceLock::new(),
+        }
+    }
+
+    /// Build column-primary table data from pre-built typed columns, one
+    /// per attribute.
     ///
-    /// The rows (the source of truth) are derived from the columns, and
-    /// the columnar cache is pre-seeded with the *same* column values, so
-    /// a generator that produces data column-wise never pays a second
-    /// [`Column::build`] pass on first profile. Because
-    /// [`Column::from_cells`] and the lazy rebuild share one build core,
-    /// the seeded cache is indistinguishable from a rebuilt one.
+    /// The columns *are* the data: no row-major copy is made, and none
+    /// ever will be unless a row-shaped consumer asks ([`TableData::rows`]
+    /// derives them lazily, at most once). Because [`Column::from_cells`]
+    /// / [`crate::ColumnBuilder`] and the lazy rebuild share one build
+    /// core, a column loaded here is indistinguishable from one rebuilt
+    /// off derived rows.
     ///
     /// Fails with [`Error::ColumnShape`] if the columns disagree on row
     /// count.
@@ -73,65 +171,99 @@ impl TableData {
                 actual: odd.len(),
             });
         }
-        let rows: Vec<Row> = (0..len)
-            .map(|i| columns.iter().map(|c| c.value(i).to_value()).collect())
-            .collect();
         let data = TableData {
-            rows,
+            rows: OnceLock::new(),
             columns: OnceLock::new(),
         };
-        let slots: Vec<OnceLock<Column>> = columns
-            .into_iter()
-            .map(|c| {
-                let slot = OnceLock::new();
-                let _ = slot.set(c);
-                slot
-            })
-            .collect();
+        let slots: Vec<OnceLock<Column>> = columns.into_iter().map(OnceLock::from).collect();
         let _ = data.columns.set(slots);
         Ok(data)
     }
 
+    /// The column slots of a column-primary table (invariant: when rows
+    /// are unset, the slots exist and are all seeded).
+    fn column_slots(&self) -> &[OnceLock<Column>] {
+        self.columns
+            .get()
+            .expect("TableData invariant: rows or columns are set")
+    }
+
     /// Append a row (shape is checked by [`Instance::insert`]).
+    ///
+    /// Materialises the row view if the table was column-built, then
+    /// invalidates the columnar cache wholesale.
     fn push(&mut self, row: Row) {
-        self.rows.push(row);
+        self.rows();
+        self.rows
+            .get_mut()
+            .expect("rows were just materialised")
+            .push(row);
         self.columns = OnceLock::new();
     }
 
-    /// All rows in insertion order.
+    /// All rows in insertion order, deriving them from the columns (at
+    /// most once) for column-built tables.
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.rows.get_or_init(|| {
+            let slots = self.column_slots();
+            let cols: Vec<&Column> = slots
+                .iter()
+                .map(|s| s.get().expect("column-primary slots are set"))
+                .collect();
+            let len = cols.first().map(|c| c.len()).unwrap_or(0);
+            (0..len)
+                .map(|i| cols.iter().map(|c| c.value(i).to_value()).collect())
+                .collect()
+        })
     }
 
-    /// Number of rows.
+    /// Number of rows (without materialising either representation).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match self.rows.get() {
+            Some(rows) => rows.len(),
+            None => self
+                .column_slots()
+                .first()
+                .map(|s| s.get().expect("column-primary slots are set").len())
+                .unwrap_or(0),
+        }
     }
 
     /// `true` iff the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// The typed columnar store of one attribute, building (and caching)
     /// it on first access. `None` for out-of-range attributes and for
-    /// tables that hold no rows (an empty table has unknowable arity).
+    /// row-built tables that hold no rows (an empty row-major table has
+    /// unknowable arity).
     pub fn column_store(&self, attr: AttrId) -> Option<&Column> {
-        let arity = self.rows.first().map(Vec::len)?;
-        let slots = self
-            .columns
-            .get_or_init(|| (0..arity).map(|_| OnceLock::new()).collect());
+        let slots = match self.columns.get() {
+            Some(slots) => slots,
+            None => {
+                let arity = self
+                    .rows
+                    .get()
+                    .expect("TableData invariant: rows or columns are set")
+                    .first()
+                    .map(Vec::len)?;
+                self.columns
+                    .get_or_init(|| (0..arity).map(|_| OnceLock::new()).collect())
+            }
+        };
         slots
             .get(attr.0)
-            .map(|slot| slot.get_or_init(|| Column::build(&self.rows, attr.0)))
+            .map(|slot| slot.get_or_init(|| Column::build(self.rows(), attr.0)))
     }
 
     /// Iterate over the values of one column, in row order.
     ///
     /// Routed through the columnar store unless `EFES_COLUMNAR=off`
     /// (see [`crate::column::COLUMNAR_ENV_VAR`]), in which case the
-    /// iterator walks the row-major rows directly; both backings yield
-    /// identical sequences.
+    /// iterator walks the row-major rows directly (materialising them
+    /// for column-built tables); both backings yield identical
+    /// sequences.
     pub fn column(&self, attr: AttrId) -> ColumnIter<'_> {
         if columnar_enabled() {
             match self.column_store(attr) {
@@ -139,7 +271,7 @@ impl TableData {
                 None => Column::empty().iter(),
             }
         } else {
-            ColumnIter::over_rows(&self.rows, attr.0)
+            ColumnIter::over_rows(self.rows(), attr.0)
         }
     }
 }

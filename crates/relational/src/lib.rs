@@ -41,7 +41,9 @@ pub mod value;
 
 pub use builder::{DatabaseBuilder, TableBuilder};
 pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
-pub use column::{columnar_enabled, Column, ColumnIter, TextColumn, ValueRef, COLUMNAR_ENV_VAR};
+pub use column::{
+    columnar_enabled, Column, ColumnBuilder, ColumnIter, TextColumn, ValueRef, COLUMNAR_ENV_VAR,
+};
 pub use database::Database;
 pub use datatype::DataType;
 pub use error::{Error, Result};

@@ -146,6 +146,27 @@ proptest! {
         let back: Vec<Value> = built.iter().map(|v| v.to_value()).collect();
         prop_assert_eq!(back, col);
     }
+
+    /// The streaming `ColumnBuilder` is bit-identical to the batch
+    /// `Column::from_cells` for every cell sequence — including mixed
+    /// sequences that demote mid-stream and all-NULL columns.
+    #[test]
+    fn column_builder_matches_from_cells(col in proptest::collection::vec(
+        prop_oneof![
+            3 => Just(Value::Null),
+            4 => (-50i64..50).prop_map(Value::Int),
+            4 => (-5.0f64..5.0).prop_map(Value::Float),
+            4 => "[a-c]{0,3}".prop_map(Value::Text),
+            2 => any::<bool>().prop_map(Value::Bool),
+        ],
+        0..140,
+    )) {
+        let mut builder = efes_relational::ColumnBuilder::with_capacity(col.len());
+        for v in &col {
+            builder.push(v.clone());
+        }
+        prop_assert_eq!(builder.finish(), Column::from_cells(col));
+    }
 }
 
 /// The escape hatch: with `EFES_COLUMNAR=off` every read routes through

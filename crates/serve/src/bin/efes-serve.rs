@@ -5,6 +5,8 @@
 //! efes-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
 //!            [--default-deadline-ms N] [--max-deadline-ms N]
 //!            [--cache-capacity N] [--allow-remote-shutdown]
+//!            [--ingest-budget BYTES] [--max-body-bytes N]
+//!            [--max-upload-bytes N]
 //! ```
 //!
 //! The worker count falls back to `EFES_THREADS` / available cores when
@@ -20,7 +22,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: efes-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
          \x20                 [--default-deadline-ms N] [--max-deadline-ms N]\n\
-         \x20                 [--cache-capacity N] [--allow-remote-shutdown]"
+         \x20                 [--cache-capacity N] [--allow-remote-shutdown]\n\
+         \x20                 [--ingest-budget BYTES] [--max-body-bytes N]\n\
+         \x20                 [--max-upload-bytes N]\n\
+         \n\
+         --ingest-budget accepts k/m/g suffixes (binary); without it the\n\
+         EFES_INGEST_BUDGET environment variable, then 256m, applies."
     );
     std::process::exit(2);
 }
@@ -67,6 +74,22 @@ fn main() {
                     Some(parse_value("--cache-capacity", args.next()))
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            "--ingest-budget" => {
+                let raw: String = parse_value("--ingest-budget", args.next());
+                match efes_ingest::parse_budget(&raw) {
+                    Some(bytes) => config.ingest_budget = Some(bytes),
+                    None => {
+                        eprintln!("error: invalid value {raw:?} for --ingest-budget");
+                        usage();
+                    }
+                }
+            }
+            "--max-body-bytes" => {
+                config.limits.max_body = parse_value("--max-body-bytes", args.next())
+            }
+            "--max-upload-bytes" => {
+                config.limits.max_upload_body = parse_value("--max-upload-bytes", args.next())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag {other:?}");

@@ -19,8 +19,11 @@ pub struct Limits {
     pub max_header_line: usize,
     /// Most accepted header lines.
     pub max_headers: usize,
-    /// Largest accepted `Content-Length` body.
+    /// Largest accepted `Content-Length` body on ordinary endpoints.
     pub max_body: usize,
+    /// Largest accepted body on `POST /scenarios` — uploads carry whole
+    /// table payloads, so they get their own (much larger) cap.
+    pub max_upload_body: usize,
 }
 
 impl Default for Limits {
@@ -30,6 +33,7 @@ impl Default for Limits {
             max_header_line: 8 * 1024,
             max_headers: 64,
             max_body: 1024 * 1024,
+            max_upload_body: 64 * 1024 * 1024,
         }
     }
 }
@@ -183,10 +187,17 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
         let length: usize = raw.parse().map_err(|_| {
             ParseError::BadRequest(format!("invalid content-length {raw:?}"))
         })?;
-        if length > limits.max_body {
+        // Scenario uploads carry whole table payloads; everything else
+        // is a small JSON request. The cap is chosen by route so an
+        // oversized estimate request cannot hide behind the upload cap.
+        let max_body = if request.method == "POST" && request.path == "/scenarios" {
+            limits.max_upload_body
+        } else {
+            limits.max_body
+        };
+        if length > max_body {
             return Err(ParseError::TooLarge(format!(
-                "body of {length} bytes exceeds limit of {}",
-                limits.max_body
+                "body of {length} bytes exceeds limit of {max_body}"
             )));
         }
         let mut body = vec![0u8; length];
@@ -271,10 +282,13 @@ fn write_json_string(s: &str, out: &mut String) {
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Content Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -412,6 +426,37 @@ mod tests {
             parse(big_body.as_bytes()),
             Err(ParseError::TooLarge(_))
         ));
+    }
+
+    #[test]
+    fn upload_route_gets_its_own_body_cap() {
+        // Over the ordinary cap but under the upload cap: rejected on
+        // /estimate, admitted (as a length) on POST /scenarios.
+        let mid = 2 * 1024 * 1024;
+        let estimate = format!("POST /estimate HTTP/1.1\r\ncontent-length: {mid}\r\n\r\n");
+        assert!(matches!(
+            parse(estimate.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+        let upload = format!("POST /scenarios HTTP/1.1\r\ncontent-length: {mid}\r\n\r\n");
+        // Body bytes never arrive, so the accepted length reads as a
+        // truncated request — the point is it got past the size check.
+        assert!(matches!(
+            parse(upload.as_bytes()),
+            Err(ParseError::ConnectionClosed)
+        ));
+        // The upload cap is still a cap.
+        let huge = format!(
+            "POST /scenarios HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            128 * 1024 * 1024
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+        // GET /scenarios does not get the upload cap.
+        let get = format!("GET /scenarios HTTP/1.1\r\ncontent-length: {mid}\r\n\r\n");
+        assert!(matches!(parse(get.as_bytes()), Err(ParseError::TooLarge(_))));
     }
 
     #[test]

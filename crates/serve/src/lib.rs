@@ -16,7 +16,15 @@
 //!   source of a registered scenario and return the accepted attribute
 //!   correspondences by name ([`server::MatchRequest`] /
 //!   [`server::MatchResponse`]);
-//! * `GET /scenarios` — list what the registry serves;
+//! * `POST /scenarios` — upload a scenario (JSON document with CSV or
+//!   JSON-rows table payloads, parsed straight into typed columns by
+//!   `efes-ingest`); uploads land in a [`efes_ingest::DynamicRegistry`]
+//!   with a memory budget, content-fingerprint deduplication and LRU
+//!   eviction of idle uploads ([`server::UploadResponse`]);
+//! * `DELETE /scenarios/{name}` — drop an uploaded scenario and its
+//!   profile cache (`403` for compiled-in scenarios);
+//! * `GET /scenarios` — list what the registry serves, static and
+//!   uploaded alike, with provenance and cache state;
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — Prometheus text: request counters, per-stage
 //!   latency histograms fed from the pipeline's own timings, profile-
@@ -37,4 +45,7 @@ pub mod metrics;
 pub mod server;
 
 pub use metrics::{Endpoint, Metrics, Sampled};
-pub use server::{MatchEntry, MatchRequest, MatchResponse, Server, ServerConfig, ServerHandle};
+pub use server::{
+    DeleteResponse, MatchEntry, MatchRequest, MatchResponse, Server, ServerConfig, ServerHandle,
+    UploadResponse,
+};

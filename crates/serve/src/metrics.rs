@@ -53,6 +53,8 @@ pub enum Endpoint {
     Match,
     /// `GET /scenarios`
     Scenarios,
+    /// `POST /scenarios` and `DELETE /scenarios/{name}`
+    Ingest,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -62,10 +64,11 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Estimate,
         Endpoint::Match,
         Endpoint::Scenarios,
+        Endpoint::Ingest,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Other,
@@ -76,6 +79,7 @@ impl Endpoint {
             Endpoint::Estimate => "estimate",
             Endpoint::Match => "match",
             Endpoint::Scenarios => "scenarios",
+            Endpoint::Ingest => "ingest",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
@@ -87,9 +91,10 @@ impl Endpoint {
             Endpoint::Estimate => 0,
             Endpoint::Match => 1,
             Endpoint::Scenarios => 2,
-            Endpoint::Healthz => 3,
-            Endpoint::Metrics => 4,
-            Endpoint::Other => 5,
+            Endpoint::Ingest => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Other => 6,
         }
     }
 }
@@ -115,13 +120,22 @@ pub struct Sampled {
     pub cache_misses: u64,
     /// Profile-cache entries evicted to enforce the size bound.
     pub cache_evictions: u64,
+    /// Approximate bytes of uploaded scenarios resident in the dynamic
+    /// registry.
+    pub ingest_resident_bytes: u64,
+    /// The configured ingest budget in bytes.
+    pub ingest_budget_bytes: u64,
+    /// Compiled-in scenarios in the registry.
+    pub scenarios_static: usize,
+    /// Uploaded scenarios currently resident.
+    pub scenarios_uploaded: usize,
 }
 
 /// The registry: counters the request path bumps, histograms the job
 /// path feeds, and a renderer for the exposition format.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 6],
+    requests: [AtomicU64; 7],
     /// Completed estimates (`200`).
     pub estimates_ok: AtomicU64,
     /// Completed schema-match requests (`200`).
@@ -140,6 +154,16 @@ pub struct Metrics {
     pub not_found: AtomicU64,
     /// Estimation failures answered `500`.
     pub estimate_errors: AtomicU64,
+    /// Scenario uploads accepted as new registry entries (`201`).
+    pub ingests_ok: AtomicU64,
+    /// Scenario uploads rejected (`400`/`409`/`413`).
+    pub ingests_rejected: AtomicU64,
+    /// Uploads that deduplicated onto an existing entry (`200`).
+    pub ingests_deduplicated: AtomicU64,
+    /// Uploaded scenarios evicted to fit the ingest budget.
+    pub ingests_evicted: AtomicU64,
+    /// Uploaded scenarios removed via `DELETE /scenarios/{name}`.
+    pub ingests_deleted: AtomicU64,
     /// Per-stage latency histograms, keyed by pipeline stage name.
     stage_latency: Mutex<BTreeMap<String, Histogram>>,
     /// End-to-end estimate latency (queue wait + execution).
@@ -191,7 +215,7 @@ impl Metrics {
             );
         }
 
-        let counters: [(&str, &str, u64); 9] = [
+        let counters: [(&str, &str, u64); 14] = [
             (
                 "efes_estimates_ok_total",
                 "Estimates completed successfully.",
@@ -237,6 +261,31 @@ impl Metrics {
                 "Estimation failures answered 500.",
                 self.estimate_errors.load(Ordering::Relaxed),
             ),
+            (
+                "efes_ingest_ok_total",
+                "Scenario uploads accepted as new registry entries.",
+                self.ingests_ok.load(Ordering::Relaxed),
+            ),
+            (
+                "efes_ingest_rejected_total",
+                "Scenario uploads rejected (bad document, name conflict, over budget).",
+                self.ingests_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "efes_ingest_deduplicated_total",
+                "Uploads that matched an existing entry's content fingerprint.",
+                self.ingests_deduplicated.load(Ordering::Relaxed),
+            ),
+            (
+                "efes_ingest_evicted_total",
+                "Uploaded scenarios evicted to fit the ingest budget.",
+                self.ingests_evicted.load(Ordering::Relaxed),
+            ),
+            (
+                "efes_ingest_deleted_total",
+                "Uploaded scenarios removed by DELETE.",
+                self.ingests_deleted.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -244,7 +293,7 @@ impl Metrics {
             let _ = writeln!(out, "{name} {value}");
         }
 
-        let gauges: [(&str, &str, u64); 8] = [
+        let gauges: [(&str, &str, u64); 12] = [
             (
                 "efes_queue_depth",
                 "Jobs waiting in the bounded queue.",
@@ -284,6 +333,26 @@ impl Metrics {
                 "efes_profile_cache_evictions_total",
                 "Profiles evicted to enforce the cache size bound.",
                 sampled.cache_evictions,
+            ),
+            (
+                "efes_ingest_resident_bytes",
+                "Approximate bytes of uploaded scenarios resident in memory.",
+                sampled.ingest_resident_bytes,
+            ),
+            (
+                "efes_ingest_budget_bytes",
+                "Configured ingest budget in bytes.",
+                sampled.ingest_budget_bytes,
+            ),
+            (
+                "efes_scenarios_static",
+                "Compiled-in scenarios in the registry.",
+                sampled.scenarios_static as u64,
+            ),
+            (
+                "efes_scenarios_uploaded",
+                "Uploaded scenarios currently resident.",
+                sampled.scenarios_uploaded as u64,
             ),
         ];
         for (name, help, value) in gauges {
@@ -358,6 +427,9 @@ mod tests {
         m.observe_stage("values", 800.0);
         m.observe_stage("mapping", 0.2);
         m.observe_request_latency(42.0);
+        m.count_request(Endpoint::Ingest);
+        m.ingests_ok.fetch_add(1, Ordering::Relaxed);
+        m.ingests_evicted.fetch_add(2, Ordering::Relaxed);
         let text = m.render(&Sampled {
             queue_depth: 2,
             queue_capacity: 8,
@@ -367,12 +439,22 @@ mod tests {
             cache_hits: 100,
             cache_misses: 20,
             cache_evictions: 5,
+            ingest_resident_bytes: 4096,
+            ingest_budget_bytes: 65536,
+            scenarios_static: 7,
+            scenarios_uploaded: 1,
         });
         assert!(text.contains("efes_requests_total{endpoint=\"estimate\"} 2"));
         assert!(text.contains("efes_requests_total{endpoint=\"healthz\"} 1"));
         assert!(text.contains("efes_requests_total{endpoint=\"match\"} 1"));
         assert!(text.contains("efes_matches_ok_total 1"));
         assert!(text.contains("efes_rejected_total 3"));
+        assert!(text.contains("efes_requests_total{endpoint=\"ingest\"} 1"));
+        assert!(text.contains("efes_ingest_ok_total 1"));
+        assert!(text.contains("efes_ingest_evicted_total 2"));
+        assert!(text.contains("efes_ingest_resident_bytes 4096"));
+        assert!(text.contains("efes_ingest_budget_bytes 65536"));
+        assert!(text.contains("efes_scenarios_uploaded 1"));
         assert!(text.contains("efes_queue_depth 2"));
         assert!(text.contains("efes_queue_capacity 8"));
         assert!(text.contains("efes_profile_cache_hits_total 100"));

@@ -14,9 +14,10 @@ use crate::http::{self, Limits, ParseError, Request, Response};
 use crate::metrics::{Endpoint, Metrics, Sampled};
 use efes::{
     EstimateRequest, EstimateResponse, EstimationConfig, Estimator, ExecutionPolicy,
-    ModuleError, ScenarioRegistry,
+    ModuleError, ScenarioProvider, ScenarioRegistry,
 };
 use efes_exec::{CancellationToken, SubmitError, WorkerPool};
+use efes_ingest::{DynamicRegistry, InsertError, InsertOutcome, RemoveError, ScenarioUpload};
 use efes_matching::{CombinedMatcher, MatcherConfig};
 use efes_profiling::ProfileCache;
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
@@ -60,6 +61,10 @@ pub struct ServerConfig {
     /// Whether `POST /shutdown` is honoured (off by default; meant for
     /// CI and supervised deployments).
     pub allow_remote_shutdown: bool,
+    /// Byte budget for uploaded scenarios (`POST /scenarios`). `None`
+    /// falls back to the `EFES_INGEST_BUDGET` environment variable, or
+    /// 256 MiB.
+    pub ingest_budget: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +81,7 @@ impl Default for ServerConfig {
             estimation: ExecutionPolicy::Sequential,
             profile_cache_capacity: Some(4096),
             allow_remote_shutdown: false,
+            ingest_budget: None,
         }
     }
 }
@@ -133,7 +139,7 @@ impl JobSlot {
 
 struct ServerState {
     config: ServerConfig,
-    registry: ScenarioRegistry,
+    registry: DynamicRegistry,
     metrics: Metrics,
     pool: WorkerPool,
     /// One profile cache per scenario name — never shared across
@@ -160,6 +166,15 @@ impl ServerState {
         }))
     }
 
+    /// Drop a scenario's profile cache (after eviction or deletion) so
+    /// its profiles stop counting against memory.
+    fn drop_cache(&self, scenario: &str) {
+        self.caches
+            .lock()
+            .expect("cache map poisoned")
+            .remove(scenario);
+    }
+
     fn sample(&self) -> Sampled {
         let caches = self.caches.lock().expect("cache map poisoned");
         let mut sampled = Sampled {
@@ -167,6 +182,10 @@ impl ServerState {
             queue_capacity: self.pool.capacity(),
             in_flight: self.pool.in_flight(),
             workers: self.pool.workers(),
+            ingest_resident_bytes: self.registry.resident_bytes() as u64,
+            ingest_budget_bytes: self.registry.budget() as u64,
+            scenarios_static: self.registry.static_len(),
+            scenarios_uploaded: self.registry.uploaded_len(),
             ..Sampled::default()
         };
         for cache in caches.values() {
@@ -202,8 +221,8 @@ impl Server {
         };
         let state = Arc::new(ServerState {
             pool: WorkerPool::new(workers, config.queue_capacity),
+            registry: DynamicRegistry::new(registry, config.ingest_budget),
             config,
-            registry,
             metrics: Metrics::new(),
             caches: Mutex::new(BTreeMap::new()),
             shutting_down: AtomicBool::new(false),
@@ -428,12 +447,25 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             state.metrics.count_request(Endpoint::Match);
             handle_match(state, request)
         }
+        ("POST", "/scenarios") => {
+            state.metrics.count_request(Endpoint::Ingest);
+            handle_upload(state, request)
+        }
+        ("DELETE", path) if path.strip_prefix("/scenarios/").is_some_and(|n| !n.is_empty()) => {
+            state.metrics.count_request(Endpoint::Ingest);
+            handle_delete(state, &request.path["/scenarios/".len()..])
+        }
         ("POST", "/shutdown") if state.config.allow_remote_shutdown => {
             state.metrics.count_request(Endpoint::Other);
             state.request_shutdown();
             Response::json(200, &b"{\"status\":\"shutting down\"}"[..])
         }
         (_, "/healthz" | "/scenarios" | "/metrics" | "/estimate" | "/match") => {
+            state.metrics.count_request(Endpoint::Other);
+            state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+            Response::error(405, &format!("{} not allowed on {}", request.method, request.path))
+        }
+        (_, path) if path.starts_with("/scenarios/") => {
             state.metrics.count_request(Endpoint::Other);
             state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
             Response::error(405, &format!("{} not allowed on {}", request.method, request.path))
@@ -717,6 +749,143 @@ fn handle_match(state: &Arc<ServerState>, request: &Request) -> Response {
         Err(e) => {
             state.metrics.estimate_errors.fetch_add(1, Ordering::Relaxed);
             Response::error(500, &format!("serialising match result: {e}"))
+        }
+    }
+}
+
+/// The `POST /scenarios` response: what the registry did with the
+/// upload. `status` is `"created"` (`201`) or `"deduplicated"` (`200`);
+/// on deduplication `scenario` names the *existing* entry estimates
+/// should be addressed to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UploadResponse {
+    /// The name the scenario is resolvable under.
+    pub scenario: String,
+    /// `"created"` or `"deduplicated"`.
+    pub status: String,
+    /// Approximate resident bytes charged against the ingest budget
+    /// (the existing entry's charge when deduplicated).
+    pub resident_bytes: u64,
+    /// Uploaded scenarios evicted to make room, oldest first.
+    pub evicted: Vec<String>,
+}
+
+/// The `DELETE /scenarios/{name}` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeleteResponse {
+    /// The deleted scenario.
+    pub scenario: String,
+    /// Approximate bytes returned to the ingest budget.
+    pub freed_bytes: u64,
+}
+
+/// `POST /scenarios` — synchronous on the connection thread, like
+/// `/match`: parsing streams into typed columns without profiling
+/// anything, so it never competes with estimates for workers.
+fn handle_upload(state: &Arc<ServerState>, request: &Request) -> Response {
+    if state.shutting_down.load(Ordering::Acquire) {
+        return Response::error(503, "server is shutting down");
+    }
+    let reject = |status: u16, message: &str| {
+        state
+            .metrics
+            .ingests_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        Response::error(status, message)
+    };
+    let upload = match ScenarioUpload::parse(&request.body) {
+        Ok(upload) => upload,
+        Err(e) => {
+            state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return reject(400, &e.to_string());
+        }
+    };
+    let (name, description) = (upload.name.clone(), upload.description.clone());
+    let scenario = match upload.into_scenario() {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return reject(400, &e.to_string());
+        }
+    };
+    match state.registry.insert(&name, &description, scenario) {
+        Ok(InsertOutcome::Inserted { bytes, evicted }) => {
+            state.metrics.ingests_ok.fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .ingests_evicted
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            for gone in &evicted {
+                state.drop_cache(gone);
+            }
+            let response = UploadResponse {
+                scenario: name,
+                status: "created".to_owned(),
+                resident_bytes: bytes as u64,
+                evicted,
+            };
+            match serde_json::to_string(&response) {
+                Ok(body) => Response::json(201, body.into_bytes()),
+                Err(e) => Response::error(500, &format!("serialising upload result: {e}")),
+            }
+        }
+        Ok(InsertOutcome::Deduplicated { existing }) => {
+            state
+                .metrics
+                .ingests_deduplicated
+                .fetch_add(1, Ordering::Relaxed);
+            let resident = state
+                .registry
+                .infos()
+                .into_iter()
+                .find(|i| i.name == existing)
+                .and_then(|i| i.resident_bytes)
+                .unwrap_or(0);
+            let response = UploadResponse {
+                scenario: existing,
+                status: "deduplicated".to_owned(),
+                resident_bytes: resident,
+                evicted: Vec::new(),
+            };
+            match serde_json::to_string(&response) {
+                Ok(body) => Response::json(200, body.into_bytes()),
+                Err(e) => Response::error(500, &format!("serialising upload result: {e}")),
+            }
+        }
+        Err(e @ InsertError::NameTaken(_)) => reject(409, &e.to_string()),
+        Err(e @ InsertError::OverBudget { .. }) => {
+            state.metrics.too_large.fetch_add(1, Ordering::Relaxed);
+            reject(413, &e.to_string())
+        }
+        Err(e @ InsertError::InvalidName(_)) => {
+            state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            reject(400, &e.to_string())
+        }
+    }
+}
+
+/// `DELETE /scenarios/{name}` — removes an uploaded scenario and its
+/// profile cache. Static scenarios answer `403`.
+fn handle_delete(state: &Arc<ServerState>, name: &str) -> Response {
+    match state.registry.remove(name) {
+        Ok(freed) => {
+            state.metrics.ingests_deleted.fetch_add(1, Ordering::Relaxed);
+            state.drop_cache(name);
+            let response = DeleteResponse {
+                scenario: name.to_owned(),
+                freed_bytes: freed as u64,
+            };
+            match serde_json::to_string(&response) {
+                Ok(body) => Response::json(200, body.into_bytes()),
+                Err(e) => Response::error(500, &format!("serialising delete result: {e}")),
+            }
+        }
+        Err(RemoveError::NotFound) => {
+            state.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+            Response::error(404, &format!("no uploaded scenario {name:?}"))
+        }
+        Err(RemoveError::Static) => {
+            Response::error(403, &format!("scenario {name:?} is compiled in and cannot be deleted"))
         }
     }
 }

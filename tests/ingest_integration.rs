@@ -1,0 +1,275 @@
+//! End-to-end tests of scenario ingestion over real sockets: uploads
+//! estimate byte-identically to the library, identical uploads
+//! deduplicate, the memory budget evicts idle uploads (never statics),
+//! and `DELETE` answers 200/403/404 as provenance dictates.
+
+use efes::{EstimateRequest, EstimateResponse, EstimationConfig, Estimator, Quality};
+use efes_ingest::{approx_scenario_bytes, ScenarioUpload, UploadFormat};
+use efes_serve::http::Limits;
+use efes_serve::{DeleteResponse, Server, ServerConfig, ServerHandle, UploadResponse};
+use efes_synth::{generate, SynthConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A raw one-request HTTP client: returns (status, headers, body).
+fn send_raw(addr: SocketAddr, request: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(request).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, head.to_owned(), body.to_owned())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nhost: efes\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nhost: efes\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn delete(addr: SocketAddr, name: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!("DELETE /scenarios/{name} HTTP/1.1\r\nhost: efes\r\n\r\n").as_bytes(),
+    )
+}
+
+/// A small synthetic scenario and its upload document under `name`.
+fn synth_upload(name: &str, seed: u64, rows: usize) -> (efes_relational::IntegrationScenario, String) {
+    let cfg = SynthConfig::default().with_seed(seed).with_rows(rows);
+    let mut scenario = generate(&cfg).scenario;
+    // The upload's registry name becomes the scenario's own name on
+    // ingest; rename the library-side copy to match.
+    scenario.name = name.to_owned();
+    let mut upload = ScenarioUpload::from_scenario(&scenario, UploadFormat::JsonRows);
+    upload.name = name.to_owned();
+    let doc = serde_json::to_string(&upload).expect("serialise upload");
+    (scenario, doc)
+}
+
+fn default_server() -> ServerHandle {
+    Server::start(ServerConfig::default(), efes_scenarios::standard_registry())
+        .expect("start server")
+}
+
+#[test]
+fn uploaded_scenarios_estimate_byte_identically_to_the_library() {
+    let handle = default_server();
+    let addr = handle.addr();
+    let (scenario, doc) = synth_upload("up-synth", 41, 80);
+
+    let (status, _, body) = post(addr, "/scenarios", &doc);
+    assert_eq!(status, 201, "body: {body}");
+    let created: UploadResponse = serde_json::from_str(&body).expect("parse upload response");
+    assert_eq!(created.scenario, "up-synth");
+    assert_eq!(created.status, "created");
+    assert!(created.resident_bytes > 0);
+    assert!(created.evicted.is_empty());
+
+    // The listing carries provenance for both kinds of entry.
+    let (status, _, listing) = get(addr, "/scenarios");
+    assert_eq!(status, 200);
+    assert!(
+        listing.contains(r#""name":"up-synth""#) && listing.contains(r#""provenance":"uploaded""#),
+        "listing: {listing}"
+    );
+    assert!(listing.contains(r#""provenance":"static""#), "listing: {listing}");
+    assert!(listing.contains("music-example"), "listing: {listing}");
+
+    // Estimating the upload over the wire matches the library run on
+    // the original scenario byte for byte.
+    let (status, _, body) = post(
+        addr,
+        "/estimate",
+        r#"{"scenario":"up-synth","include_tasks":true}"#,
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let served: EstimateResponse = serde_json::from_str(&body).expect("parse estimate");
+
+    let mut request = EstimateRequest::new("up-synth");
+    request.include_tasks = true;
+    let estimate = Estimator::with_default_modules(EstimationConfig::for_quality(
+        Quality::HighQuality,
+    ))
+    .estimate(&scenario)
+    .unwrap();
+    let expected = EstimateResponse::from_estimate(&estimate, &request);
+
+    assert_eq!(served, expected);
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&expected).unwrap()
+    );
+    assert!(served.total_minutes > 0.0);
+
+    let metrics = handle.scrape();
+    assert!(metrics.contains("efes_ingest_ok_total 1"), "metrics:\n{metrics}");
+    assert!(metrics.contains("efes_scenarios_uploaded 1"), "metrics:\n{metrics}");
+    assert!(
+        metrics.contains(&format!("efes_ingest_resident_bytes {}", created.resident_bytes)),
+        "metrics:\n{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn identical_uploads_deduplicate_to_one_entry() {
+    let handle = default_server();
+    let addr = handle.addr();
+    let (_, doc_a) = synth_upload("dup-a", 42, 60);
+    let (_, doc_b) = synth_upload("dup-b", 42, 60); // same content, new name
+
+    let (status, _, body) = post(addr, "/scenarios", &doc_a);
+    assert_eq!(status, 201, "body: {body}");
+    let created: UploadResponse = serde_json::from_str(&body).unwrap();
+
+    let (status, _, body) = post(addr, "/scenarios", &doc_b);
+    assert_eq!(status, 200, "body: {body}");
+    let dedup: UploadResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(dedup.status, "deduplicated");
+    // The response redirects the client to the entry that already holds
+    // this content — and its profile cache.
+    assert_eq!(dedup.scenario, "dup-a");
+    assert_eq!(dedup.resident_bytes, created.resident_bytes);
+
+    let (_, _, listing) = get(addr, "/scenarios");
+    assert!(listing.contains("dup-a"), "listing: {listing}");
+    assert!(!listing.contains("dup-b"), "listing: {listing}");
+
+    let metrics = handle.scrape();
+    assert!(metrics.contains("efes_ingest_ok_total 1"), "metrics:\n{metrics}");
+    assert!(
+        metrics.contains("efes_ingest_deduplicated_total 1"),
+        "metrics:\n{metrics}"
+    );
+    assert!(metrics.contains("efes_scenarios_uploaded 1"), "metrics:\n{metrics}");
+    handle.shutdown();
+}
+
+#[test]
+fn budget_eviction_is_lru_and_never_touches_statics() {
+    // Three distinct scenarios of similar size; a budget that holds two.
+    let (sc_a, doc_a) = synth_upload("up-a", 1, 50);
+    let (sc_b, doc_b) = synth_upload("up-b", 2, 50);
+    let (sc_c, doc_c) = synth_upload("up-c", 3, 50);
+    let sizes = [
+        approx_scenario_bytes(&sc_a),
+        approx_scenario_bytes(&sc_b),
+        approx_scenario_bytes(&sc_c),
+    ];
+    let budget = sizes.iter().sum::<usize>() - sizes.iter().min().unwrap() / 2;
+
+    let statics = efes_scenarios::standard_registry();
+    let static_names: Vec<String> =
+        statics.infos().into_iter().map(|i| i.name).collect();
+    let handle = Server::start(
+        ServerConfig {
+            ingest_budget: Some(budget),
+            ..ServerConfig::default()
+        },
+        statics,
+    )
+    .expect("start server");
+    let addr = handle.addr();
+
+    assert_eq!(post(addr, "/scenarios", &doc_a).0, 201);
+    assert_eq!(post(addr, "/scenarios", &doc_b).0, 201);
+    // Touch `up-a` so `up-b` becomes the least recently used upload.
+    let (status, _, body) = post(addr, "/estimate", r#"{"scenario":"up-a"}"#);
+    assert_eq!(status, 200, "body: {body}");
+
+    let (status, _, body) = post(addr, "/scenarios", &doc_c);
+    assert_eq!(status, 201, "body: {body}");
+    let created: UploadResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(created.evicted, vec!["up-b".to_owned()]);
+
+    let (_, _, listing) = get(addr, "/scenarios");
+    assert!(listing.contains("up-a"), "listing: {listing}");
+    assert!(listing.contains("up-c"), "listing: {listing}");
+    assert!(!listing.contains("up-b"), "listing: {listing}");
+    // Every compiled-in scenario survived the squeeze.
+    for name in &static_names {
+        assert!(listing.contains(name.as_str()), "static {name} missing: {listing}");
+    }
+    let (status, _, body) = post(addr, "/estimate", r#"{"scenario":"up-b"}"#);
+    assert_eq!(status, 404, "body: {body}");
+
+    let metrics = handle.scrape();
+    assert!(metrics.contains("efes_ingest_evicted_total 1"), "metrics:\n{metrics}");
+    assert!(metrics.contains("efes_scenarios_uploaded 2"), "metrics:\n{metrics}");
+    handle.shutdown();
+}
+
+#[test]
+fn delete_answers_by_provenance_and_limits_reject_oversized_uploads() {
+    let (_, doc) = synth_upload("del-me", 9, 40);
+    let handle = Server::start(
+        ServerConfig {
+            limits: Limits {
+                max_upload_body: doc.len() + 512,
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+        efes_scenarios::standard_registry(),
+    )
+    .expect("start server");
+    let addr = handle.addr();
+
+    let (status, _, body) = post(addr, "/scenarios", &doc);
+    assert_eq!(status, 201, "body: {body}");
+    let created: UploadResponse = serde_json::from_str(&body).unwrap();
+
+    // Delete it: the bytes come back, and the name stops resolving.
+    let (status, _, body) = delete(addr, "del-me");
+    assert_eq!(status, 200, "body: {body}");
+    let gone: DeleteResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(gone.scenario, "del-me");
+    assert_eq!(gone.freed_bytes, created.resident_bytes);
+    assert_eq!(post(addr, "/estimate", r#"{"scenario":"del-me"}"#).0, 404);
+
+    // Gone is gone; statics are untouchable; other verbs bounce.
+    assert_eq!(delete(addr, "del-me").0, 404);
+    assert_eq!(delete(addr, "music-example").0, 403);
+    assert_eq!(get(addr, "/scenarios/whatever").0, 405);
+
+    // A body over the upload cap answers 413 before parsing starts.
+    let huge = format!(
+        "POST /scenarios HTTP/1.1\r\nhost: efes\r\ncontent-length: {}\r\n\r\n",
+        doc.len() + 4096
+    );
+    assert_eq!(send_raw(addr, huge.as_bytes()).0, 413);
+    // Malformed documents are a client error, counted as rejected.
+    assert_eq!(post(addr, "/scenarios", "{not json").0, 400);
+
+    let metrics = handle.scrape();
+    assert!(metrics.contains("efes_ingest_deleted_total 1"), "metrics:\n{metrics}");
+    assert!(metrics.contains("efes_ingest_rejected_total 1"), "metrics:\n{metrics}");
+    assert!(metrics.contains("efes_too_large_total 1"), "metrics:\n{metrics}");
+    assert!(metrics.contains("efes_scenarios_uploaded 0"), "metrics:\n{metrics}");
+    handle.shutdown();
+}
