@@ -5,7 +5,7 @@ use crate::config::EstimationConfig;
 use crate::framework::{AssessContext, EstimationModule, ModuleError, ModuleReport};
 use crate::modules::{MappingModule, StructureModule, ValueModule};
 use crate::task::{Task, TaskCategory};
-use efes_exec::{parallel_map_ref, timed};
+use efes_exec::{parallel_map_ref, timed, RunContext};
 use efes_profiling::ProfileCache;
 use efes_relational::IntegrationScenario;
 use serde::{Deserialize, Serialize};
@@ -284,16 +284,36 @@ impl Estimator {
         scenario: &IntegrationScenario,
         cache: Arc<ProfileCache>,
     ) -> Result<EffortEstimate, ModuleError> {
+        self.estimate_with_cache_ctx(scenario, cache, RunContext::unbounded())
+    }
+
+    /// Like [`estimate_with_cache`](Self::estimate_with_cache), but the
+    /// whole run is scoped to `run`: every module stage polls the
+    /// context at cheap checkpoints inside its long loops and aborts
+    /// with [`ModuleError::Cancelled`] (naming the stage) within
+    /// milliseconds of the token firing or the deadline passing. An
+    /// aborted run leaves the shared cache clean — in-flight profile
+    /// fills are rolled back, never published partially. When `run`
+    /// never fires, the estimate is byte-identical to
+    /// [`estimate`](Self::estimate).
+    pub fn estimate_with_cache_ctx(
+        &self,
+        scenario: &IntegrationScenario,
+        cache: Arc<ProfileCache>,
+        run: RunContext,
+    ) -> Result<EffortEstimate, ModuleError> {
         let ctx = AssessContext {
             cache,
             mode: self.config.execution.mode(),
+            run,
         };
         type StageOut = Result<(ModuleReport, Vec<EstimatedTask>, StageTiming), ModuleError>;
         let (per_module, total_millis) = timed(|| {
             parallel_map_ref(ctx.mode, &self.modules, |module| -> StageOut {
                 let (out, millis) = timed(|| -> Result<_, ModuleError> {
+                    ctx.check(module.name())?;
                     let report = module.assess_with(scenario, &ctx)?;
-                    let tasks = module.plan(scenario, &report, &self.config)?;
+                    let tasks = module.plan_with(scenario, &report, &self.config, &ctx)?;
                     let priced = tasks
                         .into_iter()
                         .map(|task| {

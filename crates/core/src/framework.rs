@@ -8,7 +8,7 @@
 
 use crate::config::EstimationConfig;
 use crate::task::Task;
-use efes_exec::ExecutionMode;
+use efes_exec::{ExecutionMode, RunContext};
 use efes_profiling::ProfileCache;
 use efes_relational::IntegrationScenario;
 use serde::{Deserialize, Serialize};
@@ -167,6 +167,24 @@ pub enum ModuleError {
     /// The module's planner could not produce a consistent plan (e.g. an
     /// infinite cleaning loop, §4.2).
     PlanningFailed(String),
+    /// The run was cancelled (deadline expiry or caller abandonment)
+    /// while this stage was executing; the payload names the stage. Not
+    /// a failure of the scenario — the caller stopped wanting the
+    /// answer, and the stage aborted at its next checkpoint.
+    Cancelled(String),
+}
+
+impl ModuleError {
+    /// A [`ModuleError::Cancelled`] attributed to `stage`.
+    pub fn cancelled(stage: impl Into<String>) -> Self {
+        ModuleError::Cancelled(stage.into())
+    }
+
+    /// Whether this error is a cooperative cancellation (as opposed to
+    /// a genuine scenario/planning failure).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ModuleError::Cancelled(_))
+    }
 }
 
 impl fmt::Display for ModuleError {
@@ -174,6 +192,7 @@ impl fmt::Display for ModuleError {
         match self {
             ModuleError::InvalidScenario(m) => write!(f, "invalid scenario: {m}"),
             ModuleError::PlanningFailed(m) => write!(f, "planning failed: {m}"),
+            ModuleError::Cancelled(stage) => write!(f, "cancelled in stage {stage}"),
         }
     }
 }
@@ -191,16 +210,22 @@ pub struct AssessContext {
     pub cache: Arc<ProfileCache>,
     /// How modules should execute their independent inner units.
     pub mode: ExecutionMode,
+    /// Cancellation and deadline scope of the run. Modules poll this at
+    /// checkpoints inside long loops and bail with
+    /// [`ModuleError::Cancelled`] when it fires; the unbounded default
+    /// never fires, so direct callers see no behaviour change.
+    pub run: RunContext,
 }
 
 impl AssessContext {
-    /// A standalone context: fresh cache, sequential execution. Used when
-    /// a module's `assess` is called directly rather than via the
-    /// estimator.
+    /// A standalone context: fresh cache, sequential execution, no
+    /// cancellation. Used when a module's `assess` is called directly
+    /// rather than via the estimator.
     pub fn standalone() -> Self {
         AssessContext {
             cache: Arc::new(ProfileCache::new()),
             mode: ExecutionMode::Sequential,
+            run: RunContext::unbounded(),
         }
     }
 
@@ -209,7 +234,20 @@ impl AssessContext {
         AssessContext {
             cache: Arc::new(ProfileCache::new()),
             mode,
+            run: RunContext::unbounded(),
         }
+    }
+
+    /// Scope this context to the given run (builder style).
+    pub fn with_run(mut self, run: RunContext) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Map a cancellation from `run` into a [`ModuleError::Cancelled`]
+    /// attributed to `stage`.
+    pub fn check(&self, stage: &str) -> Result<(), ModuleError> {
+        self.run.check().map_err(|_| ModuleError::cancelled(stage))
     }
 }
 
@@ -255,6 +293,23 @@ pub trait EstimationModule: Send + Sync {
         report: &ModuleReport,
         config: &EstimationConfig,
     ) -> Result<Vec<Task>, ModuleError>;
+
+    /// Phase 2, context-aware variant: like [`plan`](Self::plan) but with
+    /// access to the run's [`AssessContext`], so planners that re-derive
+    /// expensive evidence (e.g. conflict detection over large instances)
+    /// can honour cancellation checkpoints. The default ignores the
+    /// context and delegates to `plan`, so existing custom modules keep
+    /// working unchanged. The plan must not depend on `ctx`.
+    fn plan_with(
+        &self,
+        scenario: &IntegrationScenario,
+        report: &ModuleReport,
+        config: &EstimationConfig,
+        ctx: &AssessContext,
+    ) -> Result<Vec<Task>, ModuleError> {
+        let _ = ctx;
+        self.plan(scenario, report, config)
+    }
 }
 
 #[cfg(test)]

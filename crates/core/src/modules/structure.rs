@@ -7,10 +7,10 @@ use crate::framework::{AssessContext, EstimationModule, Finding, ModuleError, Mo
 use crate::task::{Task, TaskParams, TaskType};
 use efes_csg::planner::{PlannedRepair, PlannerOptions, StructureTaskKind};
 use efes_csg::{
-    database_to_csg, detect_conflicts, match_relationships_with, plan_repairs,
+    database_to_csg_ctx, detect_conflicts_ctx, match_relationships_with, plan_repairs,
     NodeCorrespondences,
 };
-use efes_exec::{parallel_map, ExecutionMode};
+use efes_exec::{parallel_map, ExecutionMode, RunContext};
 use efes_relational::{IntegrationScenario, SourceId};
 
 /// The structure module.
@@ -48,13 +48,29 @@ impl StructureModule {
         source: SourceId,
         config: &EstimationConfig,
     ) -> Result<Vec<PlannedRepair>, ModuleError> {
+        self.plan_for_source_ctx(scenario, source, config, &RunContext::unbounded())
+    }
+
+    /// Like [`plan_for_source`](Self::plan_for_source), but scoped to
+    /// `run`: the conflict re-derivation (the expensive part of planning
+    /// on large sources) aborts at its next checkpoint when `run` fires.
+    pub fn plan_for_source_ctx(
+        &self,
+        scenario: &IntegrationScenario,
+        source: SourceId,
+        config: &EstimationConfig,
+        run: &RunContext,
+    ) -> Result<Vec<PlannedRepair>, ModuleError> {
         let mode = config.execution.mode();
-        let target_conv = database_to_csg(&scenario.target);
-        let source_conv = database_to_csg(scenario.source(source));
+        let cancelled = || ModuleError::cancelled("structure");
+        let target_conv = database_to_csg_ctx(&scenario.target, run).map_err(|_| cancelled())?;
+        let source_conv =
+            database_to_csg_ctx(scenario.source(source), run).map_err(|_| cancelled())?;
         let corr =
             NodeCorrespondences::from_scenario(scenario, source, &target_conv, &source_conv);
         let matches = match_relationships_with(&target_conv.csg, &source_conv.csg, &corr, mode);
-        let conflicts = detect_conflicts(&target_conv, &source_conv, &matches);
+        let conflicts = detect_conflicts_ctx(&target_conv, &source_conv, &matches, run)
+            .map_err(|_| ModuleError::cancelled("structure"))?;
         let mut opts = self.planner_options.clone();
         opts.max_iterations = config.max_repair_iterations;
         plan_repairs(&target_conv, &matches, &conflicts, config.quality, &opts)
@@ -62,19 +78,22 @@ impl StructureModule {
     }
 
     /// Detect conflicts for one source, returning its findings in
-    /// deterministic order.
+    /// deterministic order, or `Err` when `run` is cancelled mid-sweep.
     fn assess_source(
         &self,
         scenario: &IntegrationScenario,
         sid: SourceId,
         mode: ExecutionMode,
-    ) -> Vec<Finding> {
+        run: &RunContext,
+    ) -> Result<Vec<Finding>, ModuleError> {
         let source = scenario.source(sid);
-        let target_conv = database_to_csg(&scenario.target);
-        let source_conv = database_to_csg(source);
+        let cancelled = || ModuleError::cancelled("structure");
+        let target_conv = database_to_csg_ctx(&scenario.target, run).map_err(|_| cancelled())?;
+        let source_conv = database_to_csg_ctx(source, run).map_err(|_| cancelled())?;
         let corr = NodeCorrespondences::from_scenario(scenario, sid, &target_conv, &source_conv);
         let matches = match_relationships_with(&target_conv.csg, &source_conv.csg, &corr, mode);
-        detect_conflicts(&target_conv, &source_conv, &matches)
+        Ok(detect_conflicts_ctx(&target_conv, &source_conv, &matches, run)
+            .map_err(|_| ModuleError::cancelled("structure"))?
             .into_iter()
             .map(|c| {
                 Finding::new(
@@ -96,7 +115,7 @@ impl StructureModule {
                 .with_text("inferred", c.inferred.to_string())
                 .with_text("conflict-kind", c.kind.label())
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -120,9 +139,9 @@ impl EstimationModule for StructureModule {
         let sids: Vec<SourceId> = scenario.iter_sources().map(|(sid, _)| sid).collect();
         let mut report = ModuleReport::new(self.name());
         for findings in parallel_map(ctx.mode, sids, |sid| {
-            self.assess_source(scenario, sid, ctx.mode)
+            self.assess_source(scenario, sid, ctx.mode, &ctx.run)
         }) {
-            report.findings.extend(findings);
+            report.findings.extend(findings?);
         }
         Ok(report)
     }
@@ -130,14 +149,24 @@ impl EstimationModule for StructureModule {
     fn plan(
         &self,
         scenario: &IntegrationScenario,
+        report: &ModuleReport,
+        config: &EstimationConfig,
+    ) -> Result<Vec<Task>, ModuleError> {
+        self.plan_with(scenario, report, config, &AssessContext::standalone())
+    }
+
+    fn plan_with(
+        &self,
+        scenario: &IntegrationScenario,
         _report: &ModuleReport,
         config: &EstimationConfig,
+        ctx: &AssessContext,
     ) -> Result<Vec<Task>, ModuleError> {
         // The planner re-derives conflicts per source: the repair
         // simulation needs the full match context, not just the findings.
         let mut tasks = Vec::new();
         for (sid, _) in scenario.iter_sources() {
-            for repair in self.plan_for_source(scenario, sid, config)? {
+            for repair in self.plan_for_source_ctx(scenario, sid, config, &ctx.run)? {
                 let task_type = task_type_of(repair.kind);
                 tasks.push(Task::new(
                     task_type,

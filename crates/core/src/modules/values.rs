@@ -97,31 +97,40 @@ impl ValueModule {
         source: &efes_relational::Database,
         sa: efes_relational::AttrRef,
         ta: efes_relational::AttrRef,
-    ) -> Vec<Finding> {
+    ) -> Result<Vec<Finding>, ModuleError> {
         let target_type = scenario
             .target
             .schema
             .table(ta.table)
             .attribute(ta.attr)
             .datatype;
-        let source_profile = ctx.cache.of_attribute(
-            source,
-            ProfileKey {
-                db: DbTag::source(sid.0 as u32),
-                table: sa.table,
-                attr: sa.attr,
-                reference_type: target_type,
-            },
-        );
-        let target_profile = ctx.cache.of_attribute(
-            &scenario.target,
-            ProfileKey {
-                db: DbTag::TARGET,
-                table: ta.table,
-                attr: ta.attr,
-                reference_type: target_type,
-            },
-        );
+        let cancelled = || ModuleError::cancelled("values");
+        let source_profile = ctx
+            .cache
+            .of_attribute_ctx(
+                &ctx.run,
+                source,
+                ProfileKey {
+                    db: DbTag::source(sid.0 as u32),
+                    table: sa.table,
+                    attr: sa.attr,
+                    reference_type: target_type,
+                },
+            )
+            .map_err(|_| cancelled())?;
+        let target_profile = ctx
+            .cache
+            .of_attribute_ctx(
+                &ctx.run,
+                &scenario.target,
+                ProfileKey {
+                    db: DbTag::TARGET,
+                    table: ta.table,
+                    attr: ta.attr,
+                    reference_type: target_type,
+                },
+            )
+            .map_err(|_| cancelled())?;
         let location = format!(
             "{} → {}",
             source.schema.qualified(sa.table, sa.attr),
@@ -181,7 +190,7 @@ impl ValueModule {
             }
         }
 
-        heterogeneities
+        Ok(heterogeneities
             .into_iter()
             .map(|(kind, score)| {
                 Finding::new(
@@ -194,7 +203,7 @@ impl ValueModule {
                 .with_int("distinct-source-values", distinct)
                 .with_float("score", score)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -229,7 +238,7 @@ impl EstimationModule for ValueModule {
         for findings in parallel_map(ctx.mode, units, |(sid, source, sa, ta)| {
             self.assess_correspondence(scenario, ctx, sid, source, sa, ta)
         }) {
-            report.findings.extend(findings);
+            report.findings.extend(findings?);
         }
         Ok(report)
     }

@@ -11,6 +11,7 @@
 use crate::cardinality::Cardinality;
 use crate::graph::{Csg, NodeId, NodeKind, RelId, RelKind};
 use crate::instance::{CsgInstance, Element};
+use efes_exec::{Cancelled, RunContext};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::{ConstraintKind, Database};
 
@@ -65,6 +66,15 @@ impl CsgConversion {
 /// | FK value → PK value (equality) | `1` | foreign key (every fk value equals exactly one referenced value) |
 /// | PK value → FK value (equality) | `0..1` | equality over distinct values is partial-injective |
 pub fn database_to_csg(db: &Database) -> CsgConversion {
+    database_to_csg_ctx(db, &RunContext::unbounded()).expect("unbounded context never cancels")
+}
+
+/// Like [`database_to_csg`], but cancellable: the instance fill — the
+/// only part that scales with row count — ticks `run`'s checkpoint per
+/// cell and per equality link, so conversion of a very large database
+/// aborts promptly when `run` fires.
+pub fn database_to_csg_ctx(db: &Database, run: &RunContext) -> Result<CsgConversion, Cancelled> {
+    let ck = run.checkpoint();
     let mut csg = Csg::new(db.schema.name.clone());
     let mut instance_pending = Vec::new(); // (rel, table, attr) fill later
 
@@ -137,6 +147,7 @@ pub fn database_to_csg(db: &Database) -> CsgConversion {
         for (ri, row) in data.rows().iter().enumerate() {
             let t_idx = instance.add_element(tnode, Element::Tuple(ri));
             for (ai, v) in row.iter().enumerate() {
+                ck.tick()?;
                 if v.is_null() {
                     continue;
                 }
@@ -170,6 +181,7 @@ pub fn database_to_csg(db: &Database) -> CsgConversion {
                     .map(|(i, e)| (i as u32, e))
                     .collect();
                 for (idx, elem) in from_elems {
+                    ck.tick()?;
                     if let Some(to_idx) = instance.element_index(to_node, &elem) {
                         instance.add_link(*rel, idx, to_idx);
                     }
@@ -178,14 +190,14 @@ pub fn database_to_csg(db: &Database) -> CsgConversion {
         }
     }
 
-    CsgConversion {
+    Ok(CsgConversion {
         csg,
         instance,
         table_nodes,
         attr_nodes,
         attr_rels,
         fk_rels,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use crate::expr::RelExpr;
 use crate::graph::{Csg, Direction, NodeId, RelId, RelRef};
+use efes_exec::{Cancelled, Checkpoint, RunContext};
 use efes_relational::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
@@ -106,55 +107,84 @@ impl CsgInstance {
     /// * `I_P(ρ₁ ∥ ρ₂) = {((a,c),(b,d)) : (a,b) ∈ I_P(ρ₁) ∧ (c,d) ∈
     ///   I_P(ρ₂)}`.
     pub fn eval(&self, expr: &RelExpr) -> LinkSet {
+        let run = RunContext::unbounded();
+        let ck = run.checkpoint();
+        self.eval_ctx(expr, &ck)
+            .expect("unbounded context never cancels")
+    }
+
+    /// Like [`eval`](Self::eval), but cancellable: link materialisation
+    /// loops tick `ck` and abort with [`Cancelled`] when the owning run
+    /// is cancelled. The evaluation is the dominant cost of conflict
+    /// detection at scale, so this is where deadline expiry actually
+    /// interrupts a running structure stage.
+    pub fn eval_ctx(&self, expr: &RelExpr, ck: &Checkpoint<'_>) -> Result<LinkSet, Cancelled> {
         match expr {
-            RelExpr::Atomic(r) => self.reading_links(*r),
+            RelExpr::Atomic(r) => {
+                let mut out = LinkSet::new();
+                for (f, t) in &self.links[r.rel.0] {
+                    ck.tick()?;
+                    out.insert(match r.dir {
+                        Direction::Forward => (vec![*f], vec![*t]),
+                        Direction::Backward => (vec![*t], vec![*f]),
+                    });
+                }
+                Ok(out)
+            }
             RelExpr::Compose(a, b) => {
-                let la = self.eval(a);
-                let lb = self.eval(b);
+                let la = self.eval_ctx(a, ck)?;
+                let lb = self.eval_ctx(b, ck)?;
                 let mut by_domain: HashMap<&Key, Vec<&Key>> = HashMap::new();
                 for (f, t) in &lb {
+                    ck.tick()?;
                     by_domain.entry(f).or_default().push(t);
                 }
                 let mut out = LinkSet::new();
                 for (f, mid) in &la {
+                    ck.tick()?;
                     if let Some(tails) = by_domain.get(mid) {
                         for t in tails {
+                            ck.tick()?;
                             out.insert((f.clone(), (*t).clone()));
                         }
                     }
                 }
-                out
+                Ok(out)
             }
             RelExpr::Union(a, b, _) => {
-                let mut out = self.eval(a);
-                out.extend(self.eval(b));
-                out
+                let mut out = self.eval_ctx(a, ck)?;
+                out.extend(self.eval_ctx(b, ck)?);
+                Ok(out)
             }
             RelExpr::Join(a, b) => {
-                let la = self.eval(a);
-                let lb = self.eval(b);
+                let la = self.eval_ctx(a, ck)?;
+                let lb = self.eval_ctx(b, ck)?;
                 let mut by_codomain: HashMap<&Key, Vec<&Key>> = HashMap::new();
                 for (f, t) in &lb {
+                    ck.tick()?;
                     by_codomain.entry(t).or_default().push(f);
                 }
                 let mut out = LinkSet::new();
                 for (a_key, c_key) in &la {
+                    ck.tick()?;
                     if let Some(bs) = by_codomain.get(c_key) {
                         for b_key in bs {
+                            ck.tick()?;
                             let mut compound = a_key.clone();
                             compound.extend_from_slice(b_key);
                             out.insert((compound, c_key.clone()));
                         }
                     }
                 }
-                out
+                Ok(out)
             }
             RelExpr::Collateral(a, b) => {
-                let la = self.eval(a);
-                let lb = self.eval(b);
+                let la = self.eval_ctx(a, ck)?;
+                let lb = self.eval_ctx(b, ck)?;
                 let mut out = LinkSet::new();
                 for (a_key, b_key) in &la {
                     for (c_key, d_key) in &lb {
+                        ck.tick()?;
                         let mut dom = a_key.clone();
                         dom.extend_from_slice(c_key);
                         let mut cod = b_key.clone();
@@ -162,7 +192,7 @@ impl CsgInstance {
                         out.insert((dom, cod));
                     }
                 }
-                out
+                Ok(out)
             }
         }
     }
@@ -172,16 +202,30 @@ impl CsgInstance {
     /// domain node, how many links leave it (elements without links count
     /// 0 — these are exactly the "detached" elements).
     pub fn link_counts(&self, expr: &RelExpr, domain: NodeId) -> Vec<u64> {
-        let links = self.eval(expr);
+        let run = RunContext::unbounded();
+        let ck = run.checkpoint();
+        self.link_counts_ctx(expr, domain, &ck)
+            .expect("unbounded context never cancels")
+    }
+
+    /// Like [`link_counts`](Self::link_counts), but cancellable.
+    pub fn link_counts_ctx(
+        &self,
+        expr: &RelExpr,
+        domain: NodeId,
+        ck: &Checkpoint<'_>,
+    ) -> Result<Vec<u64>, Cancelled> {
+        let links = self.eval_ctx(expr, ck)?;
         let mut counts = vec![0u64; self.element_count(domain)];
         for (f, _) in &links {
+            ck.tick()?;
             if f.len() == 1 {
                 if let Some(c) = counts.get_mut(f[0] as usize) {
                     *c += 1;
                 }
             }
         }
-        counts
+        Ok(counts)
     }
 
     /// Verify the instance against the graph's prescribed cardinalities:

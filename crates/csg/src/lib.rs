@@ -45,7 +45,7 @@ pub mod violations;
 pub mod virtual_instance;
 
 pub use cardinality::Cardinality;
-pub use convert::database_to_csg;
+pub use convert::{database_to_csg, database_to_csg_ctx};
 pub use expr::RelExpr;
 pub use graph::{Csg, Direction, NodeId, NodeKind, RelId, RelKind, RelRef};
 pub use instance::CsgInstance;
@@ -54,5 +54,5 @@ pub use matching::{
 };
 pub use nary::{composite_fk_violations, composite_unique_violations, fd_violations};
 pub use planner::{plan_repairs, PlannedRepair, PlannerError, Quality, StructureTaskKind};
-pub use violations::{detect_conflicts, ConflictKind, StructuralConflict};
+pub use violations::{detect_conflicts, detect_conflicts_ctx, ConflictKind, StructuralConflict};
 pub use virtual_instance::VirtualCsg;

@@ -114,6 +114,21 @@ pub fn detect_conflicts(
     source_conv: &CsgConversion,
     matches: &[RelationshipMatch],
 ) -> Vec<StructuralConflict> {
+    let run = efes_exec::RunContext::unbounded();
+    detect_conflicts_ctx(target_conv, source_conv, matches, &run)
+        .expect("unbounded context never cancels")
+}
+
+/// Like [`detect_conflicts`], but cancellable: the link-set evaluations
+/// (the dominant cost on large sources) tick the run's checkpoint and
+/// abort promptly when it fires.
+pub fn detect_conflicts_ctx(
+    target_conv: &CsgConversion,
+    source_conv: &CsgConversion,
+    matches: &[RelationshipMatch],
+    run: &efes_exec::RunContext,
+) -> Result<Vec<StructuralConflict>, efes_exec::Cancelled> {
+    let ck = run.checkpoint();
     let mut out = Vec::new();
     for m in matches {
         let rel = m.target.rel;
@@ -140,7 +155,7 @@ pub fn detect_conflicts(
                 }
             };
             let Some(domain) = domain else { continue };
-            let counts = source_conv.instance.link_counts(&expr, domain);
+            let counts = source_conv.instance.link_counts_ctx(&expr, domain, &ck)?;
             let observed = match (counts.iter().min(), counts.iter().max()) {
                 (Some(lo), Some(hi)) => Cardinality::range(*lo, *hi),
                 _ => prescribed.clone(), // no domain elements: vacuously fine
@@ -186,7 +201,7 @@ pub fn detect_conflicts(
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// Reverse a composition chain; other operators reverse structurally.

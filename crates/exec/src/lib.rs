@@ -17,8 +17,11 @@ use std::sync::Once;
 use std::thread;
 use std::time::Instant;
 
+pub mod ctx;
+pub mod fault;
 pub mod pool;
 
+pub use ctx::{Cancelled, Checkpoint, RunContext, CHECK_INTERVAL};
 pub use pool::{CancellationToken, Job, SubmitError, WorkerPool};
 
 /// Environment variable forcing the thread budget: `1` means fully

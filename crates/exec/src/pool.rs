@@ -217,7 +217,12 @@ fn worker_loop(shared: &PoolShared) {
             }
         };
         shared.in_flight.fetch_add(1, Ordering::AcqRel);
-        let outcome = catch_unwind(AssertUnwindSafe(job));
+        // The fault site sits inside the unwind boundary so an injected
+        // panic exercises the same isolation path as a real job panic.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = crate::fault::fire("exec.pool.job", None);
+            job()
+        }));
         shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         if outcome.is_ok() {
             shared.executed.fetch_add(1, Ordering::Relaxed);

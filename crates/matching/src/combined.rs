@@ -12,9 +12,9 @@
 //! `tests/differential.rs`) — and `EFES_MATCH_PRUNE=off` (or
 //! [`PrunePolicy::Off`]) forces the exhaustive path at run time.
 
-use crate::instance::instance_similarity_cached;
+use crate::instance::instance_similarity_cached_ctx;
 use crate::name::{name_similarity, NameIndex, BOUND_SLACK};
-use efes_exec::{parallel_map, parallel_map_ref, ExecutionMode};
+use efes_exec::{parallel_map, parallel_map_ref, Cancelled, ExecutionMode, RunContext};
 use efes_profiling::{DbTag, ProfileCache};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::{
@@ -211,6 +211,29 @@ impl CombinedMatcher {
         cache: &ProfileCache,
         mode: ExecutionMode,
     ) -> (Vec<ProposedMatch>, MatchStats) {
+        self.propose_attribute_matches_stats_ctx(
+            source,
+            target,
+            cache,
+            mode,
+            &RunContext::unbounded(),
+        )
+        .expect("unbounded context never cancels")
+    }
+
+    /// Like [`propose_attribute_matches_stats`](Self::propose_attribute_matches_stats),
+    /// cancellable: each pair's instance scoring checks `run` before
+    /// profiling (and the profile fills themselves tick checkpoints), so
+    /// a cancelled run aborts mid-grid instead of scoring out the
+    /// remaining pairs. Output is byte-identical when `run` never fires.
+    pub fn propose_attribute_matches_stats_ctx(
+        &self,
+        source: &Database,
+        target: &Database,
+        cache: &ProfileCache,
+        mode: ExecutionMode,
+        run: &RunContext,
+    ) -> Result<(Vec<ProposedMatch>, MatchStats), Cancelled> {
         // Table-context similarity per table pair, computed once — the
         // same pure function the per-pair formula uses, so hoisting it
         // cannot change any score.
@@ -261,18 +284,29 @@ impl CombinedMatcher {
                 && !source.instance.table(s.0).is_empty()
                 && !target.instance.table(t.0).is_empty()
             {
-                let inst =
-                    instance_similarity_cached(source, DbTag(0), s, target, DbTag::TARGET, t, cache);
+                run.check()?;
+                let inst = instance_similarity_cached_ctx(
+                    run,
+                    source,
+                    DbTag(0),
+                    s,
+                    target,
+                    DbTag::TARGET,
+                    t,
+                    cache,
+                )?;
                 self.config.name_weight * name_score + (1.0 - self.config.name_weight) * inst
             } else {
                 name_score
             };
-            ProposedMatch {
+            Ok(ProposedMatch {
                 source: s,
                 target: t,
                 score,
-            }
+            })
         })
+        .into_iter()
+        .collect::<Result<Vec<ProposedMatch>, Cancelled>>()?
         .into_iter()
         .filter(|m| m.score >= self.config.attr_threshold)
         .collect();
@@ -297,7 +331,7 @@ impl CombinedMatcher {
                 true
             })
             .collect();
-        (accepted, stats)
+        Ok((accepted, stats))
     }
 
     /// The pruning front end: exact name scores for every pair whose

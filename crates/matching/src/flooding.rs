@@ -25,7 +25,7 @@
 //! iteration count, same normalisation order, byte-identical scores.
 
 use crate::name::name_similarity;
-use efes_exec::{parallel_chunks_mut, parallel_map_ref, ExecutionMode};
+use efes_exec::{parallel_chunks_mut, parallel_map_ref, Cancelled, ExecutionMode, RunContext};
 use efes_relational::Database;
 use std::collections::HashMap;
 
@@ -118,17 +118,34 @@ pub fn similarity_flooding_with(
     config: &FloodingConfig,
     mode: ExecutionMode,
 ) -> HashMap<(SchemaElem, SchemaElem), f64> {
+    similarity_flooding_ctx(source, target, config, mode, &RunContext::unbounded())
+        .expect("unbounded context never cancels")
+}
+
+/// [`similarity_flooding_with`], cancellable: the fixpoint checks `run`
+/// between sweeps (an iteration is the natural checkpoint granularity —
+/// each sweep is a bounded pass over the flat buffers) and aborts with
+/// [`Cancelled`] when it fires. Scores are byte-identical to the
+/// infallible entry points when `run` never fires.
+pub fn similarity_flooding_ctx(
+    source: &Database,
+    target: &Database,
+    config: &FloodingConfig,
+    mode: ExecutionMode,
+    run: &RunContext,
+) -> Result<HashMap<(SchemaElem, SchemaElem), f64>, Cancelled> {
+    run.check()?;
     let src_elems = elements(source);
     let tgt_elems = elements(target);
     let n_t = tgt_elems.len();
     let Some(pairs) = src_elems.len().checked_mul(n_t) else {
-        return similarity_flooding_reference(source, target, config);
+        return Ok(similarity_flooding_reference(source, target, config));
     };
     // Pair ids (and CSR neighbour ids) are u32; schemas wide enough to
     // overflow them could not hold the dense buffers anyway, so fall
     // back to the reference implementation instead of mis-indexing.
     if pairs > u32::MAX as usize {
-        return similarity_flooding_reference(source, target, config);
+        return Ok(similarity_flooding_reference(source, target, config));
     }
 
     // Below this pair count the flat buffers fit in cache and thread
@@ -159,11 +176,12 @@ pub fn similarity_flooding_with(
 
     let graph = PropagationGraph::build(source, target, &src_elems, &tgt_elems);
     let Some(graph) = graph else {
-        return similarity_flooding_reference(source, target, config);
+        return Ok(similarity_flooding_reference(source, target, config));
     };
 
     let mut next = vec![0.0f64; pairs];
     for _ in 0..config.max_iterations {
+        run.check()?;
         // Sweep 1: next[p] = cur[p] + (Σ neighbours) · recip[p], with
         // the per-chunk running max folded into the same pass.
         let (offsets, neighbours, recip, cur_ref) =
@@ -213,7 +231,7 @@ pub fn similarity_flooding_with(
             sigma.insert((*s, *t), cur[si * n_t + ti]);
         }
     }
-    sigma
+    Ok(sigma)
 }
 
 /// Per-element label ids plus the unique label table, interned once per

@@ -6,6 +6,7 @@
 //! `(fit(a→b) + fit(b→a)) / 2`, computed on profiles designated by each
 //! other's datatype.
 
+use efes_exec::{Cancelled, RunContext};
 use efes_profiling::{AttributeProfile, DbTag, ProfileCache, ProfileKey};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::Database;
@@ -44,6 +45,24 @@ pub fn instance_similarity_cached(
     b: (TableId, AttrId),
     cache: &ProfileCache,
 ) -> f64 {
+    instance_similarity_cached_ctx(&RunContext::unbounded(), db_a, tag_a, a, db_b, tag_b, b, cache)
+        .expect("unbounded context never cancels")
+}
+
+/// Like [`instance_similarity_cached`], but cancellable: the profile
+/// fills behind the cache tick the run's checkpoint and abort promptly
+/// when `run` fires (leaving the cache slot clean for the next caller).
+#[allow(clippy::too_many_arguments)]
+pub fn instance_similarity_cached_ctx(
+    run: &RunContext,
+    db_a: &Database,
+    tag_a: DbTag,
+    a: (TableId, AttrId),
+    db_b: &Database,
+    tag_b: DbTag,
+    b: (TableId, AttrId),
+    cache: &ProfileCache,
+) -> Result<f64, Cancelled> {
     let type_a = db_a.schema.table(a.0).attribute(a.1).datatype;
     let type_b = db_b.schema.table(b.0).attribute(b.1).datatype;
     let key = |db, (table, attr), reference_type| ProfileKey {
@@ -55,12 +74,12 @@ pub fn instance_similarity_cached(
 
     // Profile each column under the *other* side's datatype — the same
     // designation rule the value fit detector uses.
-    let pa_under_b = cache.of_attribute(db_a, key(tag_a, a, type_b));
-    let pb = cache.of_attribute(db_b, key(tag_b, b, type_b));
+    let pa_under_b = cache.of_attribute_ctx(run, db_a, key(tag_a, a, type_b))?;
+    let pb = cache.of_attribute_ctx(run, db_b, key(tag_b, b, type_b))?;
     let fit_ab = AttributeProfile::fit_against(&pa_under_b, &pb).overall;
 
-    let pb_under_a = cache.of_attribute(db_b, key(tag_b, b, type_a));
-    let pa = cache.of_attribute(db_a, key(tag_a, a, type_a));
+    let pb_under_a = cache.of_attribute_ctx(run, db_b, key(tag_b, b, type_a))?;
+    let pa = cache.of_attribute_ctx(run, db_a, key(tag_a, a, type_a))?;
     let fit_ba = AttributeProfile::fit_against(&pb_under_a, &pa).overall;
 
     // Penalise incompatible values: a column that cannot even be cast
@@ -71,7 +90,7 @@ pub fn instance_similarity_cached(
     } else {
         1.0
     };
-    ((fit_ab + fit_ba) / 2.0) * incompat_penalty
+    Ok(((fit_ab + fit_ba) / 2.0) * incompat_penalty)
 }
 
 #[cfg(test)]

@@ -40,8 +40,9 @@ pub use combined::{
     MATCH_PRUNE_ENV_VAR,
 };
 pub use flooding::{
-    similarity_flooding, similarity_flooding_reference, similarity_flooding_with, FloodingConfig,
+    similarity_flooding, similarity_flooding_ctx, similarity_flooding_reference,
+    similarity_flooding_with, FloodingConfig,
 };
-pub use instance::{instance_similarity, instance_similarity_cached};
+pub use instance::{instance_similarity, instance_similarity_cached, instance_similarity_cached_ctx};
 pub use name::{name_similarity, NameIndex};
 pub use similarity::{jaro_winkler, levenshtein, tokenize, trigram_jaccard};

@@ -11,11 +11,13 @@
 //! — also under concurrent access from the parallel execution layer.
 
 use crate::profile::AttributeProfile;
+use efes_exec::{Cancelled, RunContext};
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::{DataType, Database};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Caller-assigned identity of a database within one cache's scope.
 ///
@@ -52,14 +54,79 @@ pub struct ProfileKey {
     pub reference_type: DataType,
 }
 
-type Cell = Arc<OnceLock<Arc<AttributeProfile>>>;
+/// The fill protocol of one cache slot.
+///
+/// A `OnceLock` would guarantee exactly-once, but its fill is
+/// irrevocable: a filler that panics or aborts on cancellation would
+/// leave every waiter blocked forever. This explicit state machine keeps
+/// the exactly-once *success* path while making failure recoverable —
+/// a failed fill resets to `Empty` and wakes the waiters, one of which
+/// takes over the computation.
+#[derive(Debug)]
+enum FillState {
+    /// No fill attempted (or the last attempt failed); the next caller
+    /// becomes the filler.
+    Empty,
+    /// A fill is in progress; callers wait on the condvar.
+    Filling,
+    /// The profile is resident.
+    Full(Arc<AttributeProfile>),
+}
+
+#[derive(Debug)]
+struct FillCell {
+    state: Mutex<FillState>,
+    ready: Condvar,
+}
+
+impl FillCell {
+    fn new() -> Self {
+        FillCell {
+            state: Mutex::new(FillState::Empty),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FillState> {
+        // Poison-tolerant: the fill protocol never panics while holding
+        // this lock (compute runs unlocked), but a poisoned state is
+        // still a valid FillState and the reset guard must get through.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Resets a cell to `Empty` and wakes waiters unless disarmed — the
+/// cleanup invariant that makes fills panic- and cancellation-safe: the
+/// guard drops on *every* exit path of the filler (success disarms it
+/// first), so no failure mode can strand the cell in `Filling`.
+struct FillGuard<'a> {
+    cell: &'a FillCell,
+    armed: bool,
+}
+
+impl Drop for FillGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.cell.lock() = FillState::Empty;
+            self.cell.ready.notify_all();
+        }
+    }
+}
+
+type Cell = Arc<FillCell>;
 
 const SHARDS: usize = 16;
 
+/// How long a waiter sleeps between checks of its own cancellation
+/// while another thread fills the slot it wants.
+const WAIT_SLICE: Duration = Duration::from_millis(20);
+
 /// The memoization table. Cheap to share (`Arc<ProfileCache>`); interior
 /// mutability is sharded so concurrent lookups of different columns
-/// rarely contend, and per-key `OnceLock` cells guarantee each profile
-/// is computed exactly once even when several threads miss simultaneously.
+/// rarely contend, and per-key [`FillState`] cells guarantee each profile
+/// is computed exactly once even when several threads miss simultaneously
+/// — while staying recoverable when a fill panics or is cancelled
+/// mid-computation (the slot resets and the next caller recomputes).
 ///
 /// A cache can optionally be [bounded](ProfileCache::bounded): once the
 /// entry count reaches the bound, inserting a fresh profile evicts an
@@ -146,10 +213,34 @@ impl ProfileCache {
         key: ProfileKey,
         compute: impl FnOnce() -> AttributeProfile,
     ) -> Arc<AttributeProfile> {
+        self.get_or_compute_ctx(&RunContext::unbounded(), key, || Ok(compute()))
+            .expect("unbounded context never cancels")
+    }
+
+    /// [`get_or_compute`](Self::get_or_compute) under a [`RunContext`]:
+    /// both the caller's *wait* (while another thread fills the slot)
+    /// and its own *fill* (when `compute` honours a checkpoint) abort
+    /// promptly once `run` is cancelled.
+    ///
+    /// Slot safety: a fill that returns `Err(Cancelled)` — or panics —
+    /// resets its slot to empty and wakes all waiters, one of which
+    /// takes over the computation. The success path stays exactly-once;
+    /// an aborted fill never wedges or poisons the slot and never
+    /// caches a partial profile.
+    pub fn get_or_compute_ctx(
+        &self,
+        run: &RunContext,
+        key: ProfileKey,
+        compute: impl FnOnce() -> Result<AttributeProfile, Cancelled>,
+    ) -> Result<Arc<AttributeProfile>, Cancelled> {
+        run.check()?;
         let (cell, inserted): (Cell, bool) = {
             let mut shard = self.shard(&key).lock().expect("profile cache shard poisoned");
             let before = shard.len();
-            let cell = shard.entry(key).or_default().clone();
+            let cell = shard
+                .entry(key)
+                .or_insert_with(|| Arc::new(FillCell::new()))
+                .clone();
             (cell, shard.len() > before)
         };
         if inserted {
@@ -161,19 +252,57 @@ impl ProfileCache {
                 while self.len() > cap && self.evict_one(&key) {}
             }
         }
-        let mut computed = false;
-        let profile = cell
-            .get_or_init(|| {
-                computed = true;
-                Arc::new(compute())
-            })
-            .clone();
-        if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+
+        // Resolve the slot: take over an empty one, share a full one,
+        // wait (cancellably) on one being filled.
+        {
+            let mut state = cell.lock();
+            loop {
+                match &*state {
+                    FillState::Full(profile) => {
+                        let profile = profile.clone();
+                        drop(state);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(profile);
+                    }
+                    FillState::Empty => {
+                        *state = FillState::Filling;
+                        break; // this thread fills
+                    }
+                    FillState::Filling => {
+                        let (guard, _) = cell
+                            .ready
+                            .wait_timeout(state, WAIT_SLICE)
+                            .unwrap_or_else(|e| e.into_inner());
+                        state = guard;
+                        // Still in progress after the slice: honour our
+                        // own cancellation instead of waiting forever.
+                        if matches!(&*state, FillState::Filling) && run.is_cancelled() {
+                            return Err(Cancelled);
+                        }
+                    }
+                }
+            }
         }
-        profile
+
+        // This thread owns the fill. The guard resets the slot on every
+        // failure path (Err below, or a panic inside `compute`); the
+        // compute itself runs without holding any lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = FillGuard { cell: &cell, armed: true };
+        match compute() {
+            Ok(profile) => {
+                let profile = Arc::new(profile);
+                guard.armed = false;
+                *cell.lock() = FillState::Full(profile.clone());
+                cell.ready.notify_all();
+                Ok(profile)
+            }
+            Err(cancelled) => {
+                drop(guard);
+                Err(cancelled)
+            }
+        }
     }
 
     /// Profile a concrete attribute of `db` through the cache. `key.db`
@@ -181,6 +310,22 @@ impl ProfileCache {
     pub fn of_attribute(&self, db: &Database, key: ProfileKey) -> Arc<AttributeProfile> {
         self.get_or_compute(key, || {
             AttributeProfile::of_attribute(db, key.table, key.attr, key.reference_type)
+        })
+    }
+
+    /// [`of_attribute`](Self::of_attribute) under a [`RunContext`]: the
+    /// profiling walk ticks a checkpoint per cell, so cancellation
+    /// aborts a running fill within one check interval and the slot
+    /// recovers per [`get_or_compute_ctx`](Self::get_or_compute_ctx).
+    pub fn of_attribute_ctx(
+        &self,
+        run: &RunContext,
+        db: &Database,
+        key: ProfileKey,
+    ) -> Result<Arc<AttributeProfile>, Cancelled> {
+        self.get_or_compute_ctx(run, key, || {
+            let ck = run.checkpoint();
+            AttributeProfile::of_attribute_ctx(db, key.table, key.attr, key.reference_type, &ck)
         })
     }
 

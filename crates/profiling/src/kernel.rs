@@ -31,6 +31,7 @@ use crate::stats::{
     numeric_view, CharHistogram, Constancy, FillStatus, NumericHistogram, NumericMean,
     StringLength, TextPatterns, TopK, ValueRange,
 };
+use efes_exec::{Cancelled, Checkpoint, RunContext};
 use efes_relational::column::NULL_CODE;
 use efes_relational::{Column, DataType, TextColumn, Value};
 use std::collections::{BTreeMap, HashMap};
@@ -273,6 +274,24 @@ pub fn profile_values<'a, I>(values: I, reference_type: DataType) -> AttributePr
 where
     I: Iterator<Item = &'a Value>,
 {
+    let ctx = RunContext::unbounded();
+    let ck = ctx.checkpoint();
+    profile_values_ctx(values, reference_type, &ck).expect("unbounded context never cancels")
+}
+
+/// [`profile_values`] with a cancellation [`Checkpoint`] ticked once per
+/// row: the walk aborts with `Err(Cancelled)` within one check interval
+/// of a cancellation request, discarding all accumulator state. The
+/// checkpoint is purely abortive — when it never fires, the output is
+/// identical to [`profile_values`].
+pub fn profile_values_ctx<'a, I>(
+    values: I,
+    reference_type: DataType,
+    ck: &Checkpoint<'_>,
+) -> Result<AttributeProfile, Cancelled>
+where
+    I: Iterator<Item = &'a Value>,
+{
     let text_designated = reference_type == DataType::Text;
     let numeric_designated = reference_type.is_numeric();
 
@@ -285,6 +304,7 @@ where
     let mut render_buf = String::new();
 
     for v in values {
+        ck.tick()?;
         total += 1;
         if v.is_null() {
             nulls += 1;
@@ -331,7 +351,7 @@ where
     let non_null = total - nulls;
     let freqs: Vec<usize> = counts.values().copied().collect();
     let top: Vec<(Value, usize)> = counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
-    assemble(
+    Ok(assemble(
         reference_type,
         FillStatus {
             total,
@@ -342,17 +362,30 @@ where
         top_k_of(top, non_null, TopK::DEFAULT_K),
         text,
         nums,
-    )
+    ))
 }
 
 /// Fused single-pass profile over a typed [`Column`], with
 /// variant-specialised loops.
 pub fn profile_column(col: &Column, reference_type: DataType) -> AttributeProfile {
+    let ctx = RunContext::unbounded();
+    let ck = ctx.checkpoint();
+    profile_column_ctx(col, reference_type, &ck).expect("unbounded context never cancels")
+}
+
+/// [`profile_column`] with a cancellation [`Checkpoint`] ticked once per
+/// cell (per distinct value on the dictionary fast path); see
+/// [`profile_values_ctx`] for the abort semantics.
+pub fn profile_column_ctx(
+    col: &Column,
+    reference_type: DataType,
+    ck: &Checkpoint<'_>,
+) -> Result<AttributeProfile, Cancelled> {
     match col {
-        Column::Mixed(values) => profile_values(values.iter(), reference_type),
-        Column::Text(tc) => profile_text_column(tc, reference_type),
+        Column::Mixed(values) => profile_values_ctx(values.iter(), reference_type, ck),
+        Column::Text(tc) => profile_text_column(tc, reference_type, ck),
         Column::Int { values, nulls } => {
-            profile_primitive_column(reference_type, values.len(), nulls.count(), || {
+            profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
                 values
                     .iter()
                     .enumerate()
@@ -361,7 +394,7 @@ pub fn profile_column(col: &Column, reference_type: DataType) -> AttributeProfil
             })
         }
         Column::Float { values, nulls } => {
-            profile_primitive_column(reference_type, values.len(), nulls.count(), || {
+            profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
                 values
                     .iter()
                     .enumerate()
@@ -370,7 +403,7 @@ pub fn profile_column(col: &Column, reference_type: DataType) -> AttributeProfil
             })
         }
         Column::Bool { values, nulls } => {
-            profile_primitive_column(reference_type, values.len(), nulls.count(), || {
+            profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
                 values
                     .iter()
                     .enumerate()
@@ -427,8 +460,9 @@ fn profile_primitive_column<I>(
     reference_type: DataType,
     total: usize,
     nulls: usize,
+    ck: &Checkpoint<'_>,
     cells: impl Fn() -> I,
-) -> AttributeProfile
+) -> Result<AttributeProfile, Cancelled>
 where
     I: Iterator<Item = PrimCell>,
 {
@@ -442,6 +476,7 @@ where
     let mut render_buf = String::new();
 
     for cell in cells() {
+        ck.tick()?;
         if cell.incompatible_with(reference_type) {
             incompatible += 1;
         }
@@ -483,7 +518,7 @@ where
         .into_values()
         .map(|(cell, c)| (cell.to_value(), c))
         .collect();
-    assemble(
+    Ok(assemble(
         reference_type,
         FillStatus {
             total,
@@ -494,7 +529,7 @@ where
         top_k_of(top, non_null, TopK::DEFAULT_K),
         text,
         nums,
-    )
+    ))
 }
 
 /// The dictionary-encoded fast path: per-string work (pattern
@@ -502,7 +537,11 @@ where
 /// once per *distinct* value and is weighted by its occurrence count;
 /// only the order-sensitive float buffers are filled per row, via a
 /// precomputed per-code lookup.
-fn profile_text_column(tc: &TextColumn, reference_type: DataType) -> AttributeProfile {
+fn profile_text_column(
+    tc: &TextColumn,
+    reference_type: DataType,
+    ck: &Checkpoint<'_>,
+) -> Result<AttributeProfile, Cancelled> {
     let total = tc.len();
     let nulls = tc.null_count();
     let non_null = total - nulls;
@@ -518,11 +557,13 @@ fn profile_text_column(tc: &TextColumn, reference_type: DataType) -> AttributePr
             // per distinct value, then replay per-row lengths in order.
             let mut char_lens: Vec<f64> = Vec::with_capacity(tc.dict_len());
             for (code, s) in tc.dict_iter().enumerate() {
+                ck.tick()?;
                 let len = acc.observe(s, counts[code]);
                 char_lens.push(len as f64);
             }
             acc.lengths.reserve(non_null);
             for &code in tc.codes() {
+                ck.tick()?;
                 if code != NULL_CODE {
                     acc.lengths.push(char_lens[code as usize]);
                 }
@@ -537,12 +578,14 @@ fn profile_text_column(tc: &TextColumn, reference_type: DataType) -> AttributePr
                     .map(|s| s.trim().parse::<f64>().ok())
                     .collect();
                 for (code, s) in tc.dict_iter().enumerate() {
+                    ck.tick()?;
                     if !reference_type.casts_text(s) {
                         incompatible += counts[code];
                     }
                 }
                 let mut buf = Vec::with_capacity(non_null);
                 for &code in tc.codes() {
+                    ck.tick()?;
                     if code != NULL_CODE {
                         if let Some(x) = parsed[code as usize] {
                             buf.push(x);
@@ -553,6 +596,7 @@ fn profile_text_column(tc: &TextColumn, reference_type: DataType) -> AttributePr
             } else {
                 // Boolean reference: only the cast check is type-specific.
                 for (code, s) in tc.dict_iter().enumerate() {
+                    ck.tick()?;
                     if !reference_type.casts_text(s) {
                         incompatible += counts[code];
                     }
@@ -566,7 +610,7 @@ fn profile_text_column(tc: &TextColumn, reference_type: DataType) -> AttributePr
         .enumerate()
         .map(|(code, s)| (Value::Text(s.to_owned()), counts[code]))
         .collect();
-    assemble(
+    Ok(assemble(
         reference_type,
         FillStatus {
             total,
@@ -577,5 +621,5 @@ fn profile_text_column(tc: &TextColumn, reference_type: DataType) -> AttributePr
         top_k_of(top, non_null, TopK::DEFAULT_K),
         text,
         nums,
-    )
+    ))
 }

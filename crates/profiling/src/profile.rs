@@ -157,15 +157,34 @@ impl AttributeProfile {
         attr: AttrId,
         reference_type: DataType,
     ) -> Self {
+        let ctx = efes_exec::RunContext::unbounded();
+        let ck = ctx.checkpoint();
+        Self::of_attribute_ctx(db, table, attr, reference_type, &ck)
+            .expect("unbounded context never cancels")
+    }
+
+    /// [`of_attribute`](Self::of_attribute) with a cancellation
+    /// [`Checkpoint`](efes_exec::Checkpoint) ticked once per cell, so a
+    /// cancelled run aborts the walk within one check interval. The
+    /// legacy multi-pass fallback (`EFES_COLUMNAR=off`) only checks at
+    /// entry — it is an escape hatch, not a serving path.
+    pub fn of_attribute_ctx(
+        db: &Database,
+        table: TableId,
+        attr: AttrId,
+        reference_type: DataType,
+        ck: &efes_exec::Checkpoint<'_>,
+    ) -> Result<Self, efes_exec::Cancelled> {
         let data = db.instance.table(table);
         if columnar_enabled() {
             match data.column_store(attr) {
-                Some(col) => kernel::profile_column(col, reference_type),
-                None => Self::compute(std::iter::empty(), reference_type),
+                Some(col) => kernel::profile_column_ctx(col, reference_type, ck),
+                None => Ok(Self::compute(std::iter::empty(), reference_type)),
             }
         } else {
+            ck.check_now()?;
             let column: Vec<&Value> = data.rows().iter().map(|row| &row[attr.0]).collect();
-            Self::compute_multipass(column.iter().copied(), reference_type)
+            Ok(Self::compute_multipass(column.iter().copied(), reference_type))
         }
     }
 

@@ -1,0 +1,171 @@
+//! `ProfileCache` slot recovery: the exactly-once fill protocol must
+//! survive a filler that panics or aborts on cancellation — no deadlock,
+//! no poisoned slot, no partial profile, and the next caller recomputes.
+
+use efes_exec::{CancellationToken, Cancelled, RunContext};
+use efes_profiling::{AttributeProfile, DbTag, ProfileCache, ProfileKey};
+use efes_relational::schema::{AttrId, TableId};
+use efes_relational::{DataType, Database, DatabaseBuilder, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn db() -> Database {
+    DatabaseBuilder::new("d")
+        .table("t", |t| t.attr("a", DataType::Text))
+        .rows(
+            "t",
+            (0..40).map(|i| vec![Value::from(format!("v{i}"))]).collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn key() -> ProfileKey {
+    ProfileKey {
+        db: DbTag::source(0),
+        table: TableId(0),
+        attr: AttrId(0),
+        reference_type: DataType::Text,
+    }
+}
+
+fn profile(db: &Database) -> AttributeProfile {
+    AttributeProfile::of_attribute(db, TableId(0), AttrId(0), DataType::Text)
+}
+
+#[test]
+fn panicking_fill_resets_the_slot_and_the_next_caller_recomputes() {
+    let db = db();
+    let cache = ProfileCache::new();
+
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        cache.get_or_compute(key(), || panic!("injected fill panic"));
+    }));
+    assert!(attempt.is_err(), "the fill panic must propagate");
+
+    // The slot is neither wedged nor holding a partial profile: the
+    // next lookup recomputes and succeeds.
+    let recovered = cache.get_or_compute(key(), || profile(&db));
+    assert_eq!(*recovered, profile(&db));
+    assert_eq!(cache.misses(), 2, "failed fill + recomputation");
+    // And a further lookup is a plain hit.
+    cache.get_or_compute(key(), || unreachable!("slot is full"));
+    assert_eq!(cache.hits(), 1);
+}
+
+#[test]
+fn cancelled_fill_resets_the_slot_and_the_next_caller_recomputes() {
+    let db = db();
+    let cache = ProfileCache::new();
+
+    let err = cache.get_or_compute_ctx(&RunContext::unbounded(), key(), || Err(Cancelled));
+    assert_eq!(err.unwrap_err(), Cancelled);
+
+    let recovered = cache
+        .get_or_compute_ctx(&RunContext::unbounded(), key(), || Ok(profile(&db)))
+        .unwrap();
+    assert_eq!(*recovered, profile(&db));
+    assert_eq!(cache.misses(), 2);
+}
+
+#[test]
+fn cancelled_context_aborts_a_real_profiling_fill() {
+    let db = db();
+    let cache = ProfileCache::new();
+    let token = CancellationToken::new();
+    token.cancel();
+    let run = RunContext::new(token, None);
+
+    // The entry check fires before any work: Err, nothing cached.
+    assert_eq!(cache.of_attribute_ctx(&run, &db, key()).unwrap_err(), Cancelled);
+    assert_eq!(cache.len(), 0, "no slot may be left behind");
+
+    // A healthy context then fills normally.
+    let ok = cache.of_attribute_ctx(&RunContext::unbounded(), &db, key()).unwrap();
+    assert_eq!(*ok, profile(&db));
+}
+
+#[test]
+fn waiters_take_over_when_the_filler_panics() {
+    let db = db();
+    let cache = ProfileCache::new();
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let takeovers = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        // The doomed filler: waits until told, then panics mid-fill.
+        let cache_ref = &cache;
+        scope.spawn(move || {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                cache_ref.get_or_compute(key(), || {
+                    entered_tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("filler dies mid-fill");
+                });
+            }));
+        });
+        entered_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        // Waiters pile up on the in-progress slot; after the panic one
+        // of them must take over and everyone must get the profile.
+        for _ in 0..4 {
+            let takeovers = &takeovers;
+            let db = &db;
+            scope.spawn(move || {
+                let got = cache_ref.get_or_compute(key(), || {
+                    takeovers.fetch_add(1, Ordering::SeqCst);
+                    profile(db)
+                });
+                assert_eq!(*got, profile(db));
+            });
+        }
+    });
+    assert_eq!(
+        takeovers.load(Ordering::SeqCst),
+        1,
+        "exactly one waiter recomputes after the panic"
+    );
+}
+
+#[test]
+fn waiting_on_anothers_fill_honours_own_cancellation() {
+    let db = db();
+    let cache = ProfileCache::new();
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+
+    std::thread::scope(|scope| {
+        let cache_ref = &cache;
+        let db_ref = &db;
+        scope.spawn(move || {
+            cache_ref.get_or_compute(key(), || {
+                entered_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                profile(db_ref)
+            });
+        });
+        entered_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        // A cancelled waiter must give up promptly instead of blocking
+        // until the (still running) fill completes.
+        let token = CancellationToken::new();
+        token.cancel();
+        let run = RunContext::new(token, None);
+        let start = Instant::now();
+        let err = cache.of_attribute_ctx(&run, &db, key());
+        assert_eq!(err.unwrap_err(), Cancelled);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "cancelled waiter took {:?}",
+            start.elapsed()
+        );
+
+        release_tx.send(()).unwrap();
+    });
+
+    // The original fill completed untouched: exactly-once still holds.
+    cache.get_or_compute(key(), || unreachable!("slot is full"));
+    assert_eq!(cache.misses(), 1);
+}

@@ -164,6 +164,16 @@ pub struct Metrics {
     pub ingests_evicted: AtomicU64,
     /// Uploaded scenarios removed via `DELETE /scenarios/{name}`.
     pub ingests_deleted: AtomicU64,
+    /// Panics caught at an isolation boundary (estimation job or
+    /// connection handler) without taking the server down.
+    pub panics_recovered: AtomicU64,
+    /// Estimation runs that aborted cooperatively, keyed by the pipeline
+    /// stage that observed the cancellation.
+    cancelled_in_stage: Mutex<BTreeMap<String, u64>>,
+    /// Worker time (microseconds) handed back by cooperative aborts:
+    /// per cancelled run, the mean uncancelled estimate latency minus
+    /// the time the run actually held a worker.
+    reclaimed_micros: AtomicU64,
     /// Per-stage latency histograms, keyed by pipeline stage name.
     stage_latency: Mutex<BTreeMap<String, Histogram>>,
     /// End-to-end estimate latency (queue wait + execution).
@@ -200,6 +210,40 @@ impl Metrics {
             .observe(ms);
     }
 
+    /// Count one cooperative abort against the stage that observed it.
+    pub fn count_cancelled_stage(&self, stage: &str) {
+        let mut stages = self.cancelled_in_stage.lock().expect("metrics poisoned");
+        *stages.entry(stage.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Cooperative aborts observed in `stage` so far (for tests).
+    pub fn cancelled_in_stage(&self, stage: &str) -> u64 {
+        self.cancelled_in_stage
+            .lock()
+            .expect("metrics poisoned")
+            .get(stage)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Credit `micros` of worker time reclaimed by a cooperative abort.
+    pub fn add_reclaimed_micros(&self, micros: u64) {
+        self.reclaimed_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total worker microseconds reclaimed so far (for tests).
+    pub fn reclaimed_micros(&self) -> u64 {
+        self.reclaimed_micros.load(Ordering::Relaxed)
+    }
+
+    /// Mean end-to-end latency of completed estimates in milliseconds,
+    /// or `None` before the first completion. Used as the baseline when
+    /// crediting reclaimed worker time.
+    pub fn mean_request_latency_ms(&self) -> Option<f64> {
+        let latency = self.request_latency.lock().expect("metrics poisoned");
+        (latency.total > 0).then(|| latency.sum_ms / latency.total as f64)
+    }
+
     /// Render the exposition text, folding in the `sampled` gauges.
     pub fn render(&self, sampled: &Sampled) -> String {
         let mut out = String::with_capacity(4096);
@@ -215,7 +259,7 @@ impl Metrics {
             );
         }
 
-        let counters: [(&str, &str, u64); 14] = [
+        let counters: [(&str, &str, u64); 15] = [
             (
                 "efes_estimates_ok_total",
                 "Estimates completed successfully.",
@@ -286,11 +330,51 @@ impl Metrics {
                 "Uploaded scenarios removed by DELETE.",
                 self.ingests_deleted.load(Ordering::Relaxed),
             ),
+            (
+                "efes_panics_recovered_total",
+                "Panics caught at an isolation boundary without taking the server down.",
+                self.panics_recovered.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
+        }
+
+        out.push_str(
+            "# HELP efes_cancelled_in_stage_total Estimates aborted cooperatively, by the stage that observed the cancellation.\n",
+        );
+        out.push_str("# TYPE efes_cancelled_in_stage_total counter\n");
+        {
+            let stages = self.cancelled_in_stage.lock().expect("metrics poisoned");
+            for (stage, count) in stages.iter() {
+                let _ = writeln!(
+                    out,
+                    "efes_cancelled_in_stage_total{{stage=\"{stage}\"}} {count}"
+                );
+            }
+        }
+
+        out.push_str(
+            "# HELP efes_worker_seconds_reclaimed_total Worker time handed back by cooperative aborts (mean uncancelled latency minus time actually held).\n",
+        );
+        out.push_str("# TYPE efes_worker_seconds_reclaimed_total counter\n");
+        let _ = writeln!(
+            out,
+            "efes_worker_seconds_reclaimed_total {}",
+            self.reclaimed_micros.load(Ordering::Relaxed) as f64 / 1e6
+        );
+
+        out.push_str(
+            "# HELP efes_fault_injected_total Faults injected by the EFES_FAULTS harness, by site and mode.\n",
+        );
+        out.push_str("# TYPE efes_fault_injected_total counter\n");
+        for ((site, mode), count) in efes_exec::fault::injected_counters() {
+            let _ = writeln!(
+                out,
+                "efes_fault_injected_total{{site=\"{site}\",mode=\"{mode}\"}} {count}"
+            );
         }
 
         let gauges: [(&str, &str, u64); 12] = [
@@ -430,6 +514,10 @@ mod tests {
         m.count_request(Endpoint::Ingest);
         m.ingests_ok.fetch_add(1, Ordering::Relaxed);
         m.ingests_evicted.fetch_add(2, Ordering::Relaxed);
+        m.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        m.count_cancelled_stage("values");
+        m.count_cancelled_stage("values");
+        m.add_reclaimed_micros(1_500_000);
         let text = m.render(&Sampled {
             queue_depth: 2,
             queue_capacity: 8,
@@ -464,6 +552,15 @@ mod tests {
         assert!(text.contains("efes_stage_latency_ms_count{stage=\"mapping\"} 1"));
         assert!(text.contains("efes_request_latency_ms_count 1"));
         assert!(text.contains("efes_request_latency_ms_sum 42"));
+        assert!(text.contains("efes_panics_recovered_total 1"));
+        assert!(text.contains("efes_cancelled_in_stage_total{stage=\"values\"} 2"));
+        assert!(text.contains("efes_worker_seconds_reclaimed_total 1.5"));
+        assert!(text.contains("# TYPE efes_fault_injected_total counter"));
+        assert_eq!(m.cancelled_in_stage("values"), 2);
+        assert_eq!(m.cancelled_in_stage("structure"), 0);
+        assert_eq!(m.reclaimed_micros(), 1_500_000);
+        assert_eq!(m.mean_request_latency_ms(), Some(42.0));
+        assert!(Metrics::new().mean_request_latency_ms().is_none());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use efes::{
     EstimateRequest, EstimateResponse, EstimationConfig, Estimator, ExecutionPolicy,
     ModuleError, ScenarioProvider, ScenarioRegistry,
 };
-use efes_exec::{CancellationToken, SubmitError, WorkerPool};
+use efes_exec::{fault, CancellationToken, RunContext, SubmitError, WorkerPool};
 use efes_ingest::{DynamicRegistry, InsertError, InsertOutcome, RemoveError, ScenarioUpload};
 use efes_matching::{CombinedMatcher, MatcherConfig};
 use efes_profiling::ProfileCache;
@@ -24,6 +24,7 @@ use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -91,6 +92,22 @@ enum JobOutcome {
     Done(Box<Result<efes::EffortEstimate, ModuleError>>),
     /// The worker saw the caller's cancellation and skipped the work.
     Abandoned,
+    /// The job panicked; the payload is the panic message. The worker
+    /// survives (its own `catch_unwind` is the second line of defence)
+    /// and the waiter answers `500` immediately instead of stalling
+    /// until its deadline.
+    Panicked(String),
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// A one-shot rendezvous between the connection handler (waiting with a
@@ -392,7 +409,23 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
     let response = match http::read_request(&mut reader, &state.config.limits) {
-        Ok(request) => route(state, &request),
+        // Unwind boundary: a panic while routing (real or injected via
+        // `EFES_FAULTS`) answers `500` on this connection and leaves
+        // the server untouched, instead of silently dropping the
+        // socket with the handler thread.
+        Ok(request) => match catch_unwind(AssertUnwindSafe(|| route(state, &request))) {
+            Ok(response) => response,
+            Err(payload) => {
+                state
+                    .metrics
+                    .panics_recovered
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    500,
+                    &format!("internal panic: {}", panic_message(payload.as_ref())),
+                )
+            }
+        },
         Err(ParseError::BadRequest(message)) => {
             state.metrics.count_request(Endpoint::Other);
             state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -515,6 +548,10 @@ fn handle_estimate(state: &Arc<ServerState>, request: &Request) -> Response {
     let job_slot = Arc::clone(&slot);
     let job_token = token.clone();
     let job_request = estimate_request.clone();
+    // The deadline the *run* observes is the same instant the waiter
+    // gives up at: queue wait counts against it, and a job picked up
+    // with no budget left aborts at its first checkpoint.
+    let expires = started + deadline;
     let submitted = state.pool.try_submit(Box::new(move || {
         if job_token.is_cancelled() {
             job_state
@@ -524,14 +561,50 @@ fn handle_estimate(state: &Arc<ServerState>, request: &Request) -> Response {
             job_slot.fill(JobOutcome::Abandoned);
             return;
         }
-        let mut config = EstimationConfig::for_quality(job_request.quality);
-        config.execution = job_state.config.estimation;
-        let estimator = Estimator::with_selected_modules(config, job_request.modules);
-        let result = estimator.estimate_with_cache(&scenario, cache);
-        if let Ok(estimate) = &result {
-            for stage in &estimate.timings.stages {
-                job_state.metrics.observe_stage(&stage.stage, stage.millis);
+        let job_started = Instant::now();
+        let run = RunContext::new(job_token.clone(), Some(expires));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if fault::fire("serve.estimate.job", Some(&job_token)) {
+                return Err(ModuleError::PlanningFailed(
+                    "injected fault: estimation allocation cap exhausted".to_owned(),
+                ));
             }
+            let mut config = EstimationConfig::for_quality(job_request.quality);
+            config.execution = job_state.config.estimation;
+            let estimator = Estimator::with_selected_modules(config, job_request.modules);
+            estimator.estimate_with_cache_ctx(&scenario, cache, run)
+        }));
+        let result = match outcome {
+            Err(payload) => {
+                job_state
+                    .metrics
+                    .panics_recovered
+                    .fetch_add(1, Ordering::Relaxed);
+                job_slot.fill(JobOutcome::Panicked(panic_message(payload.as_ref())));
+                return;
+            }
+            Ok(result) => result,
+        };
+        match &result {
+            Ok(estimate) => {
+                for stage in &estimate.timings.stages {
+                    job_state.metrics.observe_stage(&stage.stage, stage.millis);
+                }
+            }
+            Err(ModuleError::Cancelled(stage)) => {
+                job_state.metrics.count_cancelled_stage(stage);
+                // Credit the worker time the abort handed back: what an
+                // average uncancelled estimate would have held minus
+                // what this run actually held.
+                if let Some(mean_ms) = job_state.metrics.mean_request_latency_ms() {
+                    let mean_micros = (mean_ms * 1e3) as u64;
+                    let held_micros = job_started.elapsed().as_micros() as u64;
+                    job_state
+                        .metrics
+                        .add_reclaimed_micros(mean_micros.saturating_sub(held_micros));
+                }
+            }
+            Err(_) => {}
         }
         job_slot.fill(JobOutcome::Done(Box::new(result)));
     }));
@@ -567,6 +640,10 @@ fn handle_estimate(state: &Arc<ServerState>, request: &Request) -> Response {
             // above — kept for exhaustiveness.
             Response::error(503, "estimation was abandoned")
         }
+        Some(JobOutcome::Panicked(message)) => {
+            state.metrics.estimate_errors.fetch_add(1, Ordering::Relaxed);
+            Response::error(500, &format!("estimation job panicked: {message}"))
+        }
         Some(JobOutcome::Done(result)) => match *result {
             Ok(estimate) => {
                 state.metrics.estimates_ok.fetch_add(1, Ordering::Relaxed);
@@ -581,6 +658,19 @@ fn handle_estimate(state: &Arc<ServerState>, request: &Request) -> Response {
                         Response::error(500, &format!("serialising estimate: {e}"))
                     }
                 }
+            }
+            // The run aborted cooperatively before the waiter's own
+            // deadline fired — a spurious cancel (fault injection) or a
+            // deadline the job observed first. The caller stopped
+            // wanting the answer; that is shed load, not a failure.
+            Err(e) if e.is_cancelled() => {
+                if Instant::now() >= expires {
+                    state
+                        .metrics
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Response::error(503, &format!("estimation {e}"))
             }
             Err(e) => {
                 state.metrics.estimate_errors.fetch_add(1, Ordering::Relaxed);
@@ -793,6 +883,13 @@ fn handle_upload(state: &Arc<ServerState>, request: &Request) -> Response {
             .fetch_add(1, Ordering::Relaxed);
         Response::error(status, message)
     };
+    // Fault site: `alloc` mode reports the ingest budget as exhausted
+    // (the client-visible shape of a real over-budget upload); `panic`
+    // is caught by the connection handler's unwind boundary.
+    if fault::fire("ingest.upload", None) {
+        state.metrics.too_large.fetch_add(1, Ordering::Relaxed);
+        return reject(413, "injected fault: ingest budget exhausted");
+    }
     let upload = match ScenarioUpload::parse(&request.body) {
         Ok(upload) => upload,
         Err(e) => {

@@ -3,6 +3,10 @@
 //! JSON of the same shape works), `POST /scenarios`, estimate the
 //! upload, watch an identical re-upload deduplicate, and delete it.
 //!
+//! Every POST goes through [`post_json_with_retry`]: shed requests
+//! (`429`) wait the server's `Retry-After` hint plus full jitter from
+//! an exponentially growing window before coming back.
+//!
 //! Run with: `cargo run --release -p efes-serve --example upload_client`
 
 use efes_ingest::{ScenarioUpload, UploadFormat};
@@ -51,12 +55,65 @@ fn body_of(response: &str) -> &str {
         .unwrap_or("")
 }
 
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Case-insensitive header lookup in a raw response head.
+fn header_value<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    let head = response.split("\r\n\r\n").next()?;
+    head.lines().skip(1).find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.trim().eq_ignore_ascii_case(name).then(|| value.trim())
+    })
+}
+
+/// splitmix64 — a deterministic jitter source, no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// POST, honouring `429` + `Retry-After`: each retry waits the server's
+/// hint plus full jitter drawn from an exponentially growing window, so
+/// shed clients return desynchronised instead of stampeding together.
+fn post_json_with_retry(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    jitter_seed: &mut u64,
+) -> std::io::Result<String> {
+    const MAX_ATTEMPTS: u32 = 5;
+    for attempt in 0..MAX_ATTEMPTS {
+        let response = post_json(addr, path, body)?;
+        if status_of(&response) != 429 || attempt + 1 == MAX_ATTEMPTS {
+            return Ok(response);
+        }
+        let hint_ms = header_value(&response, "retry-after")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(0, |secs| secs * 1000);
+        let window_ms = 100u64 << attempt; // 100, 200, 400, 800 ms
+        let wait_ms = hint_ms + splitmix64(jitter_seed) % window_ms;
+        println!("  shed with 429 (attempt {}), retrying in {wait_ms} ms", attempt + 1);
+        std::thread::sleep(Duration::from_millis(wait_ms));
+    }
+    unreachable!("the loop returns on its last attempt")
+}
+
 fn main() -> std::io::Result<()> {
     let handle = Server::start(
         ServerConfig::default(),
         efes_scenarios::standard_registry(),
     )?;
     let addr = handle.addr();
+    let mut seed = 0xefe5;
     println!("serving on {addr}\n");
 
     // Any JSON document of this shape uploads; efes-synth just spares
@@ -71,21 +128,30 @@ fn main() -> std::io::Result<()> {
     println!("upload document: {} bytes\n", doc.len());
 
     println!("POST /scenarios =>");
-    println!("  {}\n", body_of(&post_json(addr, "/scenarios", &doc)?));
+    println!(
+        "  {}\n",
+        body_of(&post_json_with_retry(addr, "/scenarios", &doc, &mut seed)?)
+    );
 
     println!("GET /scenarios (note provenance) =>");
     println!("  {}\n", body_of(&get(addr, "/scenarios")?));
 
     let request = r#"{"scenario":"uploaded-demo"}"#;
     println!("POST /estimate {request} =>");
-    println!("  {}\n", body_of(&post_json(addr, "/estimate", request)?));
+    println!(
+        "  {}\n",
+        body_of(&post_json_with_retry(addr, "/estimate", request, &mut seed)?)
+    );
 
     // The same content under another name deduplicates: the response
     // points at the existing entry, whose profile cache is already warm.
     upload.name = "uploaded-demo-again".to_owned();
     let doc2 = serde_json::to_string(&upload).expect("serialise upload");
     println!("POST /scenarios (same content, new name) =>");
-    println!("  {}\n", body_of(&post_json(addr, "/scenarios", &doc2)?));
+    println!(
+        "  {}\n",
+        body_of(&post_json_with_retry(addr, "/scenarios", &doc2, &mut seed)?)
+    );
 
     println!("DELETE /scenarios/uploaded-demo =>");
     println!("  {}\n", body_of(&delete(addr, "uploaded-demo")?));

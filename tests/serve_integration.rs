@@ -293,6 +293,93 @@ fn expired_deadlines_answer_503_and_abandon_the_job() {
 }
 
 #[test]
+fn tight_deadline_aborts_a_running_estimate_and_frees_the_worker() {
+    // Two synthetic scenarios: a large one whose uncancelled estimate
+    // serves as the baseline, and a ~10⁶-row one that only ever runs
+    // under a tight deadline — its uncancelled runtime would dwarf the
+    // whole test.
+    let mut registry = ScenarioRegistry::new();
+    registry.register("synth-large", "large synthetic scenario", || {
+        efes_synth::generate(&efes_synth::SynthConfig::default().with_rows(20_000)).scenario
+    });
+    registry.register("synth-xl", "million-row synthetic scenario", || {
+        efes_synth::generate(&efes_synth::SynthConfig::default().with_rows(333_334)).scenario
+    });
+    let handle = Server::start(
+        ServerConfig {
+            workers: ExecutionPolicy::Threads(1),
+            queue_capacity: 1,
+            profile_cache_capacity: Some(1),
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("start server");
+    let addr = handle.addr();
+
+    // Baseline: the large scenario estimated uncancelled. Seeds the
+    // mean request latency that reclaimed worker time is credited
+    // against, and bounds the "worker free again" assertion below.
+    let baseline_started = Instant::now();
+    let (status, _, body) = post_estimate(addr, r#"{"scenario":"synth-large"}"#);
+    assert_eq!(status, 200, "body: {body}");
+    let baseline = baseline_started.elapsed();
+
+    // The million-row scenario under a 500 ms deadline: the waiter
+    // answers 503 at the deadline and the running job aborts at its
+    // next checkpoint instead of occupying the worker for the full
+    // estimate. (Scenario generation happens on the connection thread
+    // before the clock starts, so only estimation is under deadline.)
+    let (status, _, body) =
+        post_estimate(addr, r#"{"scenario":"synth-xl","deadline_ms":500}"#);
+    let aborted_at = Instant::now();
+    assert_eq!(status, 503, "body: {body}");
+
+    // The worker must come free well before even the *baseline*
+    // uncancelled runtime — of a scenario a seventeenth the size —
+    // pinning that the abort was cooperative, not a run-to-completion.
+    let free_bound = baseline.max(Duration::from_secs(2));
+    wait_for_metric(&handle, "efes_jobs_in_flight 0", free_bound);
+    assert!(
+        aborted_at.elapsed() < free_bound,
+        "worker still busy after {:?} (baseline {:?})",
+        aborted_at.elapsed(),
+        baseline
+    );
+
+    // The abort is attributed to the pipeline stage that observed it…
+    let abort_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let cancelled_line = handle.scrape().lines().any(|l| {
+            l.starts_with("efes_cancelled_in_stage_total{stage=")
+                && !l.ends_with(" 0")
+        });
+        if cancelled_line {
+            break;
+        }
+        assert!(
+            Instant::now() < abort_deadline,
+            "no efes_cancelled_in_stage_total sample; scrape:\n{}",
+            handle.scrape()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // …and the time handed back (mean uncancelled latency minus the
+    // ~500 ms the run actually held) is credited as reclaimed.
+    assert!(
+        handle.metrics().reclaimed_micros() > 0,
+        "no worker time reclaimed; scrape:\n{}",
+        handle.scrape()
+    );
+
+    // The server is fully healthy afterwards: the freed worker serves
+    // the next estimate normally.
+    let (status, _, body) = post_estimate(addr, r#"{"scenario":"synth-large"}"#);
+    assert_eq!(status, 200, "body: {body}");
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_estimates() {
     let handle = slow_server();
     let addr = handle.addr();
