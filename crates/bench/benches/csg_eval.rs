@@ -1,0 +1,82 @@
+//! Counting evaluator vs materialising BTreeSet oracle on the conflict
+//! detector's hot question — per-domain-element link counts for every
+//! matched relationship expression — over a pinned 10⁵-row synthetic
+//! scenario. The counting path is what `detect_conflicts` runs in
+//! production; the reference path is the PR-1 evaluator kept as the
+//! differential-test oracle. Both must agree byte-for-byte (asserted
+//! once at setup), so the benchmark measures pure evaluation strategy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efes_csg::{database_to_csg, match_relationships, CsgInstance, NodeCorrespondences, RelExpr};
+use efes_exec::RunContext;
+use efes_relational::SourceId;
+use efes_synth::SynthConfig;
+
+const ROWS: usize = 100_000;
+
+/// The pinned scenario: same shape as the `bench_scale` sweep so the
+/// numbers line up with the committed BENCH_scale.json points.
+fn pinned_workload() -> (CsgInstance, Vec<(RelExpr, efes_csg::NodeId)>) {
+    let mut cfg = SynthConfig::default().with_rows(ROWS);
+    cfg.shape.tables = 2;
+    cfg.shape.payload_attrs = 3;
+    cfg.shape.fanout = 2;
+    cfg.shape.sources = 1;
+    let out = efes_synth::generate(&cfg);
+    let scenario = out.scenario;
+
+    let target_conv = database_to_csg(&scenario.target);
+    let source_conv = database_to_csg(scenario.source(SourceId(0)));
+    let corr = NodeCorrespondences::from_scenario(&scenario, SourceId(0), &target_conv, &source_conv);
+    let matches = match_relationships(&target_conv.csg, &source_conv.csg, &corr);
+    let work: Vec<(RelExpr, efes_csg::NodeId)> = matches
+        .iter()
+        .filter_map(|m| {
+            let domain = m.source_expr.start(&source_conv.csg)?;
+            Some((m.source_expr.clone(), domain))
+        })
+        .collect();
+    assert!(!work.is_empty(), "matching produced no expressions to evaluate");
+    (source_conv.instance, work)
+}
+
+fn bench_csg_eval(c: &mut Criterion) {
+    let (instance, work) = pinned_workload();
+    let run = RunContext::unbounded();
+    let ck = run.checkpoint();
+
+    // Differential check up front: the two strategies must agree.
+    for (expr, domain) in &work {
+        assert_eq!(
+            instance.count_eval(expr, *domain),
+            instance
+                .link_counts_reference_ctx(expr, *domain, &ck)
+                .expect("unbounded context never cancels"),
+        );
+    }
+
+    let mut group = c.benchmark_group("csg_eval");
+    group.sample_size(10);
+    group.bench_function("counting_100k", |b| {
+        b.iter(|| {
+            for (expr, domain) in &work {
+                black_box(instance.count_eval(black_box(expr), *domain));
+            }
+        })
+    });
+    group.bench_function("btreeset_reference_100k", |b| {
+        b.iter(|| {
+            for (expr, domain) in &work {
+                black_box(
+                    instance
+                        .link_counts_reference_ctx(black_box(expr), *domain, &ck)
+                        .expect("unbounded context never cancels"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_csg_eval);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! per-stage scaling exponent, to find the next super-linear hot path.
 //!
 //! ```text
-//! cargo run --release -p efes-bench --bin bench_scale               # 10^4 → 10^6
+//! cargo run --release -p efes-bench --bin bench_scale               # 10^4 → 10^7
 //! cargo run --release -p efes-bench --bin bench_scale -- --quick    # 10^4 → 10^5
 //! ```
 //!
@@ -152,24 +152,28 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_scale.json".to_owned());
 
-    // Half-decade steps 10^4 → 10^6 (10^4 → 10^5 for --quick).
+    // Half-decade steps 10^4 → 10^7 (10^4 → 10^5 for --quick).
     let scales: &[usize] = if quick {
         &[10_000, 31_623, 100_000]
     } else {
-        &[10_000, 31_623, 100_000, 316_228, 1_000_000]
+        &[10_000, 31_623, 100_000, 316_228, 1_000_000, 3_162_278, 10_000_000]
     };
-    let iters = 3usize;
+    // Above 10^6 rows each stage already runs for seconds; two timed
+    // iterations (plus the warm-up) keep the full sweep tractable
+    // without moving the median discernibly.
+    let iters_at = |rows: usize| if rows > 1_000_000 { 2usize } else { 3usize };
 
     let est_config = || EstimationConfig::default().with_execution(ExecutionPolicy::Sequential);
     let mut points: Vec<Point> = Vec::new();
     eprintln!(
-        "bench_scale: rows {:?} × {iters} iters (median), fixed shape 2 tables × 3 payload attrs × fan-out 2",
+        "bench_scale: rows {:?} (median of 2-3 iters), fixed shape 2 tables × 3 payload attrs × fan-out 2",
         scales
     );
     for &rows in scales {
         let cfg = sweep_config(rows);
+        let iters = iters_at(rows);
         let mut medians = BTreeMap::new();
-        eprintln!("rows = {rows}");
+        eprintln!("rows = {rows} ({iters} iters)");
         let mut record = |name: &str, ns: u64| {
             eprintln!("  {name:16} {:12.3} ms", ns as f64 / 1e6);
             medians.insert(name.to_owned(), ns);

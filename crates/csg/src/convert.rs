@@ -173,18 +173,17 @@ pub fn database_to_csg_ctx(db: &Database, run: &RunContext) -> Result<CsgConvers
             {
                 let from_node = attr_nodes[from_table.0][fa.0];
                 let to_node = attr_nodes[to_table.0][ta.0];
-                let from_elems: Vec<(u32, Element)> = instance
-                    .elements(from_node)
-                    .iter()
-                    .cloned()
-                    .enumerate()
-                    .map(|(i, e)| (i as u32, e))
-                    .collect();
-                for (idx, elem) in from_elems {
+                // Resolve matching indices with a read-only pass (no
+                // per-element Value clones), then append the links.
+                let mut eq_links: Vec<(u32, u32)> = Vec::new();
+                for (idx, elem) in instance.elements(from_node).iter().enumerate() {
                     ck.tick()?;
-                    if let Some(to_idx) = instance.element_index(to_node, &elem) {
-                        instance.add_link(*rel, idx, to_idx);
+                    if let Some(to_idx) = instance.element_index(to_node, elem) {
+                        eq_links.push((idx as u32, to_idx));
                     }
+                }
+                for (idx, to_idx) in eq_links {
+                    instance.add_link(*rel, idx, to_idx);
                 }
             }
         }

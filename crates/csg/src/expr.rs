@@ -10,11 +10,28 @@ use crate::cardinality::Cardinality;
 use crate::graph::{Csg, NodeId, RelRef};
 use serde::{Deserialize, Serialize};
 
+/// Width of the domain keys an expression's links carry when evaluated
+/// on an instance — the static analysis behind the counting evaluator's
+/// handling of `⋈`/`∥` and behind the explicit compound-domain contract
+/// of [`CsgInstance::link_counts`](crate::instance::CsgInstance::link_counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainWidth {
+    /// Every link's domain key is a single element index (atomic
+    /// readings, compositions and unions of them).
+    Singleton,
+    /// Every link's domain key is a tuple of two or more element indices
+    /// (the expression is headed by a join or collateral).
+    Compound,
+    /// The link set mixes both widths (a union of a singleton-domain and
+    /// a compound-domain branch).
+    Mixed,
+}
+
 /// How the domains/codomains of two united relationships relate — the case
 /// split of Lemma 2. Statically this is generally unknowable, so the union
 /// constructor takes it as an explicit assumption (instance evaluation can
 /// determine it exactly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UnionMode {
     /// `I_P(ρ₁)` and `I_P(ρ₂)` have disjoint domains → `κ₁ ∪ κ₂`.
     DisjointDomains,
@@ -25,7 +42,11 @@ pub enum UnionMode {
 }
 
 /// A (possibly complex) relationship expression over a [`Csg`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` + `Eq` make the expression usable as a memo key: evaluation
+/// results are cached per `(RelExpr, domain)` in
+/// [`CsgInstance`](crate::instance::CsgInstance)'s expression memo.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RelExpr {
     /// An atomic relationship read in one direction.
     Atomic(RelRef),
@@ -93,6 +114,36 @@ impl RelExpr {
                 Some(ib.compose(&ia))
             }
             _ => None,
+        }
+    }
+
+    /// The width of the domain keys this expression's links carry when
+    /// evaluated on any instance:
+    ///
+    /// * atomics produce singleton keys;
+    /// * a composition inherits its left operand's domain;
+    /// * joins and collaterals always produce compound keys (`A × B`
+    ///   resp. `A × C` domains);
+    /// * a union is [`Mixed`](DomainWidth::Mixed) when its branches
+    ///   disagree.
+    ///
+    /// Per-domain-element counting
+    /// ([`CsgInstance::link_counts`](crate::instance::CsgInstance::link_counts))
+    /// only ever tallies singleton-key links, so a
+    /// [`Compound`](DomainWidth::Compound) expression counts zero for
+    /// every element — see
+    /// [`try_link_counts_ctx`](crate::instance::CsgInstance::try_link_counts_ctx)
+    /// for the explicit `None` path.
+    pub fn domain_width(&self) -> DomainWidth {
+        match self {
+            RelExpr::Atomic(_) => DomainWidth::Singleton,
+            RelExpr::Compose(a, _) => a.domain_width(),
+            RelExpr::Union(a, b, _) => match (a.domain_width(), b.domain_width()) {
+                (DomainWidth::Singleton, DomainWidth::Singleton) => DomainWidth::Singleton,
+                (DomainWidth::Compound, DomainWidth::Compound) => DomainWidth::Compound,
+                _ => DomainWidth::Mixed,
+            },
+            RelExpr::Join(_, _) | RelExpr::Collateral(_, _) => DomainWidth::Compound,
         }
     }
 

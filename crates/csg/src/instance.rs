@@ -1,12 +1,29 @@
 //! CSG instances `I(Γ) = (I_N, I_P)` (Definition 2) and expression
 //! evaluation over them.
+//!
+//! Two evaluators live here (DESIGN.md §2i):
+//!
+//! * [`CsgInstance::eval`] materialises the full link set as a
+//!   `BTreeSet<(Key, Key)>` — the direct transcription of the §4.1
+//!   operator definitions, kept as the differential-test oracle;
+//! * [`CsgInstance::count_eval`] computes only the **per-domain-element
+//!   link counts** (`Vec<u64>`) that conflict detection actually
+//!   consumes, by streaming frontier expansion over lazily-built CSR
+//!   adjacency — no keys, no `BTreeSet`, no per-link allocation.
+//!
+//! [`CsgInstance::link_counts`] routes through the counting evaluator
+//! plus a per-instance expression memo (each distinct `(expr, domain)`
+//! pair is evaluated once per instance epoch); `EFES_CSG_COUNT=off`
+//! forces the oracle path at run time.
 
-use crate::expr::RelExpr;
+use crate::expr::{DomainWidth, RelExpr};
 use crate::graph::{Csg, Direction, NodeId, RelId, RelRef};
 use efes_exec::{Cancelled, Checkpoint, RunContext};
 use efes_relational::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock};
 
 /// An element of a node's extension: an abstract tuple identity for table
 /// nodes, a concrete value for attribute nodes (paper Example 4.1).
@@ -27,6 +44,215 @@ pub type Key = Vec<u32>;
 /// deterministic.
 pub type LinkSet = BTreeSet<(Key, Key)>;
 
+/// Environment variable selecting the `link_counts` evaluation path
+/// (`on` = counting evaluator, `off` = BTreeSet oracle).
+pub const CSG_COUNT_ENV_VAR: &str = "EFES_CSG_COUNT";
+
+/// Parse an `EFES_CSG_COUNT` value; `None` means unparsable.
+pub fn parse_csg_count(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" | "yes" | "" => Some(true),
+        "off" | "0" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+fn counting_enabled() -> bool {
+    match std::env::var(CSG_COUNT_ENV_VAR) {
+        Err(_) => true,
+        Ok(raw) => match parse_csg_count(&raw) {
+            Some(enabled) => enabled,
+            None => {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: unparsable {CSG_COUNT_ENV_VAR}={raw:?}; \
+                         expected on/off (or 1/0, true/false, yes/no), keeping counting on"
+                    );
+                });
+                true
+            }
+        },
+    }
+}
+
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(hits, misses)` of the expression-result memo, across
+/// all instances — consumed by the serve layer's Prometheus renderer
+/// (`efes_csg_eval_memo_{hits,misses}_total`), same pattern as
+/// `efes_exec::fault::injected_counters`.
+pub fn eval_memo_counters() -> (u64, u64) {
+    (
+        MEMO_HITS.load(Ordering::Relaxed),
+        MEMO_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// CSR adjacency of one directed reading: `neighbours[offsets[f] ..
+/// offsets[f + 1]]` are the **distinct** to-side element indices linked
+/// from from-side index `f`, sorted ascending. Duplicate raw links are
+/// collapsed at build time, mirroring the `BTreeSet` oracle's set
+/// semantics.
+#[derive(Debug)]
+struct CsrReading {
+    offsets: Vec<u32>,
+    neighbours: Vec<u32>,
+    /// Exclusive upper bound on the to-side indices appearing in
+    /// `neighbours` — sizes the sweep's stamp arrays.
+    to_bound: usize,
+}
+
+impl CsrReading {
+    /// Distinct neighbours of from-index `f` (empty past the last
+    /// linked index, matching the oracle's "no entry in `by_domain`").
+    fn row(&self, f: u32) -> &[u32] {
+        let f = f as usize;
+        if f + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.neighbours[self.offsets[f] as usize..self.offsets[f + 1] as usize]
+    }
+
+    fn degree(&self, f: u32) -> u64 {
+        let f = f as usize;
+        if f + 1 >= self.offsets.len() {
+            return 0;
+        }
+        (self.offsets[f + 1] - self.offsets[f]) as u64
+    }
+}
+
+fn build_csr(links: &[(u32, u32)], dir: Direction, ck: &Checkpoint<'_>) -> Result<CsrReading, Cancelled> {
+    assert!(
+        links.len() < u32::MAX as usize,
+        "CSR offsets are u32: relationship has too many links"
+    );
+    let orient = |&(f, t): &(u32, u32)| match dir {
+        Direction::Forward => (f, t),
+        Direction::Backward => (t, f),
+    };
+    // The two scan passes are tight branchless loops: one bulk tick
+    // each keeps them auto-vectorisable while still honouring the
+    // checkpoint's amortisation contract.
+    let mut n_from = 0usize;
+    let mut to_bound = 0usize;
+    ck.tick_n(links.len() as u64)?;
+    for l in links {
+        let (f, t) = orient(l);
+        n_from = n_from.max(f as usize + 1);
+        to_bound = to_bound.max(t as usize + 1);
+    }
+    let mut offsets = vec![0u32; n_from + 1];
+    ck.tick_n(links.len() as u64)?;
+    for l in links {
+        let (f, _) = orient(l);
+        offsets[f as usize + 1] += 1;
+    }
+    for i in 0..n_from {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut neighbours = vec![0u32; links.len()];
+    for l in links {
+        ck.tick()?;
+        let (f, t) = orient(l);
+        let c = &mut cursor[f as usize];
+        neighbours[*c as usize] = t;
+        *c += 1;
+    }
+    // Sort + dedup each row in place (compacting forward: the write
+    // cursor never overtakes the read position).
+    let mut write = 0usize;
+    let mut compact = vec![0u32; n_from + 1];
+    for i in 0..n_from {
+        let (start, end) = (offsets[i] as usize, offsets[i + 1] as usize);
+        neighbours[start..end].sort_unstable();
+        compact[i] = write as u32;
+        let mut last = None;
+        for j in start..end {
+            ck.tick()?;
+            let t = neighbours[j];
+            if last != Some(t) {
+                neighbours[write] = t;
+                write += 1;
+                last = Some(t);
+            }
+        }
+    }
+    compact[n_from] = write as u32;
+    neighbours.truncate(write);
+    neighbours.shrink_to_fit();
+    Ok(CsrReading {
+        offsets: compact,
+        neighbours,
+        to_bound,
+    })
+}
+
+/// A lazily-built CSR slot that stays empty if its build is cancelled
+/// (`OnceLock::get_or_try_init` is unstable, so build-then-publish).
+#[derive(Debug, Default)]
+struct CsrCell(OnceLock<CsrReading>);
+
+/// One visited-stamp level of the counting sweep. Concurrent
+/// under-construction sets always live at distinct composition depths,
+/// so each depth owns a stamp array + generation counter; bumping the
+/// generation starts a fresh set without clearing.
+#[derive(Default)]
+struct StampLevel {
+    stamps: Vec<u64>,
+    generation: u64,
+}
+
+/// Scratch state of one [`CsgInstance::count_eval_ctx`] sweep.
+#[derive(Default)]
+struct Sweep {
+    levels: Vec<StampLevel>,
+    pool: Vec<Vec<u32>>,
+}
+
+impl Sweep {
+    fn begin(&mut self, depth: usize) {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, StampLevel::default);
+        }
+        self.levels[depth].generation += 1;
+    }
+}
+
+/// The expression-result memo: `(expr, domain) → counts`.
+type CountMemo = Mutex<HashMap<(RelExpr, NodeId), Arc<Vec<u64>>>>;
+
+/// Derived evaluation state of an instance: CSR adjacency per directed
+/// reading and the expression-result memo. Invisible to equality,
+/// serde, and cloning — a cloned or deserialised instance starts cold —
+/// and invalidated wholesale by any mutation (the epoch bumps).
+#[derive(Debug, Default)]
+struct EvalCaches {
+    /// `csr[rel * 2 + dir]`, built on first use per reading.
+    csr: OnceLock<Box<[CsrCell]>>,
+    /// Valid for the current epoch only.
+    memo: CountMemo,
+    /// Bumped by `add_element` / `add_link`.
+    epoch: u64,
+}
+
+impl Clone for EvalCaches {
+    fn clone(&self) -> Self {
+        EvalCaches::default()
+    }
+}
+
+impl PartialEq for EvalCaches {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for EvalCaches {}
+
 /// A CSG instance: element sets `I_N` per node and link sets `I_P` per
 /// relationship.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +265,9 @@ pub struct CsgInstance {
     /// `I_P`: links per relationship as (from-element-index,
     /// to-element-index) pairs, indexed by `RelId`.
     links: Vec<Vec<(u32, u32)>>,
+    /// Lazily-derived CSR adjacency + expression memo (DESIGN.md §2i).
+    #[serde(skip)]
+    caches: EvalCaches,
 }
 
 impl CsgInstance {
@@ -48,6 +277,7 @@ impl CsgInstance {
             node_elements: vec![Vec::new(); g.nodes().len()],
             elem_index: vec![HashMap::new(); g.nodes().len()],
             links: vec![Vec::new(); g.relationships().len()],
+            caches: EvalCaches::default(),
         }
     }
 
@@ -56,10 +286,32 @@ impl CsgInstance {
         if let Some(idx) = self.elem_index[node.0].get(&elem) {
             return *idx;
         }
+        self.invalidate_eval_caches();
         let idx = self.node_elements[node.0].len() as u32;
         self.node_elements[node.0].push(elem.clone());
         self.elem_index[node.0].insert(elem, idx);
         idx
+    }
+
+    /// Drop all derived evaluation state and start a new epoch. Called
+    /// by every mutating method; cheap when the caches are cold (the
+    /// common case during instance construction).
+    fn invalidate_eval_caches(&mut self) {
+        self.caches.epoch += 1;
+        self.caches.csr.take();
+        self.caches
+            .memo
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// The instance's evaluation epoch: bumped by every mutation. Each
+    /// distinct `(expression, domain)` pair is evaluated at most once
+    /// per epoch — [`link_counts`](Self::link_counts) results are
+    /// memoised until the next mutation invalidates them.
+    pub fn eval_epoch(&self) -> u64 {
+        self.caches.epoch
     }
 
     /// Look up an element's index without inserting.
@@ -67,8 +319,10 @@ impl CsgInstance {
         self.elem_index[node.0].get(elem).copied()
     }
 
-    /// Add a link to a relationship, by element indices.
+    /// Add a link to a relationship, by element indices. Invalidates
+    /// the CSR adjacency cache and the expression memo.
     pub fn add_link(&mut self, rel: RelId, from_idx: u32, to_idx: u32) {
+        self.invalidate_eval_caches();
         self.links[rel.0].push((from_idx, to_idx));
     }
 
@@ -201,6 +455,19 @@ impl CsgInstance {
     /// the atomic node `domain`: returns, for **every** element of the
     /// domain node, how many links leave it (elements without links count
     /// 0 — these are exactly the "detached" elements).
+    ///
+    /// Only links with singleton domain keys are tallied — a
+    /// [`Compound`](DomainWidth::Compound)-domain expression (headed by
+    /// `⋈`/`∥`) therefore counts 0 for every element. Passing one is
+    /// almost always a caller bug, so it trips a `debug_assert`; use
+    /// [`try_link_counts_ctx`](Self::try_link_counts_ctx) for the
+    /// explicit `None` path when the expression shape is not statically
+    /// known.
+    ///
+    /// Results are memoised per `(expr, domain)` until the next
+    /// mutation ([`eval_epoch`](Self::eval_epoch)); evaluation streams
+    /// through [`count_eval`](Self::count_eval) unless
+    /// `EFES_CSG_COUNT=off` forces the `BTreeSet` oracle.
     pub fn link_counts(&self, expr: &RelExpr, domain: NodeId) -> Vec<u64> {
         let run = RunContext::unbounded();
         let ck = run.checkpoint();
@@ -210,6 +477,89 @@ impl CsgInstance {
 
     /// Like [`link_counts`](Self::link_counts), but cancellable.
     pub fn link_counts_ctx(
+        &self,
+        expr: &RelExpr,
+        domain: NodeId,
+        ck: &Checkpoint<'_>,
+    ) -> Result<Vec<u64>, Cancelled> {
+        self.link_counts_shared_ctx(expr, domain, ck)
+            .map(|arc| (*arc).clone())
+    }
+
+    /// Like [`link_counts_ctx`](Self::link_counts_ctx), but shares the
+    /// memoised result instead of copying it out — the conflict
+    /// detector's entry point (a hit at 10⁷ rows would otherwise clone
+    /// an 80 MB vector).
+    pub fn link_counts_shared_ctx(
+        &self,
+        expr: &RelExpr,
+        domain: NodeId,
+        ck: &Checkpoint<'_>,
+    ) -> Result<Arc<Vec<u64>>, Cancelled> {
+        debug_assert!(
+            expr.domain_width() != DomainWidth::Compound,
+            "link_counts on a compound-key domain ({expr:?}): every link is \
+             dropped by the singleton-key filter, so the result is all zeros; \
+             use try_link_counts_ctx for the explicit None path"
+        );
+        self.counts_memoized(expr, domain, ck)
+    }
+
+    /// [`link_counts_ctx`](Self::link_counts_ctx) with the
+    /// compound-domain contract made explicit: returns `Ok(None)` when
+    /// `expr` has a [`Compound`](DomainWidth::Compound) domain (no link
+    /// can ever be tallied per element), `Ok(Some(counts))` otherwise.
+    pub fn try_link_counts_ctx(
+        &self,
+        expr: &RelExpr,
+        domain: NodeId,
+        ck: &Checkpoint<'_>,
+    ) -> Result<Option<Arc<Vec<u64>>>, Cancelled> {
+        if expr.domain_width() == DomainWidth::Compound {
+            return Ok(None);
+        }
+        self.counts_memoized(expr, domain, ck).map(Some)
+    }
+
+    fn counts_memoized(
+        &self,
+        expr: &RelExpr,
+        domain: NodeId,
+        ck: &Checkpoint<'_>,
+    ) -> Result<Arc<Vec<u64>>, Cancelled> {
+        let key = (expr.clone(), domain);
+        if let Some(hit) = self
+            .caches
+            .memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+        let counts = if counting_enabled() {
+            self.count_eval_ctx(expr, domain, ck)?
+        } else {
+            self.link_counts_reference_ctx(expr, domain, ck)?
+        };
+        let arc = Arc::new(counts);
+        self.caches
+            .memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, arc.clone());
+        Ok(arc)
+    }
+
+    /// The pre-counting `link_counts` implementation — materialise the
+    /// full link set with [`eval_ctx`](Self::eval_ctx), then tally
+    /// singleton-key domains. Kept as the differential-test oracle
+    /// (same pattern as `compute_multipass` and
+    /// `similarity_flooding_reference`) and as the run-time fallback
+    /// behind `EFES_CSG_COUNT=off`.
+    pub fn link_counts_reference_ctx(
         &self,
         expr: &RelExpr,
         domain: NodeId,
@@ -226,6 +576,149 @@ impl CsgInstance {
             }
         }
         Ok(counts)
+    }
+
+    /// The counting evaluator: per-domain-element **distinct-link
+    /// counts** without materialising a single key.
+    ///
+    /// For every element `f` of `domain` it computes
+    /// `|{t : ([f], t) ∈ I_P(expr)}|` — exactly what
+    /// [`link_counts`](Self::link_counts) derives from the `BTreeSet`
+    /// oracle — by expanding a frontier of element indices through the
+    /// cached CSR adjacency of each atomic reading:
+    ///
+    /// * `Atomic`: one CSR row lookup (rows are pre-deduplicated);
+    /// * `Compose`: expand the left operand into an intermediate
+    ///   frontier, then the right operand from it;
+    /// * `Union`: expand both operands into the same stamped set
+    ///   (cross-branch duplicates collapse, like the oracle's set
+    ///   union);
+    /// * `Join`/`Collateral`: contribute **nothing** — every link they
+    ///   produce carries a compound domain key, which a singleton
+    ///   frontier index can never match (composing onto one matches no
+    ///   mid key, and the top-level tally drops compound keys). This is
+    ///   the count algebra's exact answer, not an approximation, and
+    ///   the differential proptests pin it against the oracle for all
+    ///   five operators.
+    ///
+    /// Visited-element dedup stamps are keyed on **raw element
+    /// indices**, untyped across nodes, mirroring the oracle's untyped
+    /// `Vec<u32>` keys.
+    pub fn count_eval(&self, expr: &RelExpr, domain: NodeId) -> Vec<u64> {
+        let run = RunContext::unbounded();
+        let ck = run.checkpoint();
+        self.count_eval_ctx(expr, domain, &ck)
+            .expect("unbounded context never cancels")
+    }
+
+    /// Like [`count_eval`](Self::count_eval), but cancellable: the CSR
+    /// builds and every frontier-edge visit tick `ck`, so a deadline
+    /// interrupts the sweep mid-flight just as it interrupts
+    /// [`eval_ctx`](Self::eval_ctx).
+    pub fn count_eval_ctx(
+        &self,
+        expr: &RelExpr,
+        domain: NodeId,
+        ck: &Checkpoint<'_>,
+    ) -> Result<Vec<u64>, Cancelled> {
+        let n = self.element_count(domain);
+        if let RelExpr::Atomic(r) = expr {
+            // A bare reading is its CSR degree sequence.
+            let csr = self.csr(*r, ck)?;
+            let mut counts = Vec::with_capacity(n);
+            for f in 0..n as u32 {
+                ck.tick()?;
+                counts.push(csr.degree(f));
+            }
+            return Ok(counts);
+        }
+        let mut counts = vec![0u64; n];
+        let mut sweep = Sweep::default();
+        let mut out = Vec::new();
+        for f in 0..n as u32 {
+            out.clear();
+            sweep.begin(0);
+            self.expand(expr, std::slice::from_ref(&f), &mut out, 0, &mut sweep, ck)?;
+            counts[f as usize] = out.len() as u64;
+        }
+        Ok(counts)
+    }
+
+    /// Append the distinct image of `input` under `expr`'s
+    /// singleton-key link fraction to `out`, deduplicating against the
+    /// stamp level at `depth` (one level per live set: `out` at
+    /// `depth`, compose intermediates at `depth + 1`).
+    fn expand(
+        &self,
+        expr: &RelExpr,
+        input: &[u32],
+        out: &mut Vec<u32>,
+        depth: usize,
+        sweep: &mut Sweep,
+        ck: &Checkpoint<'_>,
+    ) -> Result<(), Cancelled> {
+        match expr {
+            RelExpr::Atomic(r) => {
+                let csr = self.csr(*r, ck)?;
+                let level = &mut sweep.levels[depth];
+                if level.stamps.len() < csr.to_bound {
+                    level.stamps.resize(csr.to_bound, 0);
+                }
+                let generation = level.generation;
+                for &f in input {
+                    for &t in csr.row(f) {
+                        ck.tick()?;
+                        let stamp = &mut level.stamps[t as usize];
+                        if *stamp != generation {
+                            *stamp = generation;
+                            out.push(t);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            RelExpr::Compose(a, b) => {
+                let mut mid = sweep.pool.pop().unwrap_or_default();
+                mid.clear();
+                sweep.begin(depth + 1);
+                self.expand(a, input, &mut mid, depth + 1, sweep, ck)?;
+                self.expand(b, &mid, out, depth, sweep, ck)?;
+                sweep.pool.push(mid);
+                Ok(())
+            }
+            RelExpr::Union(a, b, _) => {
+                self.expand(a, input, out, depth, sweep, ck)?;
+                self.expand(b, input, out, depth, sweep, ck)
+            }
+            // Every join/collateral link carries a compound domain key:
+            // a singleton frontier index never matches one, and the
+            // top-level tally drops them — so these branches are
+            // exactly empty for counting purposes.
+            RelExpr::Join(_, _) | RelExpr::Collateral(_, _) => Ok(()),
+        }
+    }
+
+    /// The cached CSR adjacency of a directed reading, built (and
+    /// deduplicated) on first use; cancellation aborts the build
+    /// without publishing a partial cache.
+    fn csr(&self, r: RelRef, ck: &Checkpoint<'_>) -> Result<&CsrReading, Cancelled> {
+        let cells = self.caches.csr.get_or_init(|| {
+            (0..self.links.len() * 2)
+                .map(|_| CsrCell::default())
+                .collect()
+        });
+        let cell = &cells[r.rel.0 * 2 + (r.dir == Direction::Backward) as usize];
+        if let Some(csr) = cell.0.get() {
+            return Ok(csr);
+        }
+        let built = build_csr(&self.links[r.rel.0], r.dir, ck)?;
+        Ok(cell.0.get_or_init(|| built))
+    }
+
+    /// Distinct neighbour rows of a directed reading, for crate-local
+    /// consumers (`nary`) that need adjacency rather than counts.
+    pub(crate) fn csr_row(&self, r: RelRef, f: u32, ck: &Checkpoint<'_>) -> Result<&[u32], Cancelled> {
+        Ok(self.csr(r, ck)?.row(f))
     }
 
     /// Verify the instance against the graph's prescribed cardinalities:

@@ -17,8 +17,16 @@ use crate::convert::CsgConversion;
 use crate::expr::RelExpr;
 use crate::graph::RelRef;
 use crate::instance::LinkSet;
+use efes_exec::RunContext;
 use efes_relational::schema::{AttrId, TableId};
 use std::collections::{HashMap, HashSet};
+
+/// Pack a `(u32, u32)` index pair into one `u64` set key — the
+/// "index-based sets instead of `Vec<u32>` keys" hot path for the
+/// 2-ary constraints.
+fn pack(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
 
 /// The join expression for an n-ary uniqueness constraint over `attrs`
 /// of `table`: `ρ_{a₁→T} ⋈ ρ_{a₂→T} ⋈ …` (value→tuple readings joined on
@@ -40,7 +48,81 @@ pub fn composite_unique_expr(conv: &CsgConversion, table: TableId, attrs: &[Attr
 /// value combinations shared by two or more tuples. Each tuple beyond
 /// the first per combination counts as one violation (matching the
 /// relational validator's duplicate counting).
+///
+/// Computed directly from CSR adjacency: each tuple's distinct value
+/// sets per attribute are crossed into combination keys, so the
+/// per-combination tally equals the join oracle's distinct-tuple count
+/// without materialising a single `Vec<u32>` link key
+/// ([`composite_unique_violations_reference`] pins the equivalence).
 pub fn composite_unique_violations(
+    conv: &CsgConversion,
+    table: TableId,
+    attrs: &[AttrId],
+) -> u64 {
+    assert!(attrs.len() >= 2, "n-ary uniqueness needs ≥ 2 attributes");
+    let run = RunContext::unbounded();
+    let ck = run.checkpoint();
+    let inst = &conv.instance;
+    let readings: Vec<RelRef> = attrs
+        .iter()
+        .map(|a| RelRef::fwd(conv.attr_rel(table, *a)))
+        .collect();
+    let n_tuples = inst.element_count(conv.table_node(table)) as u32;
+    let mut tuples_per_combo: HashMap<u64, u64> = HashMap::new();
+    let mut tuples_per_wide_combo: HashMap<Box<[u32]>, u64> = HashMap::new();
+    let mut scratch = Vec::new();
+    'tuples: for t in 0..n_tuples {
+        let mut rows: Vec<&[u32]> = Vec::with_capacity(readings.len());
+        for r in &readings {
+            let row = inst
+                .csr_row(*r, t, &ck)
+                .expect("unbounded context never cancels");
+            if row.is_empty() {
+                continue 'tuples; // a missing component joins nothing
+            }
+            rows.push(row);
+        }
+        if let [va, vb] = rows.as_slice() {
+            // 2-ary fast path: packed u64 combination keys.
+            for &a in *va {
+                for &b in *vb {
+                    *tuples_per_combo.entry(pack(a, b)).or_insert(0) += 1;
+                }
+            }
+        } else {
+            // General n-ary: cross the per-attribute value sets.
+            scratch.clear();
+            cross(&rows, &mut scratch, &mut tuples_per_wide_combo);
+        }
+    }
+    tuples_per_combo
+        .values()
+        .chain(tuples_per_wide_combo.values())
+        .map(|tuples| tuples.saturating_sub(1))
+        .sum()
+}
+
+/// Recursively cross per-attribute value rows into combination keys,
+/// bumping each combination's tuple tally once.
+fn cross(rows: &[&[u32]], prefix: &mut Vec<u32>, tally: &mut HashMap<Box<[u32]>, u64>) {
+    match rows.split_first() {
+        None => {
+            *tally.entry(prefix.as_slice().into()).or_insert(0) += 1;
+        }
+        Some((head, rest)) => {
+            for &v in *head {
+                prefix.push(v);
+                cross(rest, prefix, tally);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// The pre-CSR implementation of [`composite_unique_violations`]:
+/// evaluate the join expression to its full link set and group compound
+/// domains. Kept as the differential-test oracle.
+pub fn composite_unique_violations_reference(
     conv: &CsgConversion,
     table: TableId,
     attrs: &[AttrId],
@@ -82,7 +164,78 @@ fn diagonal(links: &LinkSet) -> LinkSet {
 ///
 /// Returns the number of referencing tuples whose pair has no referenced
 /// counterpart (including tuples whose components dangle individually).
+///
+/// Computed directly from CSR adjacency without materialising either
+/// collateral's link set: the referenced pair set is a `HashSet<u64>` of
+/// packed index pairs, and each referencing tuple resolves to the
+/// lexicographically greatest `(b, d)` pair of its equality images —
+/// the same representative the reference implementation's last-wins
+/// `HashMap` insert over the sorted `BTreeSet` picks (the per-tuple
+/// pair set is a cross product, so the lex-max pair is
+/// `(max b, max d)`). [`composite_fk_violations_reference`] pins the
+/// equivalence.
 pub fn composite_fk_violations(
+    conv: &CsgConversion,
+    from_table: TableId,
+    from_attrs: (AttrId, AttrId),
+    eq_rels: (crate::graph::RelId, crate::graph::RelId),
+    to_table: TableId,
+    to_attrs: (AttrId, AttrId),
+) -> u64 {
+    let run = RunContext::unbounded();
+    let ck = run.checkpoint();
+    let inst = &conv.instance;
+    let row = |r: RelRef, f: u32| {
+        inst.csr_row(r, f, &ck)
+            .expect("unbounded context never cancels")
+    };
+
+    // Referenced side: every (pa, pb) value-index pair co-occurring in
+    // one referenced tuple — the diagonal of `ρ_{T→pa} ∥ ρ_{T→pb}`.
+    let pa = RelRef::fwd(conv.attr_rel(to_table, to_attrs.0));
+    let pb = RelRef::fwd(conv.attr_rel(to_table, to_attrs.1));
+    let n_to_tuples = inst.element_count(conv.table_node(to_table)) as u32;
+    let mut referenced_pairs: HashSet<u64> = HashSet::new();
+    for u in 0..n_to_tuples {
+        for &b in row(pa, u) {
+            for &d in row(pb, u) {
+                referenced_pairs.insert(pack(b, d));
+            }
+        }
+    }
+
+    // Referencing side: each tuple carrying both fk components resolves
+    // through attribute + equality links to referenced component
+    // indices; the (max, max) representative pair must be referenced.
+    let fa = RelRef::fwd(conv.attr_rel(from_table, from_attrs.0));
+    let fb = RelRef::fwd(conv.attr_rel(from_table, from_attrs.1));
+    let eq_a = RelRef::fwd(eq_rels.0);
+    let eq_b = RelRef::fwd(eq_rels.1);
+    let n_from_tuples = inst.element_count(conv.table_node(from_table)) as u32;
+    let mut violations = 0u64;
+    for t in 0..n_from_tuples {
+        let va = row(fa, t);
+        if va.is_empty() {
+            continue; // NULL component: SQL MATCH SIMPLE passes
+        }
+        let vb = row(fb, t);
+        if vb.is_empty() {
+            continue;
+        }
+        let max_b = va.iter().flat_map(|&v| row(eq_a, v)).max();
+        let max_d = vb.iter().flat_map(|&v| row(eq_b, v)).max();
+        match (max_b, max_d) {
+            (Some(&b), Some(&d)) if referenced_pairs.contains(&pack(b, d)) => {}
+            _ => violations += 1,
+        }
+    }
+    violations
+}
+
+/// The pre-CSR implementation of [`composite_fk_violations`]: evaluate
+/// both collaterals to full link sets and restrict to their diagonals.
+/// Kept as the differential-test oracle.
+pub fn composite_fk_violations_reference(
     conv: &CsgConversion,
     from_table: TableId,
     from_attrs: (AttrId, AttrId),

@@ -9,21 +9,20 @@
 //!
 //! ## Scaling (measured by `bench_scale`, 2026-08)
 //!
-//! The planner and the violation simulation feeding it are the
-//! pipeline's dominant super-linear stage. The committed
-//! `BENCH_scale.json` sweep (synthetic scenarios, 10⁴ → 10⁶ rows)
-//! fits `csg_planning` at an overall exponent of **≈ 1.46**
-//! (r² = 0.98) while profiling and matching stay at ≈ 1.0; worse, the
-//! local exponent between the last two points (316 k → 1 M rows) is
-//! **≈ 2.4** — 1.28 s to 20.1 s for a 3.16× row increase. The hot path
-//! is not this module's fixpoint loop but the link-set evaluation it
-//! leans on: `CsgInstance::eval` materialises
-//! `LinkSet = BTreeSet<(Vec<u32>, Vec<u32>)>`, paying two heap
-//! allocations plus an `O(log n)` vector-compare insert per link, per
-//! conflict check, per planner iteration. Replacing the eval path for
-//! atomic/compose expressions with flat count arrays (no materialised
-//! keys) is the next optimisation; it is deliberately deferred out of
-//! this change, which only instruments and documents it.
+//! This stage used to be the pipeline's dominant super-linear hot
+//! path: the 10⁴ → 10⁶ sweep fitted `csg_planning` at an overall
+//! exponent of ≈ 1.46 (≈ 2.4 between the last two points — 1.28 s to
+//! 20.1 s for a 3.16× row increase), because the link-set evaluation
+//! it leans on materialised `LinkSet = BTreeSet<(Vec<u32>, Vec<u32>)>`
+//! per conflict check per planner iteration. The counting evaluator
+//! (`CsgInstance::count_eval_ctx`, cached CSR adjacency plus an
+//! epoch-invalidated expression memo — DESIGN.md §2i) removed the
+//! materialisation entirely: the committed `BENCH_scale.json` sweep
+//! now runs 10⁴ → 10⁷ rows with `csg_planning` fitted ≈ 1.20
+//! (3.7 s at 10⁶, down from 20.1 s) and the CI `bench-scale` job
+//! gates the exponent at ≤ 1.3 alongside profiling and matching. The
+//! remaining per-iteration cost is the virtual-instance violation
+//! simulation, which is linear in affected elements.
 
 use crate::cardinality::Cardinality;
 use crate::convert::CsgConversion;

@@ -119,9 +119,9 @@ pub fn detect_conflicts(
         .expect("unbounded context never cancels")
 }
 
-/// Like [`detect_conflicts`], but cancellable: the link-set evaluations
-/// (the dominant cost on large sources) tick the run's checkpoint and
-/// abort promptly when it fires.
+/// Like [`detect_conflicts`], but cancellable: the counting
+/// evaluations (the dominant cost on large sources) tick the run's
+/// checkpoint and abort promptly when it fires.
 pub fn detect_conflicts_ctx(
     target_conv: &CsgConversion,
     source_conv: &CsgConversion,
@@ -155,7 +155,13 @@ pub fn detect_conflicts_ctx(
                 }
             };
             let Some(domain) = domain else { continue };
-            let counts = source_conv.instance.link_counts_ctx(&expr, domain, &ck)?;
+            // Shared+memoised counting evaluation: repeated expressions
+            // within one detection run (and any later evaluation against
+            // the same unmutated instance) hit the memo instead of
+            // re-sweeping the CSR adjacency.
+            let counts = source_conv
+                .instance
+                .link_counts_shared_ctx(&expr, domain, &ck)?;
             let observed = match (counts.iter().min(), counts.iter().max()) {
                 (Some(lo), Some(hi)) => Cardinality::range(*lo, *hi),
                 _ => prescribed.clone(), // no domain elements: vacuously fine
@@ -164,7 +170,7 @@ pub fn detect_conflicts_ctx(
             let mut too_many = 0u64;
             let min = prescribed.min().unwrap_or(0);
             let max = prescribed.max().flatten();
-            for c in counts {
+            for &c in counts.iter() {
                 if prescribed.contains(c) {
                     continue;
                 }

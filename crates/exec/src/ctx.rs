@@ -126,6 +126,27 @@ impl Checkpoint<'_> {
         }
     }
 
+    /// Count `n` units of work at once — the bulk form of
+    /// [`tick`](Self::tick) for kernels that sweep a whole slice in one
+    /// tight (often auto-vectorised) loop, like the CSR adjacency
+    /// builds behind the CSG counting evaluator. Consults the shared
+    /// state iff the `n` ticks cross a [`CHECK_INTERVAL`] boundary, so
+    /// interleaving `tick_n` with `tick` preserves the amortisation
+    /// guarantee.
+    #[inline]
+    pub fn tick_n(&self, n: u64) -> Result<(), Cancelled> {
+        let old = self.ticks.get();
+        let new = old.wrapping_add(n as u32);
+        self.ticks.set(new);
+        let crossed =
+            n >= u64::from(CHECK_INTERVAL) || (old ^ new) & !(CHECK_INTERVAL - 1) != 0;
+        if crossed {
+            self.ctx.check()
+        } else {
+            Ok(())
+        }
+    }
+
     /// The context this checkpoint observes.
     pub fn context(&self) -> &RunContext {
         self.ctx
@@ -168,6 +189,41 @@ mod tests {
             }
         }
         assert_eq!(aborted_at, Some(CHECK_INTERVAL));
+    }
+
+    #[test]
+    fn tick_n_fires_on_interval_crossings_only() {
+        let token = CancellationToken::new();
+        let ctx = RunContext::new(token.clone(), None);
+        let ck = ctx.checkpoint();
+        token.cancel();
+        // Stays below the first boundary: no shared-state consultation.
+        assert_eq!(ck.tick_n(u64::from(CHECK_INTERVAL) - 2), Ok(()));
+        assert_eq!(ck.tick(), Ok(()));
+        // The next bulk tick crosses the boundary and aborts.
+        assert_eq!(ck.tick_n(2), Err(Cancelled));
+    }
+
+    #[test]
+    fn tick_n_larger_than_interval_always_checks() {
+        let token = CancellationToken::new();
+        let ctx = RunContext::new(token.clone(), None);
+        let ck = ctx.checkpoint();
+        token.cancel();
+        assert_eq!(ck.tick_n(u64::from(CHECK_INTERVAL)), Err(Cancelled));
+        // And a multiple of 2³² ticks (counter wraparound) still checks.
+        let ck2 = ctx.checkpoint();
+        assert_eq!(ck2.tick_n(1u64 << 32), Err(Cancelled));
+    }
+
+    #[test]
+    fn tick_n_mixes_with_tick() {
+        let ctx = RunContext::unbounded();
+        let ck = ctx.checkpoint();
+        for _ in 0..3 {
+            assert_eq!(ck.tick_n(u64::from(CHECK_INTERVAL) / 2), Ok(()));
+            assert_eq!(ck.tick(), Ok(()));
+        }
     }
 
     #[test]

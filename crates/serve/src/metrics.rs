@@ -377,6 +377,24 @@ impl Metrics {
             );
         }
 
+        let (memo_hits, memo_misses) = efes_csg::eval_memo_counters();
+        for (name, help, value) in [
+            (
+                "efes_csg_eval_memo_hits_total",
+                "CSG expression-count evaluations served from the per-instance memo.",
+                memo_hits,
+            ),
+            (
+                "efes_csg_eval_memo_misses_total",
+                "CSG expression-count evaluations computed fresh (memo misses).",
+                memo_misses,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
         let gauges: [(&str, &str, u64); 12] = [
             (
                 "efes_queue_depth",

@@ -481,5 +481,22 @@ fn metrics_expose_stage_latencies_and_cache_counters() {
     assert!(cache_line("efes_profile_cache_hits_total ") > 0);
     assert!(cache_line("efes_profile_cache_misses_total ") > 0);
     assert!(cache_line("efes_profile_cache_entries ") > 0);
+
+    // The structure stage runs the CSG counting evaluator; its
+    // expression memo counters are exported. Each estimate rebuilds the
+    // source conversions, so misses are guaranteed; hits depend on how
+    // many repeated (expr, node) evaluations one run performs, so only
+    // assert the counter is present (process-global, monotonic).
+    assert!(
+        cache_line("efes_csg_eval_memo_misses_total ") > 0,
+        "metrics:\n{metrics}"
+    );
+    let _hits = cache_line("efes_csg_eval_memo_hits_total ");
+    // csg_planning work is folded into the structure stage histogram:
+    // both estimates must have recorded a structure-stage latency above.
+    assert!(
+        metrics.contains("efes_stage_latency_ms_sum{stage=\"structure\"}"),
+        "metrics:\n{metrics}"
+    );
     handle.shutdown();
 }
