@@ -15,12 +15,12 @@
 //! point is a recorded order-of-magnitude trend per commit. The process
 //! fails (non-zero exit) only on build/run errors, never on regressions.
 
-use efes_exec::ExecutionMode;
+use efes_exec::{available_threads, ExecutionMode, RunContext};
 use efes_matching::{
     similarity_flooding, similarity_flooding_reference, CombinedMatcher, FloodingConfig,
     MatcherConfig, PrunePolicy,
 };
-use efes_profiling::{AttributeProfile, ProfileCache};
+use efes_profiling::{kernel, shard, AttributeProfile, ProfileCache};
 use efes_relational::{Column, DataType, Database, DatabaseBuilder, Value};
 use serde::Serialize;
 use std::time::Instant;
@@ -43,13 +43,32 @@ struct Speedups {
     numeric_columnar: f64,
 }
 
+/// Sharded-monoid vs fused-kernel ratios at the fixed 100k-row size,
+/// per thread count. Ratios are fused_median / sharded_median, so > 1
+/// means the sharded path is faster. On a single-core host every entry
+/// sits near 1.0 (there is no parallelism to win); the `host_threads`
+/// field of the report records what the numbers could use.
+#[derive(Serialize)]
+struct ShardedSpeedups {
+    text_hicard_sharded_1t: f64,
+    text_hicard_sharded_4t: f64,
+    text_hicard_sharded_max: f64,
+    numeric_sharded_1t: f64,
+    numeric_sharded_4t: f64,
+    numeric_sharded_max: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     scenario: String,
     commit: String,
     quick: bool,
+    /// Hardware threads available on the benchmarking host — the upper
+    /// bound any sharded speedup below could reach.
+    host_threads: usize,
     stages: Vec<Stage>,
     speedups_vs_multipass: Speedups,
+    speedups_sharded_vs_fused: ShardedSpeedups,
 }
 
 #[derive(Serialize)]
@@ -109,6 +128,22 @@ fn text_column(n: usize) -> Vec<Value> {
 
 fn int_column(n: usize) -> Vec<Value> {
     (0..n).map(|i| Value::Int(120_000 + i as i64 * 37)).collect()
+}
+
+/// High-cardinality text column: essentially one distinct string per
+/// row. The dictionary walk *is* the profiling cost here, which is the
+/// shape the sharded evaluator splits across threads (low-cardinality
+/// columns like [`text_column`] have a ~420-entry dictionary — nothing
+/// to shard).
+fn hicard_text_column(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            Value::Text(format!(
+                "record-{i:06} {}",
+                (i.wrapping_mul(2_654_435_761)) % 997
+            ))
+        })
+        .collect()
 }
 
 /// Median wall-clock nanoseconds of `iters` runs of `f` (after one
@@ -207,6 +242,59 @@ fn main() {
         std::hint::black_box(AttributeProfile::compute_columnar(&int_store, DataType::Integer));
     }));
 
+    // ---- sharded monoid evaluator, fixed 100k rows ----
+    // Always the full-size columns (even under --quick, with fewer
+    // iters): sharding below its row threshold measures nothing.
+    let shard_rows = 100_000usize;
+    let shard_iters = if quick { 3usize } else { 5 };
+    let host_threads = available_threads();
+    let hicard_store = Column::from_cells(hicard_text_column(shard_rows));
+    let int100_store = Column::from_cells(int_column(shard_rows));
+    let run = RunContext::unbounded();
+
+    let mut record_shard = |name: &str, ns: u64| {
+        eprintln!("  {name:32} {:10.3} ms", ns as f64 / 1e6);
+        stages.push(Stage {
+            name: name.to_owned(),
+            rows: shard_rows,
+            iters: shard_iters,
+            median_ns: ns,
+            median_ms: ns as f64 / 1e6,
+        });
+        ns
+    };
+
+    eprintln!(
+        "bench_smoke: sharded profiling, {shard_rows} rows × {shard_iters} iters (median), {host_threads} host threads"
+    );
+    let hicard_fused = record_shard("text_hicard_profile_fused", median_ns(shard_iters, || {
+        std::hint::black_box(kernel::profile_column(&hicard_store, DataType::Text));
+    }));
+    let num100_fused = record_shard("numeric_100k_profile_fused", median_ns(shard_iters, || {
+        std::hint::black_box(kernel::profile_column(&int100_store, DataType::Integer));
+    }));
+    let sharded = |col: &Column, dt: DataType, threads: usize| {
+        let mode = ExecutionMode::with_threads(threads);
+        median_ns(shard_iters, || {
+            std::hint::black_box(
+                shard::profile_column_sharded_with(col, dt, &run, mode)
+                    .expect("unbounded run never cancels"),
+            );
+        })
+    };
+    let hicard_1t = sharded(&hicard_store, DataType::Text, 1);
+    record_shard("text_hicard_profile_sharded_1t", hicard_1t);
+    let hicard_4t = sharded(&hicard_store, DataType::Text, 4);
+    record_shard("text_hicard_profile_sharded_4t", hicard_4t);
+    let hicard_max = sharded(&hicard_store, DataType::Text, host_threads);
+    record_shard("text_hicard_profile_sharded_max", hicard_max);
+    let num100_1t = sharded(&int100_store, DataType::Integer, 1);
+    record_shard("numeric_100k_profile_sharded_1t", num100_1t);
+    let num100_4t = sharded(&int100_store, DataType::Integer, 4);
+    record_shard("numeric_100k_profile_sharded_4t", num100_4t);
+    let num100_max = sharded(&int100_store, DataType::Integer, host_threads);
+    record_shard("numeric_100k_profile_sharded_max", num100_max);
+
     let ratio = |base: u64, new: u64| {
         if new == 0 {
             0.0
@@ -218,6 +306,7 @@ fn main() {
         scenario: "profiling-hot-path".to_owned(),
         commit: commit(),
         quick,
+        host_threads,
         stages,
         speedups_vs_multipass: Speedups {
             text_fused: ratio(text_multi, text_fused),
@@ -225,6 +314,14 @@ fn main() {
             text_columnar_including_build: ratio(text_multi, text_col_build),
             numeric_fused: ratio(num_multi, num_fused),
             numeric_columnar: ratio(num_multi, num_col),
+        },
+        speedups_sharded_vs_fused: ShardedSpeedups {
+            text_hicard_sharded_1t: ratio(hicard_fused, hicard_1t),
+            text_hicard_sharded_4t: ratio(hicard_fused, hicard_4t),
+            text_hicard_sharded_max: ratio(hicard_fused, hicard_max),
+            numeric_sharded_1t: ratio(num100_fused, num100_1t),
+            numeric_sharded_4t: ratio(num100_fused, num100_4t),
+            numeric_sharded_max: ratio(num100_fused, num100_max),
         },
     };
     let pretty = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -28,7 +28,8 @@ pub mod upload;
 
 pub use registry::{
     approx_scenario_bytes, budget_from_env, parse_budget, scenario_fingerprint, DynamicRegistry,
-    InsertError, InsertOutcome, RemoveError, DEFAULT_INGEST_BUDGET, INGEST_BUDGET_ENV_VAR,
+    InsertError, InsertOutcome, RemoveError, TableGrowth, DEFAULT_INGEST_BUDGET,
+    INGEST_BUDGET_ENV_VAR,
 };
 pub use upload::{
     AttributeUpload, ConstraintKindUpload, ConstraintUpload, CorrespondenceUpload, DatabaseUpload,

@@ -236,6 +236,21 @@ pub struct DynamicRegistry {
     inner: Mutex<Inner>,
 }
 
+/// How one table grew in an extension upload (see
+/// [`InsertOutcome::Extended`]). Unchanged tables are listed too, with
+/// `old_rows == new_rows`, so consumers can walk the full table set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableGrowth {
+    /// Which database: `Some(i)` for source `i`, `None` for the target.
+    pub source: Option<usize>,
+    /// The table within that database.
+    pub table: TableId,
+    /// Rows the previous upload had.
+    pub old_rows: usize,
+    /// Rows the new upload has (`>= old_rows`).
+    pub new_rows: usize,
+}
+
 /// What [`DynamicRegistry::insert`] did with an accepted upload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InsertOutcome {
@@ -253,6 +268,86 @@ pub enum InsertOutcome {
         /// Name of the existing entry the upload collapsed onto.
         existing: String,
     },
+    /// An upload under an existing uploaded name whose every table is a
+    /// row-wise extension of the previous content (same schemas,
+    /// constraints and correspondences; every column a bit-exact prefix
+    /// of the new one). The entry was replaced in place; retained
+    /// partial profiles can absorb just the appended rows.
+    Extended {
+        /// Resident bytes now charged for the replacement entry.
+        bytes: usize,
+        /// Names of *other* uploaded scenarios evicted to make room.
+        evicted: Vec<String>,
+        /// Per-table growth, covering every table of every database.
+        growth: Vec<TableGrowth>,
+    },
+}
+
+/// If `new` extends `old` — identical databases, schemas, constraints
+/// and correspondences except that tables may have gained trailing rows
+/// (every old column a bit-exact prefix of the new one) — the
+/// per-table growth list. `None` means `new` is not a pure extension.
+fn extension_growth(
+    old: &IntegrationScenario,
+    new: &IntegrationScenario,
+) -> Option<Vec<TableGrowth>> {
+    if old.sources.len() != new.sources.len() || old.correspondences != new.correspondences {
+        return None;
+    }
+    let mut growth = Vec::new();
+    let pairs = old
+        .sources
+        .iter()
+        .zip(&new.sources)
+        .enumerate()
+        .map(|(i, (a, b))| (Some(i), a, b))
+        .chain(std::iter::once((None, &old.target, &new.target)));
+    for (source, old_db, new_db) in pairs {
+        if old_db.name() != new_db.name()
+            || old_db.schema != new_db.schema
+            || old_db.constraints != new_db.constraints
+        {
+            return None;
+        }
+        for ti in 0..old_db.schema.tables().len() {
+            let table = TableId(ti);
+            let old_data = old_db.instance.table(table);
+            let new_data = new_db.instance.table(table);
+            let (old_rows, new_rows) = (old_data.len(), new_data.len());
+            if old_rows > new_rows {
+                return None;
+            }
+            let arity = old_db.schema.tables()[ti].arity();
+            for ai in 0..arity {
+                let is_prefix = match (
+                    old_data.column_store(AttrId(ai)),
+                    new_data.column_store(AttrId(ai)),
+                ) {
+                    (Some(a), Some(b)) => a.is_prefix_of(b),
+                    // Empty or row-only tables: compare the row slices
+                    // directly (Value equality is total, floats by bits).
+                    _ => {
+                        old_rows == 0
+                            || old_data
+                                .rows()
+                                .iter()
+                                .zip(new_data.rows())
+                                .all(|(a, b)| a[ai] == b[ai])
+                    }
+                };
+                if !is_prefix {
+                    return None;
+                }
+            }
+            growth.push(TableGrowth {
+                source,
+                table,
+                old_rows,
+                new_rows,
+            });
+        }
+    }
+    Some(growth)
 }
 
 /// Why [`DynamicRegistry::insert`] rejected an upload.
@@ -342,6 +437,12 @@ impl DynamicRegistry {
         self.statics.len()
     }
 
+    /// `true` iff `name` is a compiled-in scenario (never evicted, never
+    /// extended in place).
+    pub fn is_static(&self, name: &str) -> bool {
+        self.statics.contains(name)
+    }
+
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
@@ -381,7 +482,7 @@ impl DynamicRegistry {
                 existing: existing.clone(),
             });
         }
-        if self.statics.contains(name) || inner.entries.contains_key(name) {
+        if self.statics.contains(name) {
             return Err(InsertError::NameTaken(name.to_owned()));
         }
         if bytes > self.budget {
@@ -390,6 +491,20 @@ impl DynamicRegistry {
                 budget: self.budget,
             });
         }
+        // Re-upload under an existing uploaded name: accept it as an
+        // in-place replacement iff the new content is a pure row-wise
+        // extension of the old; anything else is a conflict.
+        let growth = match inner.entries.get(name) {
+            Some(old) => match extension_growth(&old.scenario, &scenario) {
+                Some(growth) => {
+                    let old = inner.entries.remove(name).expect("entry just found");
+                    inner.resident -= old.bytes;
+                    Some(growth)
+                }
+                None => return Err(InsertError::NameTaken(name.to_owned())),
+            },
+            None => None,
+        };
         let mut evicted = Vec::new();
         while inner.resident + bytes > self.budget {
             let lru = inner
@@ -413,7 +528,14 @@ impl DynamicRegistry {
                 last_used: now,
             },
         );
-        Ok(InsertOutcome::Inserted { bytes, evicted })
+        Ok(match growth {
+            Some(growth) => InsertOutcome::Extended {
+                bytes,
+                evicted,
+                growth,
+            },
+            None => InsertOutcome::Inserted { bytes, evicted },
+        })
     }
 
     /// Delete the uploaded scenario `name`, returning the bytes freed.

@@ -338,6 +338,67 @@ fn registry_evicts_lru_uploads_never_statics() {
 }
 
 #[test]
+fn registry_accepts_row_extensions_in_place() {
+    use efes_ingest::TableGrowth;
+    // The same document with `extra` rows appended to the source table.
+    fn grown(name: &str, extra: &str) -> IntegrationScenario {
+        let body = doc(name, 2).replace(
+            r#"[4, null, null]]"#,
+            &format!(r#"[4, null, null]{extra}]"#),
+        );
+        ScenarioUpload::parse(body.as_bytes())
+            .unwrap()
+            .into_scenario()
+            .unwrap()
+    }
+
+    let reg = DynamicRegistry::new(statics_with_tiny(), Some(1 << 20));
+    reg.insert("up-a", "v1", scenario("up-a", 2)).unwrap();
+    let v2 = grown("up-a", r#", [5, "Third", 1.5], [6, "Third", null]"#);
+    let v2_bytes = approx_scenario_bytes(&v2);
+    match reg.insert("up-a", "v2", v2).unwrap() {
+        InsertOutcome::Extended {
+            bytes,
+            evicted,
+            growth,
+        } => {
+            assert_eq!(bytes, v2_bytes);
+            assert!(evicted.is_empty());
+            assert_eq!(
+                growth,
+                vec![
+                    TableGrowth {
+                        source: Some(0),
+                        table: TableId(0),
+                        old_rows: 3,
+                        new_rows: 5,
+                    },
+                    TableGrowth {
+                        source: None,
+                        table: TableId(0),
+                        old_rows: 0,
+                        new_rows: 0,
+                    },
+                ]
+            );
+        }
+        other => panic!("expected Extended, got {other:?}"),
+    }
+    // The replacement is what lookups now see, charged at its own size.
+    assert_eq!(reg.uploaded_len(), 1);
+    assert_eq!(reg.resident_bytes(), v2_bytes);
+    let resident = reg.get("up-a").unwrap();
+    assert_eq!(resident.sources[0].instance.table(TableId(0)).len(), 5);
+
+    // Shrinking back is not an extension: the old entry stays.
+    assert_eq!(
+        reg.insert("up-a", "v1 again", scenario("up-a", 2)),
+        Err(InsertError::NameTaken("up-a".into()))
+    );
+    assert_eq!(reg.resident_bytes(), v2_bytes);
+}
+
+#[test]
 fn budget_strings_parse_with_binary_suffixes() {
     assert_eq!(parse_budget("123"), Some(123));
     assert_eq!(parse_budget("64k"), Some(64 * 1024));

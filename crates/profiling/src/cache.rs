@@ -10,8 +10,11 @@
 //! so each distinct profile is computed exactly once per estimation run
 //! — also under concurrent access from the parallel execution layer.
 
+use crate::monoid::PartialProfile;
 use crate::profile::AttributeProfile;
-use efes_exec::{Cancelled, RunContext};
+use crate::shard::{self, ShardPolicy};
+use efes_exec::{Cancelled, ExecutionMode, RunContext};
+use efes_relational::column::columnar_enabled;
 use efes_relational::schema::{AttrId, TableId};
 use efes_relational::{DataType, Database};
 use std::collections::HashMap;
@@ -69,8 +72,10 @@ enum FillState {
     Empty,
     /// A fill is in progress; callers wait on the condvar.
     Filling,
-    /// The profile is resident.
-    Full(Arc<AttributeProfile>),
+    /// The profile is resident, optionally alongside the mergeable
+    /// partial it was finalized from (when the cache retains partials
+    /// for the O(delta) append path).
+    Full(Arc<AttributeProfile>, Option<Arc<PartialProfile>>),
 }
 
 #[derive(Debug)]
@@ -141,6 +146,7 @@ pub struct ProfileCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     capacity: Option<usize>,
+    retain_partials: bool,
 }
 
 impl ProfileCache {
@@ -158,6 +164,23 @@ impl ProfileCache {
             capacity: Some(capacity.max(1)),
             ..Self::default()
         }
+    }
+
+    /// Switch this cache into partial-retaining mode: every profile
+    /// computed through
+    /// [`of_attribute_sharded_ctx`](Self::of_attribute_sharded_ctx)
+    /// keeps its mergeable [`PartialProfile`] alongside the finalized
+    /// result, so [`snapshot_partials`](Self::snapshot_partials) can
+    /// hand them to an O(delta) append. Costs the partial's memory per
+    /// entry; intended for caches backing mutable (uploaded) scenarios.
+    pub fn retaining_partials(mut self) -> Self {
+        self.retain_partials = true;
+        self
+    }
+
+    /// Whether this cache retains mergeable partials.
+    pub fn retains_partials(&self) -> bool {
+        self.retain_partials
     }
 
     /// The configured entry bound, if any.
@@ -233,6 +256,19 @@ impl ProfileCache {
         key: ProfileKey,
         compute: impl FnOnce() -> Result<AttributeProfile, Cancelled>,
     ) -> Result<Arc<AttributeProfile>, Cancelled> {
+        self.get_or_compute_with_partial_ctx(run, key, || Ok((compute()?, None)))
+    }
+
+    /// The fill protocol shared by every lookup path: `compute` may
+    /// return the [`PartialProfile`] the profile was finalized from,
+    /// which is retained in the slot for
+    /// [`snapshot_partials`](Self::snapshot_partials).
+    fn get_or_compute_with_partial_ctx(
+        &self,
+        run: &RunContext,
+        key: ProfileKey,
+        compute: impl FnOnce() -> Result<(AttributeProfile, Option<PartialProfile>), Cancelled>,
+    ) -> Result<Arc<AttributeProfile>, Cancelled> {
         run.check()?;
         let (cell, inserted): (Cell, bool) = {
             let mut shard = self.shard(&key).lock().expect("profile cache shard poisoned");
@@ -259,7 +295,7 @@ impl ProfileCache {
             let mut state = cell.lock();
             loop {
                 match &*state {
-                    FillState::Full(profile) => {
+                    FillState::Full(profile, _) => {
                         let profile = profile.clone();
                         drop(state);
                         self.hits.fetch_add(1, Ordering::Relaxed);
@@ -291,10 +327,10 @@ impl ProfileCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = FillGuard { cell: &cell, armed: true };
         match compute() {
-            Ok(profile) => {
+            Ok((profile, partial)) => {
                 let profile = Arc::new(profile);
                 guard.armed = false;
-                *cell.lock() = FillState::Full(profile.clone());
+                *cell.lock() = FillState::Full(profile.clone(), partial.map(Arc::new));
                 cell.ready.notify_all();
                 Ok(profile)
             }
@@ -327,6 +363,100 @@ impl ProfileCache {
             let ck = run.checkpoint();
             AttributeProfile::of_attribute_ctx(db, key.table, key.attr, key.reference_type, &ck)
         })
+    }
+
+    /// [`of_attribute_ctx`](Self::of_attribute_ctx) routed through the
+    /// sharded evaluator: columns eligible under the `EFES_PROFILE_SHARD`
+    /// policy are split into chunks profiled concurrently under `mode`
+    /// and merged (bit-identical to the fused kernel); everything else
+    /// falls back to the fused kernel. On a
+    /// [partial-retaining](Self::retaining_partials) cache the computed
+    /// slot additionally keeps its mergeable partial for the O(delta)
+    /// append path.
+    pub fn of_attribute_sharded_ctx(
+        &self,
+        run: &RunContext,
+        db: &Database,
+        key: ProfileKey,
+        mode: ExecutionMode,
+    ) -> Result<Arc<AttributeProfile>, Cancelled> {
+        self.get_or_compute_with_partial_ctx(run, key, || {
+            // `off` is the full escape hatch: no sharding *and* no
+            // partial builds — byte-for-byte the pre-monoid behaviour.
+            if shard::shard_policy() != ShardPolicy::Off && columnar_enabled() {
+                if let Some(col) = db.instance.table(key.table).column_store(key.attr) {
+                    if self.retain_partials {
+                        let partial =
+                            shard::partial_of_column_ctx(col, key.reference_type, run, mode)?;
+                        let profile = partial.finalize();
+                        return Ok((profile, Some(partial)));
+                    }
+                    if shard::should_shard(shard::shard_units(col), mode) {
+                        let partial =
+                            shard::partial_of_column_ctx(col, key.reference_type, run, mode)?;
+                        return Ok((partial.finalize(), None));
+                    }
+                }
+            }
+            let ck = run.checkpoint();
+            let profile = AttributeProfile::of_attribute_ctx(
+                db,
+                key.table,
+                key.attr,
+                key.reference_type,
+                &ck,
+            )?;
+            Ok((profile, None))
+        })
+    }
+
+    /// Insert a precomputed profile (and optionally its partial)
+    /// directly into the slot for `key`, overwriting whatever the slot
+    /// held. The O(delta) append path uses this to seed a successor
+    /// cache with extended profiles; concurrent waiters on the slot are
+    /// woken with the seeded value.
+    pub fn seed(
+        &self,
+        key: ProfileKey,
+        profile: Arc<AttributeProfile>,
+        partial: Option<Arc<PartialProfile>>,
+    ) {
+        let inserted = {
+            let mut shard = self.shard(&key).lock().expect("profile cache shard poisoned");
+            let before = shard.len();
+            let cell = shard
+                .entry(key)
+                .or_insert_with(|| Arc::new(FillCell::new()))
+                .clone();
+            let inserted = shard.len() > before;
+            drop(shard);
+            *cell.lock() = FillState::Full(profile, partial);
+            cell.ready.notify_all();
+            inserted
+        };
+        if inserted {
+            if let Some(cap) = self.capacity {
+                while self.len() > cap && self.evict_one(&key) {}
+            }
+        }
+    }
+
+    /// Every resident `(key, profile, partial)` triple whose slot kept
+    /// its mergeable partial. Slots currently filling (or computed
+    /// through a non-retaining path) are skipped.
+    pub fn snapshot_partials(
+        &self,
+    ) -> Vec<(ProfileKey, Arc<AttributeProfile>, Arc<PartialProfile>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("profile cache shard poisoned");
+            for (key, cell) in shard.iter() {
+                if let FillState::Full(profile, Some(partial)) = &*cell.lock() {
+                    out.push((*key, profile.clone(), partial.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Lookups served from memory.
@@ -448,6 +578,74 @@ mod tests {
         let cache = ProfileCache::new();
         assert_eq!(cache.capacity(), None);
         assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn sharded_lookup_matches_plain_lookup() {
+        let db = db();
+        let run = RunContext::unbounded();
+        let mode = ExecutionMode::Parallel(4);
+        for (attr, dt) in [(0, DataType::Text), (1, DataType::Integer), (1, DataType::Text)] {
+            let plain = ProfileCache::new();
+            let sharded = ProfileCache::new().retaining_partials();
+            let a = plain.of_attribute_ctx(&run, &db, key(attr, dt)).unwrap();
+            let b = sharded
+                .of_attribute_sharded_ctx(&run, &db, key(attr, dt), mode)
+                .unwrap();
+            assert_eq!(*a, *b, "attr={attr} dt={dt:?}");
+        }
+    }
+
+    #[test]
+    fn retaining_cache_snapshots_partials_and_seeds_a_successor() {
+        let db = db();
+        let run = RunContext::unbounded();
+        let cache = ProfileCache::new().retaining_partials();
+        assert!(cache.retains_partials());
+        cache
+            .of_attribute_sharded_ctx(&run, &db, key(0, DataType::Text), ExecutionMode::Sequential)
+            .unwrap();
+        cache
+            .of_attribute_sharded_ctx(
+                &run,
+                &db,
+                key(1, DataType::Integer),
+                ExecutionMode::Sequential,
+            )
+            .unwrap();
+        let snapshot = cache.snapshot_partials();
+        assert_eq!(snapshot.len(), 2);
+        for (k, profile, partial) in &snapshot {
+            assert_eq!(partial.finalize(), **profile, "key {k:?}");
+        }
+
+        let successor = ProfileCache::new().retaining_partials();
+        for (k, profile, partial) in snapshot {
+            successor.seed(k, profile, Some(partial));
+        }
+        assert_eq!(successor.len(), 2);
+        // Seeded slots answer without recomputing: misses stay 0.
+        let seeded = successor
+            .of_attribute_sharded_ctx(&run, &db, key(0, DataType::Text), ExecutionMode::Sequential)
+            .unwrap();
+        assert_eq!(
+            *seeded,
+            AttributeProfile::of_attribute(&db, TableId(0), AttrId(0), DataType::Text)
+        );
+        assert_eq!(successor.misses(), 0);
+        assert_eq!(successor.hits(), 1);
+    }
+
+    #[test]
+    fn non_retaining_cache_snapshots_nothing() {
+        let db = db();
+        let run = RunContext::unbounded();
+        let cache = ProfileCache::new();
+        cache.of_attribute_ctx(&run, &db, key(0, DataType::Text)).unwrap();
+        cache
+            .of_attribute_sharded_ctx(&run, &db, key(1, DataType::Integer), ExecutionMode::Sequential)
+            .unwrap();
+        assert!(cache.snapshot_partials().is_empty());
     }
 
     #[test]

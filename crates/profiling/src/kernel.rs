@@ -32,7 +32,7 @@ use crate::stats::{
     StringLength, TextPatterns, TopK, ValueRange,
 };
 use efes_exec::{Cancelled, Checkpoint, RunContext};
-use efes_relational::column::NULL_CODE;
+use efes_relational::column::{NullBitmap, NULL_CODE};
 use efes_relational::{Column, DataType, TextColumn, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
@@ -41,8 +41,15 @@ use std::fmt::Write as _;
 /// histogram, string length), fed one rendered value at a time. The
 /// pattern abstraction, the character counts and the character length
 /// are all gathered in a single `chars()` walk.
-#[derive(Default)]
-struct TextAcc {
+///
+/// The accumulator is a monoid: `default()` is the identity and
+/// [`TextAcc::merge`] combines two accumulators built over consecutive
+/// row ranges into the accumulator of the concatenation. The pattern and
+/// character maps merge by integer addition (order-free); the row-order
+/// `lengths` buffer merges by concatenation, which is why merge order
+/// must follow row order.
+#[derive(Default, Clone, Debug)]
+pub(crate) struct TextAcc {
     patterns: HashMap<String, usize>,
     chars: BTreeMap<char, usize>,
     total_chars: usize,
@@ -58,16 +65,45 @@ struct TextAcc {
 
 impl TextAcc {
     /// Feed one per-row value: observe it once and record its length.
-    fn add_row(&mut self, s: &str) {
+    pub(crate) fn add_row(&mut self, s: &str) {
         let len = self.observe(s, 1);
         self.lengths.push(len as f64);
+    }
+
+    /// Fold `other` (built over the rows immediately following this
+    /// accumulator's rows) into `self`.
+    pub(crate) fn merge(&mut self, other: TextAcc) {
+        self.total += other.total;
+        self.total_chars += other.total_chars;
+        for (pattern, n) in other.patterns {
+            if let Some(slot) = self.patterns.get_mut(pattern.as_str()) {
+                *slot += n;
+            } else {
+                self.patterns.insert(pattern, n);
+            }
+        }
+        for (c, n) in other.chars {
+            *self.chars.entry(c).or_insert(0) += n;
+        }
+        self.lengths.extend(other.lengths);
+    }
+
+    /// Pre-size the row-order length buffer for a replay of `n` rows.
+    pub(crate) fn reserve_lengths(&mut self, n: usize) {
+        self.lengths.reserve(n);
+    }
+
+    /// Append one row's character length (the dictionary paths replay
+    /// per-row lengths from a per-code table instead of re-walking).
+    pub(crate) fn push_length(&mut self, len: f64) {
+        self.lengths.push(len);
     }
 
     /// Feed one *distinct* value occurring `weight` times; returns its
     /// character length. Per-row lengths are NOT recorded — the caller
     /// (the dictionary path) replays them in row order itself, keeping
     /// the mean/σ float reductions bit-identical to the legacy code.
-    fn observe(&mut self, s: &str, weight: usize) -> usize {
+    pub(crate) fn observe(&mut self, s: &str, weight: usize) -> usize {
         self.total += weight;
         self.pattern_buf.clear();
         let mut mode: u8 = 0; // 0 = none, 1 = digits, 2 = letters (as pattern_of)
@@ -99,7 +135,7 @@ impl TextAcc {
         len
     }
 
-    fn finalize(self) -> (TextPatterns, CharHistogram, StringLength) {
+    pub(crate) fn finalize(self) -> (TextPatterns, CharHistogram, StringLength) {
         let mut counts: Vec<(String, usize)> = self.patterns.into_iter().collect();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let patterns = TextPatterns {
@@ -121,7 +157,7 @@ impl TextAcc {
 
 /// Replays `StringLength::compute`'s reduction over pre-gathered row-order
 /// lengths.
-fn string_length_of(lengths: &[f64]) -> StringLength {
+pub(crate) fn string_length_of(lengths: &[f64]) -> StringLength {
     let count = lengths.len();
     if count == 0 {
         return StringLength {
@@ -141,7 +177,7 @@ fn string_length_of(lengths: &[f64]) -> StringLength {
 
 /// Replays the three numeric statistics over pre-gathered row-order
 /// numeric views, with the exact float-op sequences of their `compute`s.
-fn numeric_stats_of(nums: &[f64]) -> (NumericMean, NumericHistogram, ValueRange) {
+pub(crate) fn numeric_stats_of(nums: &[f64]) -> (NumericMean, NumericHistogram, ValueRange) {
     let count = nums.len();
     let mean = if count == 0 {
         NumericMean {
@@ -201,7 +237,7 @@ fn numeric_stats_of(nums: &[f64]) -> (NumericMean, NumericHistogram, ValueRange)
 
 /// Replays `Constancy::compute`'s entropy reduction over unsorted
 /// per-distinct-value frequencies.
-fn constancy_of(count: usize, mut freqs: Vec<usize>) -> Constancy {
+pub(crate) fn constancy_of(count: usize, mut freqs: Vec<usize>) -> Constancy {
     let distinct = freqs.len();
     let constancy = if count <= 1 {
         1.0
@@ -227,13 +263,13 @@ fn constancy_of(count: usize, mut freqs: Vec<usize>) -> Constancy {
 
 /// Sorts `(value, count)` pairs the way `TopK::compute` does and keeps
 /// the head.
-fn top_k_of(mut all: Vec<(Value, usize)>, total: usize, k: usize) -> TopK {
+pub(crate) fn top_k_of(mut all: Vec<(Value, usize)>, total: usize, k: usize) -> TopK {
     all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     all.truncate(k);
     TopK { values: all, total }
 }
 
-fn assemble(
+pub(crate) fn assemble(
     reference_type: DataType,
     fill: FillStatus,
     constancy: Constancy,
@@ -385,22 +421,30 @@ pub fn profile_column_ctx(
         Column::Mixed(values) => profile_values_ctx(values.iter(), reference_type, ck),
         Column::Text(tc) => profile_text_column(tc, reference_type, ck),
         Column::Int { values, nulls } => {
-            profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
-                values
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !nulls.is_null(*i))
-                    .map(|(_, v)| PrimCell::Int(*v))
-            })
+            if reference_type == DataType::Text {
+                profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
+                    values
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !nulls.is_null(*i))
+                        .map(|(_, v)| PrimCell::Int(*v))
+                })
+            } else {
+                profile_int_column(values, nulls, reference_type, ck)
+            }
         }
         Column::Float { values, nulls } => {
-            profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
-                values
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !nulls.is_null(*i))
-                    .map(|(_, v)| PrimCell::Float(*v))
-            })
+            if reference_type == DataType::Text {
+                profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
+                    values
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !nulls.is_null(*i))
+                        .map(|(_, v)| PrimCell::Float(*v))
+                })
+            } else {
+                profile_float_column(values, nulls, reference_type, ck)
+            }
         }
         Column::Bool { values, nulls } => {
             profile_primitive_column(reference_type, values.len(), nulls.count(), ck, || {
@@ -528,6 +572,147 @@ where
         constancy_of(non_null, freqs),
         top_k_of(top, non_null, TopK::DEFAULT_K),
         text,
+        nums,
+    ))
+}
+
+/// Typed fast path for integer columns under a non-text reference type:
+/// a straight machine-word loop over `Vec<i64>` with `i64`-keyed value
+/// counts — no per-cell enum construction, no bitmap probe when the
+/// column has no nulls. Output is bit-identical to
+/// [`profile_primitive_column`]: the count map groups the same cells and
+/// every float lands in the row-order buffer in the same sequence.
+fn profile_int_column(
+    values: &[i64],
+    nulls: &NullBitmap,
+    reference_type: DataType,
+    ck: &Checkpoint<'_>,
+) -> Result<AttributeProfile, Cancelled> {
+    debug_assert_ne!(reference_type, DataType::Text);
+    let total = values.len();
+    let null_count = nulls.count();
+    let non_null = total - null_count;
+    let boolean_rt = reference_type == DataType::Boolean;
+
+    let mut incompatible = 0usize;
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    let mut nums = reference_type
+        .is_numeric()
+        .then(|| Vec::with_capacity(non_null));
+
+    if null_count == 0 {
+        for &v in values {
+            ck.tick()?;
+            if boolean_rt && v != 0 && v != 1 {
+                incompatible += 1;
+            }
+            *counts.entry(v).or_insert(0) += 1;
+            if let Some(nums) = &mut nums {
+                nums.push(v as f64);
+            }
+        }
+    } else {
+        for (i, &v) in values.iter().enumerate() {
+            ck.tick()?;
+            if nulls.is_null(i) {
+                continue;
+            }
+            if boolean_rt && v != 0 && v != 1 {
+                incompatible += 1;
+            }
+            *counts.entry(v).or_insert(0) += 1;
+            if let Some(nums) = &mut nums {
+                nums.push(v as f64);
+            }
+        }
+    }
+
+    let freqs: Vec<usize> = counts.values().copied().collect();
+    let top: Vec<(Value, usize)> = counts
+        .into_iter()
+        .map(|(v, c)| (Value::Int(v), c))
+        .collect();
+    Ok(assemble(
+        reference_type,
+        FillStatus {
+            total,
+            nulls: null_count,
+            incompatible,
+        },
+        constancy_of(non_null, freqs),
+        top_k_of(top, non_null, TopK::DEFAULT_K),
+        None,
+        nums,
+    ))
+}
+
+/// Typed fast path for float columns under a non-text reference type;
+/// counts are keyed by the IEEE bit pattern, matching `Value`'s Eq/Hash.
+/// See [`profile_int_column`] for the bit-identity argument.
+fn profile_float_column(
+    values: &[f64],
+    nulls: &NullBitmap,
+    reference_type: DataType,
+    ck: &Checkpoint<'_>,
+) -> Result<AttributeProfile, Cancelled> {
+    debug_assert_ne!(reference_type, DataType::Text);
+    let total = values.len();
+    let null_count = nulls.count();
+    let non_null = total - null_count;
+    let boolean_rt = reference_type == DataType::Boolean;
+    let integer_rt = reference_type == DataType::Integer;
+
+    let mut incompatible = 0usize;
+    let mut counts: HashMap<u64, (f64, usize)> = HashMap::new();
+    let mut nums = reference_type
+        .is_numeric()
+        .then(|| Vec::with_capacity(non_null));
+
+    // One closure per cell keeps the null/no-null loops in sync.
+    let mut visit = |v: f64| {
+        if boolean_rt
+            || (integer_rt
+                && !(v.fract() == 0.0
+                    && v.is_finite()
+                    && v >= i64::MIN as f64
+                    && v <= i64::MAX as f64))
+        {
+            incompatible += 1;
+        }
+        counts.entry(v.to_bits()).or_insert((v, 0)).1 += 1;
+        if let Some(nums) = &mut nums {
+            nums.push(v);
+        }
+    };
+    if null_count == 0 {
+        for &v in values {
+            ck.tick()?;
+            visit(v);
+        }
+    } else {
+        for (i, &v) in values.iter().enumerate() {
+            ck.tick()?;
+            if !nulls.is_null(i) {
+                visit(v);
+            }
+        }
+    }
+
+    let freqs: Vec<usize> = counts.values().map(|(_, c)| *c).collect();
+    let top: Vec<(Value, usize)> = counts
+        .into_values()
+        .map(|(v, c)| (Value::Float(v), c))
+        .collect();
+    Ok(assemble(
+        reference_type,
+        FillStatus {
+            total,
+            nulls: null_count,
+            incompatible,
+        },
+        constancy_of(non_null, freqs),
+        top_k_of(top, non_null, TopK::DEFAULT_K),
+        None,
         nums,
     ))
 }

@@ -24,10 +24,14 @@
 pub mod cache;
 pub mod discovery;
 pub mod kernel;
+pub mod monoid;
 pub mod profile;
+pub mod shard;
 pub mod stats;
 
 pub use cache::{DbTag, ProfileCache, ProfileKey};
+pub use monoid::PartialProfile;
+pub use shard::{shard_counters, ShardPolicy, PROFILE_SHARD_ENV_VAR};
 pub use discovery::{
     discover_constraints, discover_constraints_with, DiscoveryOptions, InclusionDependency,
 };

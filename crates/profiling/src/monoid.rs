@@ -1,0 +1,449 @@
+//! Mergeable partial profiles: the §5.1 statistics as a monoid.
+//!
+//! A [`PartialProfile`] is the in-flight accumulator state of the fused
+//! kernel, detached from any particular walk: it can be fed one
+//! [`ValueRef`] at a time ([`PartialProfile::accumulate`]), fed a
+//! contiguous row range of a typed [`Column`]
+//! ([`PartialProfile::accumulate_range`]), and combined with another
+//! partial built over the *immediately following* rows
+//! ([`PartialProfile::merge`]). [`PartialProfile::finalize`] then replays
+//! the kernel's exact reducers, so for any split of a column into
+//! consecutive chunks:
+//!
+//! ```text
+//! finalize(merge(partial(chunk_1), …, partial(chunk_n)))
+//!     == profile_column(chunk_1 ++ … ++ chunk_n)      (exact ==)
+//! ```
+//!
+//! Two properties make this bit-identical rather than merely close:
+//!
+//! * every order-sensitive float reduction (string-length mean/σ, numeric
+//!   mean/σ/histogram/range) runs over a **row-order buffer**; chunk
+//!   partials carry their slice of the buffer and `merge` concatenates,
+//!   so the finalized reduction sees the exact sequence the fused kernel
+//!   sees;
+//! * everything else (fill tallies, value counts, pattern counts,
+//!   character counts) is integer addition, which is associative and
+//!   commutative, and the kernel's finalizers sort by total orders before
+//!   any float math, so map iteration order never leaks.
+//!
+//! `merge` is associative (concatenation and addition both are) and
+//! [`PartialProfile::new`] is its identity — the proptests in
+//! `tests/proptests.rs` pin both laws plus chunk-split invariance against
+//! the fused kernel. The sharded executor in [`crate::shard`] builds on
+//! these laws; the `ProfileCache` retains partials so registry appends
+//! re-profile only the delta rows.
+
+use crate::kernel::{self, TextAcc};
+use crate::profile::AttributeProfile;
+use crate::stats::{FillStatus, TopK};
+use efes_exec::{Cancelled, Checkpoint};
+use efes_relational::column::NULL_CODE;
+use efes_relational::{Column, DataType, TextColumn, Value, ValueRef};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Mergeable accumulator covering all nine §5.1 statistics for one
+/// attribute under one designated reference type. See the module docs
+/// for the monoid laws it satisfies.
+#[derive(Clone, Debug)]
+pub struct PartialProfile {
+    reference_type: DataType,
+    total: usize,
+    nulls: usize,
+    incompatible: usize,
+    /// Value counts under `Value`'s Eq/Hash (floats by bit pattern) —
+    /// feeds constancy, distinctness and top-k after a total-order sort.
+    counts: HashMap<Value, usize>,
+    /// Present iff the reference type is `Text`.
+    text: Option<TextAcc>,
+    /// Row-order numeric buffer; present iff the reference type is
+    /// numeric.
+    nums: Option<Vec<f64>>,
+    /// Render scratch, excluded from all semantics.
+    render_buf: String,
+}
+
+/// Mirrors the kernel's per-cell compatibility checks (`try_cast` on the
+/// mixed path, `PrimCell::incompatible_with` + `casts_text` on the typed
+/// paths) over a borrowed cell.
+fn incompatible_value(rt: DataType, v: ValueRef<'_>) -> bool {
+    match v {
+        ValueRef::Null => false,
+        ValueRef::Text(s) => rt != DataType::Text && !rt.casts_text(s),
+        ValueRef::Int(i) => rt == DataType::Boolean && i != 0 && i != 1,
+        ValueRef::Float(f) => match rt {
+            DataType::Boolean => true,
+            DataType::Integer => {
+                !(f.fract() == 0.0 && f.is_finite() && f >= i64::MIN as f64 && f <= i64::MAX as f64)
+            }
+            _ => false,
+        },
+        ValueRef::Bool(_) => false,
+    }
+}
+
+impl PartialProfile {
+    /// The monoid identity: a partial that has seen no rows.
+    pub fn new(reference_type: DataType) -> Self {
+        PartialProfile {
+            reference_type,
+            total: 0,
+            nulls: 0,
+            incompatible: 0,
+            counts: HashMap::new(),
+            text: (reference_type == DataType::Text).then(TextAcc::default),
+            nums: reference_type.is_numeric().then(Vec::new),
+            render_buf: String::new(),
+        }
+    }
+
+    /// The reference type this partial profiles against.
+    pub fn reference_type(&self) -> DataType {
+        self.reference_type
+    }
+
+    /// Rows observed so far (nulls included) — the delta path compares
+    /// this against a table's pre-append row count to decide whether a
+    /// retained partial still matches the stored prefix.
+    pub fn rows_seen(&self) -> usize {
+        self.total
+    }
+
+    /// Feed one cell. Null cells advance only the fill tallies; all other
+    /// cells update the count map and whichever of the text/numeric
+    /// accumulators the reference type designates, rendered and parsed
+    /// exactly as the fused kernel renders and parses them.
+    pub fn accumulate(&mut self, v: ValueRef<'_>) {
+        self.total += 1;
+        if v.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        if incompatible_value(self.reference_type, v) {
+            self.incompatible += 1;
+        }
+        *self.counts.entry(v.to_value()).or_insert(0) += 1;
+        if let Some(acc) = &mut self.text {
+            match v {
+                ValueRef::Text(s) => acc.add_row(s),
+                ValueRef::Int(i) => {
+                    self.render_buf.clear();
+                    write!(self.render_buf, "{i}").expect("write to String");
+                    acc.add_row(&self.render_buf);
+                }
+                ValueRef::Float(f) => {
+                    self.render_buf.clear();
+                    write!(self.render_buf, "{f}").expect("write to String");
+                    acc.add_row(&self.render_buf);
+                }
+                ValueRef::Bool(b) => acc.add_row(if b { "true" } else { "false" }),
+                ValueRef::Null => unreachable!(),
+            }
+        } else if let Some(nums) = &mut self.nums {
+            match v {
+                ValueRef::Int(i) => nums.push(i as f64),
+                ValueRef::Float(f) => nums.push(f),
+                ValueRef::Text(s) => {
+                    if let Ok(x) = s.trim().parse::<f64>() {
+                        nums.push(x);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Feed the contiguous row range `lo..hi` of a typed column, ticking
+    /// the checkpoint once per row. Integer and float columns get
+    /// machine-word loops; the other variants go through
+    /// [`PartialProfile::accumulate`] per cell.
+    pub fn accumulate_range(
+        &mut self,
+        col: &Column,
+        lo: usize,
+        hi: usize,
+        ck: &Checkpoint<'_>,
+    ) -> Result<(), Cancelled> {
+        debug_assert!(lo <= hi && hi <= col.len());
+        match col {
+            Column::Mixed(values) => {
+                for v in &values[lo..hi] {
+                    ck.tick()?;
+                    self.accumulate(ValueRef::of(v));
+                }
+            }
+            Column::Text(tc) => {
+                for i in lo..hi {
+                    ck.tick()?;
+                    let code = tc.codes()[i];
+                    if code == NULL_CODE {
+                        self.total += 1;
+                        self.nulls += 1;
+                    } else {
+                        self.accumulate(ValueRef::Text(tc.dict_str(code)));
+                    }
+                }
+            }
+            Column::Int { values, nulls } => {
+                if self.text.is_some() {
+                    for (i, &v) in values.iter().enumerate().take(hi).skip(lo) {
+                        ck.tick()?;
+                        if nulls.is_null(i) {
+                            self.total += 1;
+                            self.nulls += 1;
+                        } else {
+                            self.accumulate(ValueRef::Int(v));
+                        }
+                    }
+                } else {
+                    let boolean_rt = self.reference_type == DataType::Boolean;
+                    for (i, &v) in values.iter().enumerate().take(hi).skip(lo) {
+                        ck.tick()?;
+                        self.total += 1;
+                        if nulls.is_null(i) {
+                            self.nulls += 1;
+                            continue;
+                        }
+                        if boolean_rt && v != 0 && v != 1 {
+                            self.incompatible += 1;
+                        }
+                        *self.counts.entry(Value::Int(v)).or_insert(0) += 1;
+                        if let Some(nums) = &mut self.nums {
+                            nums.push(v as f64);
+                        }
+                    }
+                }
+            }
+            Column::Float { values, nulls } => {
+                if self.text.is_some() {
+                    for (i, &v) in values.iter().enumerate().take(hi).skip(lo) {
+                        ck.tick()?;
+                        if nulls.is_null(i) {
+                            self.total += 1;
+                            self.nulls += 1;
+                        } else {
+                            self.accumulate(ValueRef::Float(v));
+                        }
+                    }
+                } else {
+                    for (i, &v) in values.iter().enumerate().take(hi).skip(lo) {
+                        ck.tick()?;
+                        self.total += 1;
+                        if nulls.is_null(i) {
+                            self.nulls += 1;
+                            continue;
+                        }
+                        if incompatible_value(self.reference_type, ValueRef::Float(v)) {
+                            self.incompatible += 1;
+                        }
+                        *self.counts.entry(Value::Float(v)).or_insert(0) += 1;
+                        if let Some(nums) = &mut self.nums {
+                            nums.push(v);
+                        }
+                    }
+                }
+            }
+            Column::Bool { values, nulls } => {
+                for (i, &v) in values.iter().enumerate().take(hi).skip(lo) {
+                    ck.tick()?;
+                    if nulls.is_null(i) {
+                        self.total += 1;
+                        self.nulls += 1;
+                    } else {
+                        self.accumulate(ValueRef::Bool(v));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold `other` — built over the rows immediately following this
+    /// partial's rows — into `self`. Associative; [`PartialProfile::new`]
+    /// is the identity.
+    pub fn merge(&mut self, other: PartialProfile) {
+        debug_assert_eq!(self.reference_type, other.reference_type);
+        self.total += other.total;
+        self.nulls += other.nulls;
+        self.incompatible += other.incompatible;
+        for (v, c) in other.counts {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+        if let Some(b) = other.text {
+            match &mut self.text {
+                Some(a) => a.merge(b),
+                None => self.text = Some(b),
+            }
+        }
+        if let Some(b) = other.nums {
+            match &mut self.nums {
+                Some(a) => a.extend(b),
+                None => self.nums = Some(b),
+            }
+        }
+    }
+
+    /// Finalize into an [`AttributeProfile`], replaying the fused
+    /// kernel's exact reducers. Non-consuming so a retained partial can
+    /// keep absorbing future delta rows.
+    pub fn finalize(&self) -> AttributeProfile {
+        let non_null = self.total - self.nulls;
+        let freqs: Vec<usize> = self.counts.values().copied().collect();
+        let top: Vec<(Value, usize)> = self.counts.iter().map(|(v, c)| (v.clone(), *c)).collect();
+        kernel::assemble(
+            self.reference_type,
+            FillStatus {
+                total: self.total,
+                nulls: self.nulls,
+                incompatible: self.incompatible,
+            },
+            kernel::constancy_of(non_null, freqs),
+            kernel::top_k_of(top, non_null, TopK::DEFAULT_K),
+            self.text.clone(),
+            self.nums.clone(),
+        )
+    }
+
+    /// Build the partial of one whole column. Text columns take the
+    /// weighted dictionary walk (per-string work once per *distinct*
+    /// value); everything else takes [`PartialProfile::accumulate_range`]
+    /// over the full row range.
+    pub fn of_column_ctx(
+        col: &Column,
+        reference_type: DataType,
+        ck: &Checkpoint<'_>,
+    ) -> Result<Self, Cancelled> {
+        match col {
+            Column::Text(tc) => {
+                let chunk = scan_dict_range(tc, reference_type, 0, tc.dict_len(), ck)?;
+                finish_text_partial(tc, reference_type, chunk, ck)
+            }
+            _ => {
+                let mut partial = Self::new(reference_type);
+                partial.accumulate_range(col, 0, col.len(), ck)?;
+                Ok(partial)
+            }
+        }
+    }
+}
+
+/// The per-dictionary-range piece of a text column's partial: everything
+/// the expensive per-distinct walk produces, before the cheap row-order
+/// replays. Chunks over consecutive code ranges merge in code order.
+pub(crate) struct TextDictChunk {
+    pub(crate) counts: HashMap<Value, usize>,
+    pub(crate) text: Option<TextAcc>,
+    /// Character length per code in this chunk's range (text reference).
+    pub(crate) char_lens: Vec<f64>,
+    /// Cached numeric parse per code in this chunk's range (numeric
+    /// reference).
+    pub(crate) parsed: Vec<Option<f64>>,
+    pub(crate) incompatible: usize,
+}
+
+/// Run the weighted per-distinct walk over dictionary codes `lo..hi`.
+pub(crate) fn scan_dict_range(
+    tc: &TextColumn,
+    reference_type: DataType,
+    lo: usize,
+    hi: usize,
+    ck: &Checkpoint<'_>,
+) -> Result<TextDictChunk, Cancelled> {
+    let mut chunk = TextDictChunk {
+        counts: HashMap::with_capacity(hi - lo),
+        text: (reference_type == DataType::Text).then(TextAcc::default),
+        char_lens: Vec::new(),
+        parsed: Vec::new(),
+        incompatible: 0,
+    };
+    let numeric = reference_type.is_numeric();
+    if chunk.text.is_some() {
+        chunk.char_lens.reserve(hi - lo);
+    }
+    if numeric {
+        chunk.parsed.reserve(hi - lo);
+    }
+    for code in lo..hi {
+        ck.tick()?;
+        let s = tc.dict_str(code as u32);
+        let weight = tc.dict_count(code as u32);
+        chunk.counts.insert(Value::Text(s.to_owned()), weight);
+        if let Some(acc) = &mut chunk.text {
+            let len = acc.observe(s, weight);
+            chunk.char_lens.push(len as f64);
+        } else {
+            if numeric {
+                chunk.parsed.push(s.trim().parse::<f64>().ok());
+            }
+            if !reference_type.casts_text(s) {
+                chunk.incompatible += weight;
+            }
+        }
+    }
+    Ok(chunk)
+}
+
+/// Fold `b` — the chunk over the code range immediately following `a`'s —
+/// into `a`.
+pub(crate) fn merge_dict_chunks(mut a: TextDictChunk, b: TextDictChunk) -> TextDictChunk {
+    // Dictionary entries are distinct across chunks, so this is a
+    // disjoint union.
+    a.counts.extend(b.counts);
+    if let Some(tb) = b.text {
+        match &mut a.text {
+            Some(ta) => ta.merge(tb),
+            None => a.text = Some(tb),
+        }
+    }
+    a.char_lens.extend(b.char_lens);
+    a.parsed.extend(b.parsed);
+    a.incompatible += b.incompatible;
+    a
+}
+
+/// Complete a text column's partial from its merged dictionary chunk:
+/// replay the row-order length/numeric buffers from the per-code tables
+/// and attach the fill tallies.
+pub(crate) fn finish_text_partial(
+    tc: &TextColumn,
+    reference_type: DataType,
+    chunk: TextDictChunk,
+    ck: &Checkpoint<'_>,
+) -> Result<PartialProfile, Cancelled> {
+    let total = tc.len();
+    let nulls = tc.null_count();
+    let non_null = total - nulls;
+    let mut text = chunk.text;
+    let mut nums = None;
+    if let Some(acc) = &mut text {
+        acc.reserve_lengths(non_null);
+        for &code in tc.codes() {
+            ck.tick()?;
+            if code != NULL_CODE {
+                acc.push_length(chunk.char_lens[code as usize]);
+            }
+        }
+    } else if reference_type.is_numeric() {
+        let mut buf = Vec::with_capacity(non_null);
+        for &code in tc.codes() {
+            ck.tick()?;
+            if code != NULL_CODE {
+                if let Some(x) = chunk.parsed[code as usize] {
+                    buf.push(x);
+                }
+            }
+        }
+        nums = Some(buf);
+    }
+    Ok(PartialProfile {
+        reference_type,
+        total,
+        nulls,
+        incompatible: chunk.incompatible,
+        counts: chunk.counts,
+        text,
+        nums,
+        render_buf: String::new(),
+    })
+}

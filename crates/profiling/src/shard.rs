@@ -1,0 +1,363 @@
+//! Sharded parallel profiling over the [`crate::monoid`] layer.
+//!
+//! The fused kernel walks a column once on one thread. For large columns
+//! this module splits the walk into contiguous chunks, profiles the
+//! chunks concurrently via [`efes_exec::parallel_map`] (each worker under
+//! its own [`RunContext`] checkpoint), and folds the per-chunk
+//! [`PartialProfile`]s back together with [`efes_exec::merge_tree`] — the
+//! monoid laws guarantee the merged result finalizes **bit-identical** to
+//! the fused kernel's output.
+//!
+//! Chunking follows the column's shape:
+//!
+//! * integer / float / boolean / mixed columns shard their **rows**;
+//! * text columns shard their **dictionary** (the expensive per-distinct
+//!   pattern/char walk), keeping the cheap row-order length/numeric
+//!   replays sequential — sharding rows instead would repeat the
+//!   per-string work once per row and forfeit the dictionary speedup.
+//!
+//! The `EFES_PROFILE_SHARD` knob selects the policy: `on` (default)
+//! shards parallel-mode columns at or above [`SHARD_THRESHOLD_ROWS`]
+//! units, `off` is the escape hatch back to the fused kernel, and
+//! `force` routes every profile through the sharded evaluator regardless
+//! of size (the chaos suite uses this to reach the
+//! `profiling.shard.merge` fault site on tiny scenarios). An unparsable
+//! value warns once on stderr and falls back to `on`.
+
+use crate::kernel;
+use crate::monoid::{self, PartialProfile};
+use crate::profile::AttributeProfile;
+use efes_exec::{fault, merge_tree, parallel_map, Cancelled, ExecutionMode, RunContext};
+use efes_relational::{Column, DataType};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+/// Environment variable selecting the sharding policy: `on` (default),
+/// `off` (escape hatch: always the fused kernel), or `force` (always the
+/// sharded evaluator, however small the column).
+pub const PROFILE_SHARD_ENV_VAR: &str = "EFES_PROFILE_SHARD";
+
+/// Minimum column size (rows, or dictionary entries for text columns)
+/// before the default policy shards: below this the fused kernel
+/// finishes before worker handoff pays for itself.
+pub const SHARD_THRESHOLD_ROWS: usize = 16_384;
+
+/// Minimum units per chunk — more workers than this buys nothing.
+const MIN_CHUNK_UNITS: usize = 8_192;
+
+/// The resolved `EFES_PROFILE_SHARD` policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Shard columns at or above the size threshold when the execution
+    /// mode is parallel (the default).
+    On,
+    /// Never shard: every profile takes the fused kernel.
+    Off,
+    /// Always take the sharded evaluator, whatever the column size.
+    Force,
+}
+
+/// Parse one `EFES_PROFILE_SHARD` value; `None` means unparsable.
+pub fn parse_shard_policy(raw: &str) -> Option<ShardPolicy> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "on" | "1" | "true" | "yes" => Some(ShardPolicy::On),
+        "off" | "0" | "false" | "no" => Some(ShardPolicy::Off),
+        "force" => Some(ShardPolicy::Force),
+        _ => None,
+    }
+}
+
+/// The policy selected by `EFES_PROFILE_SHARD`, re-read per call so
+/// tests and operators can flip it at run time. An unparsable value
+/// warns once on stderr and behaves as `on`.
+pub fn shard_policy() -> ShardPolicy {
+    match std::env::var(PROFILE_SHARD_ENV_VAR) {
+        Err(_) => ShardPolicy::On,
+        Ok(raw) => parse_shard_policy(&raw).unwrap_or_else(|| {
+            static WARN_ONCE: Once = Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: {PROFILE_SHARD_ENV_VAR}={raw:?} is not a sharding policy \
+                     (expected on/off/force); sharding stays on"
+                );
+            });
+            ShardPolicy::On
+        }),
+    }
+}
+
+static SHARD_COLUMNS: AtomicU64 = AtomicU64::new(0);
+static SHARD_CHUNKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide sharding tallies: `(columns sharded, chunks profiled)`.
+/// A column counts only when it actually split into more than one chunk.
+/// `/metrics` renders these as `efes_profile_shard_columns_total` and
+/// `efes_profile_shard_chunks_total`.
+pub fn shard_counters() -> (u64, u64) {
+    (
+        SHARD_COLUMNS.load(Ordering::Relaxed),
+        SHARD_CHUNKS.load(Ordering::Relaxed),
+    )
+}
+
+/// Whether the current policy shards a column of `units` rows (or
+/// dictionary entries) under `mode`.
+pub fn should_shard(units: usize, mode: ExecutionMode) -> bool {
+    match shard_policy() {
+        ShardPolicy::Off => false,
+        ShardPolicy::Force => true,
+        ShardPolicy::On => mode.is_parallel() && units >= SHARD_THRESHOLD_ROWS,
+    }
+}
+
+/// The unit count sharding splits for this column: dictionary entries
+/// for text columns (the per-distinct walk is the cost), rows otherwise.
+pub fn shard_units(col: &Column) -> usize {
+    match col {
+        Column::Text(tc) => tc.dict_len(),
+        _ => col.len(),
+    }
+}
+
+/// Contiguous `(lo, hi)` ranges covering `0..units` in at most `chunks`
+/// pieces; always at least one range (possibly empty) so downstream
+/// merges have an identity element to return.
+fn ranges(units: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.clamp(1, units.max(1));
+    let size = units.div_ceil(chunks).max(1);
+    let mut out = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    while lo < units {
+        let hi = (lo + size).min(units);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    if out.is_empty() {
+        out.push((0, 0));
+    }
+    out
+}
+
+/// Build one column's [`PartialProfile`] under the active policy:
+/// sharded when [`should_shard`] says so, otherwise a sequential
+/// single-chunk build (which still yields a retainable partial).
+pub fn partial_of_column_ctx(
+    col: &Column,
+    reference_type: DataType,
+    run: &RunContext,
+    mode: ExecutionMode,
+) -> Result<PartialProfile, Cancelled> {
+    let units = shard_units(col);
+    let chunks = match shard_policy() {
+        ShardPolicy::Off => 1,
+        // Force exercises the full split/merge path even on one core.
+        ShardPolicy::Force => mode.threads().max(2),
+        ShardPolicy::On => {
+            if mode.is_parallel() && units >= SHARD_THRESHOLD_ROWS {
+                mode.threads().min(units.div_ceil(MIN_CHUNK_UNITS)).max(1)
+            } else {
+                1
+            }
+        }
+    };
+    if chunks <= 1 {
+        let ck = run.checkpoint();
+        return PartialProfile::of_column_ctx(col, reference_type, &ck);
+    }
+    sharded_partial(col, reference_type, run, mode, chunks)
+}
+
+/// Profile a column through the sharded evaluator with one chunk per
+/// thread of `mode`, regardless of policy or size. This is the
+/// deterministic entry the differential tests and benches use — it never
+/// consults the environment.
+pub fn profile_column_sharded_with(
+    col: &Column,
+    reference_type: DataType,
+    run: &RunContext,
+    mode: ExecutionMode,
+) -> Result<AttributeProfile, Cancelled> {
+    Ok(sharded_partial(col, reference_type, run, mode, mode.threads())?.finalize())
+}
+
+/// [`partial_of_column_ctx`]'s sharded arm: scan chunks in parallel,
+/// consult the `profiling.shard.merge` fault site, then fold with a
+/// balanced merge tree.
+fn sharded_partial(
+    col: &Column,
+    reference_type: DataType,
+    run: &RunContext,
+    mode: ExecutionMode,
+    chunks: usize,
+) -> Result<PartialProfile, Cancelled> {
+    let spans = ranges(shard_units(col), chunks);
+    if spans.len() > 1 {
+        SHARD_COLUMNS.fetch_add(1, Ordering::Relaxed);
+        SHARD_CHUNKS.fetch_add(spans.len() as u64, Ordering::Relaxed);
+    }
+    match col {
+        Column::Text(tc) => {
+            let scanned = parallel_map(mode, spans, |(lo, hi)| {
+                let ck = run.checkpoint();
+                monoid::scan_dict_range(tc, reference_type, lo, hi, &ck)
+            });
+            let mut parts = Vec::with_capacity(scanned.len());
+            for part in scanned {
+                parts.push(part?);
+            }
+            // The alloc-cap mode has no allocation budget to trip at this
+            // site; panic/cancel/delay act through fire itself.
+            let _alloc_capped = fault::fire("profiling.shard.merge", Some(run.token()));
+            run.check()?;
+            let merged = merge_tree(mode, parts, monoid::merge_dict_chunks)
+                .expect("ranges always yields at least one chunk");
+            let ck = run.checkpoint();
+            monoid::finish_text_partial(tc, reference_type, merged, &ck)
+        }
+        _ => {
+            let scanned = parallel_map(mode, spans, |(lo, hi)| {
+                let ck = run.checkpoint();
+                let mut partial = PartialProfile::new(reference_type);
+                partial.accumulate_range(col, lo, hi, &ck)?;
+                Ok::<_, Cancelled>(partial)
+            });
+            let mut parts = Vec::with_capacity(scanned.len());
+            for part in scanned {
+                parts.push(part?);
+            }
+            let _alloc_capped = fault::fire("profiling.shard.merge", Some(run.token()));
+            run.check()?;
+            Ok(merge_tree(mode, parts, |mut a, b| {
+                a.merge(b);
+                a
+            })
+            .expect("ranges always yields at least one chunk"))
+        }
+    }
+}
+
+/// Profile one column under the active policy, sharding when eligible and
+/// falling back to the fused kernel otherwise — the drop-in sharded
+/// sibling of [`kernel::profile_column_ctx`], bit-identical to it always.
+pub fn profile_column_auto_ctx(
+    col: &Column,
+    reference_type: DataType,
+    run: &RunContext,
+    mode: ExecutionMode,
+) -> Result<AttributeProfile, Cancelled> {
+    if should_shard(shard_units(col), mode) {
+        Ok(partial_of_column_ctx(col, reference_type, run, mode)?.finalize())
+    } else {
+        let ck = run.checkpoint();
+        kernel::profile_column_ctx(col, reference_type, &ck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efes_relational::Value;
+
+    fn int_column(n: usize) -> Column {
+        Column::from_cells(
+            (0..n)
+                .map(|i| {
+                    if i % 7 == 3 {
+                        Value::Null
+                    } else {
+                        Value::Int((i as i64 * 37) % 211)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn text_column(n: usize) -> Column {
+        Column::from_cells(
+            (0..n)
+                .map(|i| {
+                    if i % 11 == 5 {
+                        Value::Null
+                    } else {
+                        Value::Text(format!("track {:02}:{:02}", i % 9, (i * 13) % 60))
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sharded_matches_fused_across_thread_counts() {
+        let run = RunContext::unbounded();
+        for col in [int_column(1000), text_column(1000)] {
+            for rt in [
+                DataType::Integer,
+                DataType::Float,
+                DataType::Text,
+                DataType::Boolean,
+            ] {
+                let fused = kernel::profile_column(&col, rt);
+                for threads in [1usize, 2, 3, 8] {
+                    let mode = ExecutionMode::with_threads(threads);
+                    let sharded = profile_column_sharded_with(&col, rt, &run, mode)
+                        .expect("unbounded context never cancels");
+                    assert_eq!(sharded, fused, "rt={rt:?} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_handles_empty_columns() {
+        let run = RunContext::unbounded();
+        let col = Column::empty();
+        for rt in [DataType::Integer, DataType::Text] {
+            let fused = kernel::profile_column(col, rt);
+            let sharded = profile_column_sharded_with(col, rt, &run, ExecutionMode::Parallel(4))
+                .expect("unbounded context never cancels");
+            assert_eq!(sharded, fused, "rt={rt:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for units in [0usize, 1, 2, 7, 100, 101] {
+            for chunks in [1usize, 2, 3, 5, 200] {
+                let spans = ranges(units, chunks);
+                assert!(!spans.is_empty());
+                let mut expect = 0usize;
+                for &(lo, hi) in &spans {
+                    assert_eq!(lo, expect, "units={units} chunks={chunks}");
+                    assert!(hi >= lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, units, "units={units} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_shard_policy_grammar() {
+        assert_eq!(parse_shard_policy("on"), Some(ShardPolicy::On));
+        assert_eq!(parse_shard_policy(" ON "), Some(ShardPolicy::On));
+        assert_eq!(parse_shard_policy("1"), Some(ShardPolicy::On));
+        assert_eq!(parse_shard_policy("off"), Some(ShardPolicy::Off));
+        assert_eq!(parse_shard_policy("0"), Some(ShardPolicy::Off));
+        assert_eq!(parse_shard_policy("force"), Some(ShardPolicy::Force));
+        assert_eq!(parse_shard_policy("sideways"), None);
+    }
+
+    #[test]
+    fn cancellation_aborts_a_sharded_profile() {
+        let run = RunContext::unbounded();
+        run.token().cancel();
+        let col = int_column(100_000);
+        let got = profile_column_sharded_with(
+            &col,
+            DataType::Integer,
+            &run,
+            ExecutionMode::Parallel(4),
+        );
+        assert!(got.is_err());
+    }
+}

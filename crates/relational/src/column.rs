@@ -142,6 +142,21 @@ impl<'a> ValueRef<'a> {
         }
     }
 
+    /// Bit-exact cell equality: like `==`, except floats compare by
+    /// [`f64::to_bits`], so NaNs equal themselves and `0.0 != -0.0` —
+    /// the same total semantics [`Value`]'s `Eq` uses. This is the cell
+    /// relation behind [`Column::is_prefix_of`].
+    pub fn bit_eq(self, other: ValueRef<'_>) -> bool {
+        match (self, other) {
+            (ValueRef::Null, ValueRef::Null) => true,
+            (ValueRef::Int(a), ValueRef::Int(b)) => a == b,
+            (ValueRef::Float(a), ValueRef::Float(b)) => a.to_bits() == b.to_bits(),
+            (ValueRef::Text(a), ValueRef::Text(b)) => a == b,
+            (ValueRef::Bool(a), ValueRef::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+
     /// Render exactly like [`Value::render`].
     pub fn render(self) -> String {
         match self {
@@ -188,6 +203,21 @@ impl NullBitmap {
     /// Number of NULL rows.
     pub fn count(&self) -> usize {
         self.count
+    }
+
+    /// `true` iff the first `n` bits of `self` and `other` agree. Both
+    /// bitmaps must cover at least `n` rows.
+    fn prefix_eq(&self, other: &NullBitmap, n: usize) -> bool {
+        let full = n / 64;
+        if self.words[..full] != other.words[..full] {
+            return false;
+        }
+        let rem = n % 64;
+        if rem == 0 {
+            return true;
+        }
+        let mask = (1u64 << rem) - 1;
+        self.words[full] & mask == other.words[full] & mask
     }
 }
 
@@ -593,6 +623,49 @@ impl Column {
                 let mut seen = std::collections::HashSet::new();
                 vals.iter().filter(|v| !v.is_null() && seen.insert(*v)).count()
             }
+        }
+    }
+
+    /// `true` iff `other`'s first `self.len()` rows equal `self`'s rows
+    /// cell for cell (floats bit-exact, as in [`ValueRef::bit_eq`]).
+    ///
+    /// This is the append detector behind incremental profiling: a
+    /// re-uploaded scenario whose every column is a prefix of the new
+    /// one only grew, so retained partial profiles can absorb just the
+    /// tail rows. Same-variant columns compare structurally — for text
+    /// columns the first-seen dictionary discipline makes "row prefix"
+    /// equivalent to "codes, offsets and arena bytes are prefixes", so
+    /// no per-row string compares are needed. Mismatched variants (e.g.
+    /// an all-NULL `Mixed` column later typed by its first real cell)
+    /// fall back to a per-cell walk.
+    pub fn is_prefix_of(&self, other: &Column) -> bool {
+        let n = self.len();
+        if n > other.len() {
+            return false;
+        }
+        match (self, other) {
+            (
+                Column::Int { values: a, nulls: an },
+                Column::Int { values: b, nulls: bn },
+            ) => a[..] == b[..n] && an.prefix_eq(bn, n),
+            (
+                Column::Float { values: a, nulls: an },
+                Column::Float { values: b, nulls: bn },
+            ) => {
+                a.iter().zip(&b[..n]).all(|(x, y)| x.to_bits() == y.to_bits())
+                    && an.prefix_eq(bn, n)
+            }
+            (
+                Column::Bool { values: a, nulls: an },
+                Column::Bool { values: b, nulls: bn },
+            ) => a[..] == b[..n] && an.prefix_eq(bn, n),
+            (Column::Text(a), Column::Text(b)) => {
+                a.codes[..] == b.codes[..n]
+                    && a.offsets[..] == b.offsets[..a.offsets.len()]
+                    && b.bytes.as_bytes().starts_with(a.bytes.as_bytes())
+            }
+            (Column::Mixed(a), Column::Mixed(b)) => a[..] == b[..n],
+            _ => (0..n).all(|i| self.value(i).bit_eq(other.value(i))),
         }
     }
 }
@@ -1076,6 +1149,89 @@ mod tests {
             b.push(c.clone());
         }
         assert_eq!(b.finish(), Column::from_cells(cells));
+    }
+
+    #[test]
+    fn prefix_detection_accepts_every_append_shape() {
+        let bases: Vec<Vec<Value>> = vec![
+            (0..130)
+                .map(|i| if i % 3 == 0 { Value::Null } else { Value::Int(i) })
+                .collect(),
+            vec![Value::Float(1.5), Value::Null, Value::Float(f64::NAN)],
+            vec![Value::Text("b".into()), Value::Text("a".into()), Value::Null],
+            vec![Value::Bool(true), Value::Null],
+            vec![Value::Int(1), Value::Text("x".into())], // stays Mixed
+            vec![Value::Null, Value::Null],               // Mixed, may get typed
+            vec![],
+        ];
+        let tails: Vec<Vec<Value>> = vec![
+            vec![],
+            vec![Value::Null],
+            vec![Value::Int(7)],
+            vec![Value::Text("a".into()), Value::Text("z".into())],
+            vec![Value::Float(2.5)],
+            vec![Value::Bool(false)],
+        ];
+        for base in &bases {
+            let a = Column::from_cells(base.clone());
+            for tail in &tails {
+                let mut cells = base.clone();
+                cells.extend(tail.iter().cloned());
+                let b = Column::from_cells(cells);
+                assert!(
+                    a.is_prefix_of(&b),
+                    "{} + {} tail rows should be a prefix",
+                    a.type_label(),
+                    tail.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_detection_rejects_mutated_prefixes() {
+        let base: Vec<Value> = (0..70)
+            .map(|i| if i % 5 == 0 { Value::Null } else { Value::Int(i) })
+            .collect();
+        let a = Column::from_cells(base.clone());
+        // Shorter than the base: not a prefix.
+        assert!(!a.is_prefix_of(&Column::from_cells(base[..69].to_vec())));
+        // A changed cell inside the prefix.
+        let mut edited = base.clone();
+        edited[3] = Value::Int(-1);
+        edited.push(Value::Int(999));
+        assert!(!a.is_prefix_of(&Column::from_cells(edited)));
+        // A null flipped to a value (bitmap mismatch, values match at 0).
+        let mut nulled = base.clone();
+        nulled[0] = Value::Int(0);
+        nulled.push(Value::Int(999));
+        assert!(!a.is_prefix_of(&Column::from_cells(nulled)));
+        // Text: same strings, different order re-keys the dictionary.
+        let t1 = Column::from_cells(vec![Value::Text("a".into()), Value::Text("b".into())]);
+        let t2 = Column::from_cells(vec![
+            Value::Text("b".into()),
+            Value::Text("a".into()),
+            Value::Text("c".into()),
+        ]);
+        assert!(!t1.is_prefix_of(&t2));
+        // Floats bit-exact: 0.0 is not a prefix of -0.0.
+        let f1 = Column::from_cells(vec![Value::Float(0.0)]);
+        let f2 = Column::from_cells(vec![Value::Float(-0.0), Value::Float(1.0)]);
+        assert!(!f1.is_prefix_of(&f2));
+        // NaN equals itself bit-for-bit.
+        let n1 = Column::from_cells(vec![Value::Float(f64::NAN)]);
+        let n2 = Column::from_cells(vec![Value::Float(f64::NAN), Value::Float(1.0)]);
+        assert!(n1.is_prefix_of(&n2));
+    }
+
+    #[test]
+    fn bit_eq_mirrors_value_total_equality() {
+        assert!(ValueRef::Null.bit_eq(ValueRef::Null));
+        assert!(ValueRef::Float(f64::NAN).bit_eq(ValueRef::Float(f64::NAN)));
+        assert!(!ValueRef::Float(0.0).bit_eq(ValueRef::Float(-0.0)));
+        assert!(!ValueRef::Int(1).bit_eq(ValueRef::Float(1.0)));
+        assert!(ValueRef::Text("x").bit_eq(ValueRef::Text("x")));
+        assert!(!ValueRef::Bool(true).bit_eq(ValueRef::Null));
     }
 
     #[test]

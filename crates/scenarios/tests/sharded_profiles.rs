@@ -1,0 +1,65 @@
+//! Differential gate for the sharded profile evaluator: for every
+//! attribute of every database of every scenario in the standard
+//! registry, the sharded monoid path (split, parallel scan, merge tree,
+//! finalize) must be bit-identical (`==`, exact float bits) to the
+//! fused single-pass kernel — for every designating reference type and
+//! a spread of thread counts.
+//!
+//! The columnar-vs-multipass and fused-vs-multipass differentials live
+//! with the profiling crate; this test closes the loop on the paper's
+//! actual case-study data rather than synthetic columns.
+
+use efes_exec::{ExecutionMode, RunContext};
+use efes_profiling::{kernel, shard};
+use efes_relational::{AttrId, Database, DataType, TableId};
+use efes_scenarios::standard_registry;
+
+fn check_database(db: &Database, run: &RunContext, label: &str) -> usize {
+    let mut checked = 0;
+    for (ti, table) in db.schema.tables().iter().enumerate() {
+        let data = db.instance.table(TableId(ti));
+        for ai in 0..table.arity() {
+            let Some(col) = data.column_store(AttrId(ai)) else {
+                continue;
+            };
+            for rt in [
+                DataType::Text,
+                DataType::Integer,
+                DataType::Float,
+                DataType::Boolean,
+            ] {
+                let fused = kernel::profile_column(col, rt);
+                for threads in [1usize, 4] {
+                    let mode = ExecutionMode::with_threads(threads);
+                    let sharded = shard::profile_column_sharded_with(col, rt, run, mode)
+                        .expect("unbounded run never cancels");
+                    assert_eq!(
+                        sharded, fused,
+                        "sharded({threads}) != fused for {label}.{}.{} as {rt:?}",
+                        table.name, table.attributes[ai].name,
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    checked
+}
+
+#[test]
+fn sharded_profiles_match_fused_across_the_standard_registry() {
+    let registry = standard_registry();
+    let run = RunContext::unbounded();
+    let mut names: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+    names.sort();
+    assert!(!names.is_empty());
+    let mut checked = 0;
+    for name in names {
+        let scenario = registry.get(&name).expect("registry name resolves");
+        for source in &scenario.sources {
+            checked += check_database(source, &run, &format!("{name}/src/{}", source.name()));
+        }
+        checked += check_database(&scenario.target, &run, &format!("{name}/target"));
+    }
+    assert!(checked > 100, "expected a broad sweep, checked {checked}");
+}

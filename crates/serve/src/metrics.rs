@@ -164,6 +164,14 @@ pub struct Metrics {
     pub ingests_evicted: AtomicU64,
     /// Uploaded scenarios removed via `DELETE /scenarios/{name}`.
     pub ingests_deleted: AtomicU64,
+    /// Uploads accepted as in-place row extensions of an existing
+    /// uploaded scenario (`200`, status `"extended"`).
+    pub ingests_extended: AtomicU64,
+    /// Extension uploads whose profiles were refreshed incrementally
+    /// from retained partial states instead of re-profiled from scratch.
+    pub profile_deltas: AtomicU64,
+    /// Appended rows absorbed by those incremental profile refreshes.
+    pub profile_delta_rows: AtomicU64,
     /// Panics caught at an isolation boundary (estimation job or
     /// connection handler) without taking the server down.
     pub panics_recovered: AtomicU64,
@@ -259,7 +267,7 @@ impl Metrics {
             );
         }
 
-        let counters: [(&str, &str, u64); 15] = [
+        let counters: [(&str, &str, u64); 18] = [
             (
                 "efes_estimates_ok_total",
                 "Estimates completed successfully.",
@@ -331,6 +339,21 @@ impl Metrics {
                 self.ingests_deleted.load(Ordering::Relaxed),
             ),
             (
+                "efes_ingest_extended_total",
+                "Uploads accepted as in-place row extensions of an existing uploaded scenario.",
+                self.ingests_extended.load(Ordering::Relaxed),
+            ),
+            (
+                "efes_profile_delta_total",
+                "Profiles refreshed incrementally from retained partial states on extension uploads.",
+                self.profile_deltas.load(Ordering::Relaxed),
+            ),
+            (
+                "efes_profile_delta_rows_total",
+                "Appended rows absorbed by incremental profile refreshes.",
+                self.profile_delta_rows.load(Ordering::Relaxed),
+            ),
+            (
                 "efes_panics_recovered_total",
                 "Panics caught at an isolation boundary without taking the server down.",
                 self.panics_recovered.load(Ordering::Relaxed),
@@ -377,8 +400,19 @@ impl Metrics {
             );
         }
 
+        let (shard_columns, shard_chunks) = efes_profiling::shard_counters();
         let (memo_hits, memo_misses) = efes_csg::eval_memo_counters();
         for (name, help, value) in [
+            (
+                "efes_profile_shard_columns_total",
+                "Columns profiled via the sharded monoid path (more than one chunk).",
+                shard_columns,
+            ),
+            (
+                "efes_profile_shard_chunks_total",
+                "Chunks profiled concurrently by the sharded monoid path.",
+                shard_chunks,
+            ),
             (
                 "efes_csg_eval_memo_hits_total",
                 "CSG expression-count evaluations served from the per-instance memo.",
@@ -533,6 +567,9 @@ mod tests {
         m.ingests_ok.fetch_add(1, Ordering::Relaxed);
         m.ingests_evicted.fetch_add(2, Ordering::Relaxed);
         m.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        m.ingests_extended.fetch_add(1, Ordering::Relaxed);
+        m.profile_deltas.fetch_add(2, Ordering::Relaxed);
+        m.profile_delta_rows.fetch_add(500, Ordering::Relaxed);
         m.count_cancelled_stage("values");
         m.count_cancelled_stage("values");
         m.add_reclaimed_micros(1_500_000);
@@ -574,6 +611,11 @@ mod tests {
         assert!(text.contains("efes_cancelled_in_stage_total{stage=\"values\"} 2"));
         assert!(text.contains("efes_worker_seconds_reclaimed_total 1.5"));
         assert!(text.contains("# TYPE efes_fault_injected_total counter"));
+        assert!(text.contains("efes_ingest_extended_total 1"));
+        assert!(text.contains("efes_profile_delta_total 2"));
+        assert!(text.contains("efes_profile_delta_rows_total 500"));
+        assert!(text.contains("# TYPE efes_profile_shard_columns_total counter"));
+        assert!(text.contains("# TYPE efes_profile_shard_chunks_total counter"));
         assert_eq!(m.cancelled_in_stage("values"), 2);
         assert_eq!(m.cancelled_in_stage("structure"), 0);
         assert_eq!(m.reclaimed_micros(), 1_500_000);

@@ -17,9 +17,11 @@ use efes::{
     ModuleError, ScenarioProvider, ScenarioRegistry,
 };
 use efes_exec::{fault, CancellationToken, RunContext, SubmitError, WorkerPool};
-use efes_ingest::{DynamicRegistry, InsertError, InsertOutcome, RemoveError, ScenarioUpload};
+use efes_ingest::{
+    DynamicRegistry, InsertError, InsertOutcome, RemoveError, ScenarioUpload, TableGrowth,
+};
 use efes_matching::{CombinedMatcher, MatcherConfig};
-use efes_profiling::ProfileCache;
+use efes_profiling::{DbTag, ProfileCache};
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::BufReader;
@@ -174,12 +176,18 @@ struct ServerState {
 
 impl ServerState {
     fn cache_for(&self, scenario: &str) -> Arc<ProfileCache> {
+        // Uploaded scenarios retain the mergeable partial state behind
+        // each profile so a later extension upload can absorb just its
+        // appended rows; static scenarios never grow, so their caches
+        // skip the extra memory.
+        let retain = !self.registry.is_static(scenario);
         let mut caches = self.caches.lock().expect("cache map poisoned");
         Arc::clone(caches.entry(scenario.to_owned()).or_insert_with(|| {
-            Arc::new(match self.config.profile_cache_capacity {
+            let cache = match self.config.profile_cache_capacity {
                 Some(cap) => ProfileCache::bounded(cap),
                 None => ProfileCache::new(),
-            })
+            };
+            Arc::new(if retain { cache.retaining_partials() } else { cache })
         }))
     }
 
@@ -843,15 +851,82 @@ fn handle_match(state: &Arc<ServerState>, request: &Request) -> Response {
     }
 }
 
+/// Rebuild an extended scenario's profile cache from the partial states
+/// retained by the previous version's cache: unchanged tables re-seed
+/// their profiles for free, grown tables accumulate only the appended
+/// rows (O(delta)) and finalize — bit-identical to a cold re-profile,
+/// by the monoid's chunk-split invariance.
+fn refresh_extended_cache(state: &Arc<ServerState>, name: &str, growth: &[TableGrowth]) {
+    let Some(scenario) = state.registry.get(name) else {
+        return;
+    };
+    let old = state
+        .caches
+        .lock()
+        .expect("cache map poisoned")
+        .remove(name);
+    let Some(old) = old else {
+        // Never estimated: nothing to carry over, the next estimate
+        // profiles the extended data cold.
+        return;
+    };
+    let fresh = state.cache_for(name);
+    let run = RunContext::unbounded();
+    for (key, profile, partial) in old.snapshot_partials() {
+        let (source, db) = if key.db == DbTag::TARGET {
+            (None, &scenario.target)
+        } else {
+            let i = key.db.0 as usize;
+            match scenario.sources.get(i) {
+                Some(db) => (Some(i), db),
+                None => continue,
+            }
+        };
+        let Some(g) = growth
+            .iter()
+            .find(|g| g.source == source && g.table == key.table)
+        else {
+            continue;
+        };
+        if partial.rows_seen() != g.old_rows {
+            continue;
+        }
+        if g.old_rows == g.new_rows {
+            // The table did not grow: the old profile is the new one.
+            fresh.seed(key, profile, Some(partial));
+            continue;
+        }
+        let Some(col) = db.instance.table(key.table).column_store(key.attr) else {
+            continue;
+        };
+        let mut grown = (*partial).clone();
+        let ck = run.checkpoint();
+        if grown
+            .accumulate_range(col, g.old_rows, g.new_rows, &ck)
+            .is_err()
+        {
+            continue;
+        }
+        let refreshed = grown.finalize();
+        fresh.seed(key, Arc::new(refreshed), Some(Arc::new(grown)));
+        state.metrics.profile_deltas.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .profile_delta_rows
+            .fetch_add((g.new_rows - g.old_rows) as u64, Ordering::Relaxed);
+    }
+}
+
 /// The `POST /scenarios` response: what the registry did with the
-/// upload. `status` is `"created"` (`201`) or `"deduplicated"` (`200`);
-/// on deduplication `scenario` names the *existing* entry estimates
-/// should be addressed to.
+/// upload. `status` is `"created"` (`201`), `"deduplicated"` (`200`) or
+/// `"extended"` (`200`, a row-wise extension replaced the entry in
+/// place); on deduplication `scenario` names the *existing* entry
+/// estimates should be addressed to.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UploadResponse {
     /// The name the scenario is resolvable under.
     pub scenario: String,
-    /// `"created"` or `"deduplicated"`.
+    /// `"created"`, `"deduplicated"` or `"extended"`.
     pub status: String,
     /// Approximate resident bytes charged against the ingest budget
     /// (the existing entry's charge when deduplicated).
@@ -923,6 +998,31 @@ fn handle_upload(state: &Arc<ServerState>, request: &Request) -> Response {
             };
             match serde_json::to_string(&response) {
                 Ok(body) => Response::json(201, body.into_bytes()),
+                Err(e) => Response::error(500, &format!("serialising upload result: {e}")),
+            }
+        }
+        Ok(InsertOutcome::Extended {
+            bytes,
+            evicted,
+            growth,
+        }) => {
+            state.metrics.ingests_extended.fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .ingests_evicted
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            for gone in &evicted {
+                state.drop_cache(gone);
+            }
+            refresh_extended_cache(state, &name, &growth);
+            let response = UploadResponse {
+                scenario: name,
+                status: "extended".to_owned(),
+                resident_bytes: bytes as u64,
+                evicted,
+            };
+            match serde_json::to_string(&response) {
+                Ok(body) => Response::json(200, body.into_bytes()),
                 Err(e) => Response::error(500, &format!("serialising upload result: {e}")),
             }
         }

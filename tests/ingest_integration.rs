@@ -170,6 +170,135 @@ fn identical_uploads_deduplicate_to_one_entry() {
     handle.shutdown();
 }
 
+/// A deterministic single-source scenario whose `tracks` table holds
+/// `n` formulaic rows: the `n = k` instance is an exact row-prefix of
+/// any `n > k` instance, which is what the registry recognises as an
+/// in-place extension.
+fn delta_scenario(name: &str, n: usize) -> efes_relational::IntegrationScenario {
+    use efes_relational::{CorrespondenceBuilder, DataType, DatabaseBuilder, Value};
+    let rows = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                if i % 7 == 3 {
+                    Value::Null
+                } else {
+                    Value::Text(format!("track {} take {i}", i % 12))
+                },
+                Value::Float(i as f64 * 0.25 + 1.0),
+                Value::Int((i % 5) as i64 * 10),
+            ]
+        })
+        .collect();
+    let source = DatabaseBuilder::new("src")
+        .table("tracks", |t| {
+            t.attr("id", DataType::Integer)
+                .attr("title", DataType::Text)
+                .attr("price", DataType::Float)
+                .attr("plays", DataType::Integer)
+                .primary_key(&["id"])
+        })
+        .rows("tracks", rows)
+        .build()
+        .expect("build source");
+    let target = DatabaseBuilder::new("tgt")
+        .table("songs", |t| {
+            t.attr("nr", DataType::Integer).attr("name", DataType::Text)
+        })
+        .build()
+        .expect("build target");
+    let correspondences = CorrespondenceBuilder::new(&source, &target)
+        .table("tracks", "songs")
+        .expect("table correspondence")
+        .attr("tracks", "id", "songs", "nr")
+        .expect("id correspondence")
+        .attr("tracks", "title", "songs", "name")
+        .expect("title correspondence")
+        .finish();
+    efes_relational::IntegrationScenario::single_source(name, source, target, correspondences)
+        .expect("assemble scenario")
+}
+
+/// Serialise a scenario as an upload document under its own name.
+fn upload_doc(scenario: &efes_relational::IntegrationScenario) -> String {
+    let mut upload = ScenarioUpload::from_scenario(scenario, UploadFormat::JsonRows);
+    upload.name = scenario.name.clone();
+    serde_json::to_string(&upload).expect("serialise upload")
+}
+
+/// Read one counter out of a metrics scrape.
+fn counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("{name} missing from scrape:\n{metrics}"))
+}
+
+#[test]
+fn appending_rows_extends_in_place_and_profiles_only_the_delta() {
+    let handle = default_server();
+    let addr = handle.addr();
+    // v1 is an exact row-prefix of v2; the 20 extra rows are the delta.
+    let scenario_v2 = delta_scenario("delta-synth", 80);
+    let doc_v1 = upload_doc(&delta_scenario("delta-synth", 60));
+    let doc_v2 = upload_doc(&scenario_v2);
+    let dropped = 20usize;
+
+    let (status, _, body) = post(addr, "/scenarios", &doc_v1);
+    assert_eq!(status, 201, "body: {body}");
+
+    // Estimate v1 so its profile cache (and retained partials) exist.
+    let (status, _, body) = post(addr, "/estimate", r#"{"scenario":"delta-synth"}"#);
+    assert_eq!(status, 200, "body: {body}");
+
+    // Re-upload under the same name with the rows appended back: the
+    // registry recognises the extension and keeps the entry in place.
+    let (status, _, body) = post(addr, "/scenarios", &doc_v2);
+    assert_eq!(status, 200, "body: {body}");
+    let extended: UploadResponse = serde_json::from_str(&body).expect("parse upload response");
+    assert_eq!(extended.scenario, "delta-synth");
+    assert_eq!(extended.status, "extended");
+    assert!(extended.evicted.is_empty());
+
+    // The extension re-used the retained partials: the delta counters
+    // fired, and only the appended rows were accumulated.
+    let metrics = handle.scrape();
+    assert_eq!(counter(&metrics, "efes_ingest_extended_total"), 1, "metrics:\n{metrics}");
+    let deltas = counter(&metrics, "efes_profile_delta_total");
+    let delta_rows = counter(&metrics, "efes_profile_delta_rows_total");
+    assert!(deltas >= 1, "no delta appends fired:\n{metrics}");
+    assert!(delta_rows >= dropped as u64, "delta rows {delta_rows} < appended {dropped}");
+
+    // The estimate served off the delta-patched cache is byte-identical
+    // to a cold library run over the full v2 scenario.
+    let (status, _, body) = post(
+        addr,
+        "/estimate",
+        r#"{"scenario":"delta-synth","include_tasks":true}"#,
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let served: EstimateResponse = serde_json::from_str(&body).expect("parse estimate");
+    let mut request = EstimateRequest::new("delta-synth");
+    request.include_tasks = true;
+    let estimate = Estimator::with_default_modules(EstimationConfig::for_quality(
+        Quality::HighQuality,
+    ))
+    .estimate(&scenario_v2)
+    .unwrap();
+    let expected = EstimateResponse::from_estimate(&estimate, &request);
+    assert_eq!(served, expected);
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&expected).unwrap()
+    );
+
+    // Shrinking a scenario is not an extension: same name, fewer rows
+    // is a conflict, and the resident entry is untouched.
+    let (status, _, body) = post(addr, "/scenarios", &doc_v1);
+    assert_eq!(status, 409, "body: {body}");
+    handle.shutdown();
+}
+
 #[test]
 fn budget_eviction_is_lru_and_never_touches_statics() {
     // Three distinct scenarios of similar size; a budget that holds two.
